@@ -1,0 +1,56 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each bench prints the same rows the paper plots: per configuration and per
+// compiler, the median [p10, p90] of compilation time, firmware time, and
+// TCAM update time over an update stream (Sec. VII-A(c)).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/stats.h"
+#include "util/strfmt.h"
+
+namespace ruletris::bench {
+
+/// Number of sequential updates fed to each compiler. The paper uses 1000;
+/// the default is lower so the full suite runs in minutes — override with
+/// RULETRIS_UPDATES=1000 to match the paper exactly.
+inline size_t updates_per_run(size_t fallback = 200) {
+  if (const char* env = std::getenv("RULETRIS_UPDATES")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+struct MetricSet {
+  util::Samples compile_ms;
+  util::Samples firmware_ms;
+  util::Samples tcam_ms;
+  util::Samples total_ms;
+
+  void add(double compile, double firmware, double tcam) {
+    compile_ms.add(compile);
+    firmware_ms.add(firmware);
+    tcam_ms.add(tcam);
+    total_ms.add(compile + firmware + tcam);
+  }
+};
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-10s %-10s | %-28s %-28s %-28s %-28s\n", "config", "compiler",
+              "compile ms (med [p10,p90])", "firmware ms", "tcam ms", "total ms");
+}
+
+inline void print_row(const std::string& config, const char* compiler,
+                      const MetricSet& m) {
+  std::printf("%-10s %-10s | %-28s %-28s %-28s %-28s\n", config.c_str(), compiler,
+              m.compile_ms.summary("").c_str(), m.firmware_ms.summary("").c_str(),
+              m.tcam_ms.summary("").c_str(), m.total_ms.summary("").c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace ruletris::bench

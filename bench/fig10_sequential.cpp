@@ -1,0 +1,27 @@
+// Figure 10: rule update overhead of "L3-L4 NAT > L3 router".
+//
+// A 100-entry NAT table (exact public destinations rewritten into the
+// router's prefixes, plus a passthrough default) sequentially composed with
+// an L3 router (126 entries for the hardware point, 250-4000 emulated).
+// Each update replaces one NAT translation (Sec. VII-B).
+#include "bench/scenario.h"
+
+int main() {
+  using namespace ruletris;
+  bench::CompositionScenario scenario;
+  scenario.title = "Fig. 10: L3-L4 NAT > L3 router (sequential)";
+  scenario.op = 1;  // sequential
+  scenario.left_size = 100;
+  scenario.hw_right_size = 126;
+  scenario.gen_left = [](size_t n, const std::vector<flowspace::Rule>& router,
+                         util::Rng& rng) {
+    return classbench::generate_nat(n, router, rng);
+  };
+  scenario.gen_replacement = [](const std::vector<flowspace::Rule>& router,
+                                util::Rng& rng) {
+    return classbench::random_nat_rule(router, 100, rng);
+  };
+  scenario.protect_last_left = true;  // never churn the passthrough default
+  bench::run_composition_scenario(scenario);
+  return 0;
+}

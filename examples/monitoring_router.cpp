@@ -1,0 +1,73 @@
+// Example: parallel composition of a monitoring app and an L3 router —
+// the paper's first evaluation scenario, at demo scale.
+//
+// Shows the full RuleTris pipeline: compose two member tables, inspect the
+// composed table and its minimum DAG, push everything to a simulated switch,
+// then apply one live monitoring-rule update and watch how few TCAM writes
+// it takes.
+#include <cstdio>
+#include <map>
+
+#include "classbench/generator.h"
+#include "compiler/ruletris_compiler.h"
+#include "switchsim/adapters.h"
+#include "switchsim/switch.h"
+
+using namespace ruletris;
+using compiler::PolicySpec;
+using compiler::RuleTrisCompiler;
+using compiler::TableUpdate;
+using flowspace::FlowTable;
+using flowspace::Rule;
+
+int main() {
+  util::Rng rng(2016);
+
+  // Member tables: 12 monitoring filters, a 40-entry router.
+  const auto monitor = classbench::generate_monitor(12, rng);
+  const auto router = classbench::generate_router(40, rng);
+
+  std::map<std::string, FlowTable> tables;
+  tables.emplace("monitor", FlowTable{monitor});
+  tables.emplace("router", FlowTable{router});
+
+  // Policy: monitor + router (parallel composition).
+  RuleTrisCompiler compiler(
+      PolicySpec::parallel(PolicySpec::leaf("monitor"), PolicySpec::leaf("router")),
+      tables);
+
+  const auto composed = compiler.root().visible_rules_in_order();
+  std::printf("== monitor(12) + router(40) ==\n");
+  std::printf("composed table: %zu rules, DAG: %zu edges\n\n", composed.size(),
+              compiler.root().visible_graph().edge_count());
+  std::printf("first rules of the composed table (matched first):\n");
+  for (size_t i = 0; i < composed.size() && i < 6; ++i) {
+    std::printf("  %s\n", composed[i].to_string().c_str());
+  }
+
+  // Ship the whole thing to a DAG-firmware switch.
+  switchsim::SimulatedSwitch sw(switchsim::FirmwareMode::kDag, 96);
+  TableUpdate initial;
+  initial.added = composed;
+  for (const Rule& r : composed) initial.dag.added_vertices.push_back(r.id);
+  initial.dag.added_edges = compiler.root().visible_graph().edges();
+  const auto install = sw.deliver(switchsim::to_messages(initial));
+  std::printf("\ninitial install: %zu entry writes, %.1f ms of TCAM time\n",
+              install.entry_writes, install.tcam_ms);
+
+  // One live update: replace a monitoring filter.
+  const Rule fresh = classbench::random_monitor_rule(12, rng);
+  std::printf("\nreplacing monitor rule with: %s\n", fresh.to_string().c_str());
+  const TableUpdate removed = compiler.remove("monitor", monitor[3].id);
+  const TableUpdate added = compiler.insert("monitor", fresh);
+  const auto m1 = sw.deliver(switchsim::to_messages(removed));
+  const auto m2 = sw.deliver(switchsim::to_messages(added));
+  std::printf("update removed %zu + added %zu composed rules\n",
+              removed.removed.size(), added.added.size());
+  std::printf("switch applied it with %zu entry writes (%zu moves): %.1f ms\n",
+              m1.entry_writes + m2.entry_writes, m1.moves + m2.moves,
+              m1.tcam_ms + m2.tcam_ms);
+  std::printf("\n(the same update through a priority-based pipeline shifts "
+              "entire blocks;\nrun bench/fig9_parallel for the full comparison)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Example: sequential composition "NAT > router" — the paper's second
+// evaluation scenario, at demo scale.
+//
+// Highlights the rewrite pull-back of Sec. IV-A: a NAT rule rewrites the
+// destination address, so the router rules it sequentially composes with
+// must have their matches pulled back through that rewrite.
+#include <cstdio>
+#include <map>
+
+#include "classbench/generator.h"
+#include "compiler/ruletris_compiler.h"
+#include "flowspace/field.h"
+
+using namespace ruletris;
+using compiler::PolicySpec;
+using compiler::RuleTrisCompiler;
+using flowspace::FieldId;
+using flowspace::FlowTable;
+using flowspace::Rule;
+
+int main() {
+  util::Rng rng(4242);
+  const auto router = classbench::generate_router(30, rng);
+  const auto nat = classbench::generate_nat(8, router, rng);
+
+  std::printf("== nat(8) > router(30) ==\n\nNAT table:\n");
+  const FlowTable nat_table{nat};
+  for (const Rule& r : nat_table.rules()) {
+    std::printf("  %s\n", r.to_string().c_str());
+  }
+
+  std::map<std::string, FlowTable> tables;
+  tables.emplace("nat", FlowTable{nat});
+  tables.emplace("router", FlowTable{router});
+  RuleTrisCompiler compiler(
+      PolicySpec::sequential(PolicySpec::leaf("nat"), PolicySpec::leaf("router")),
+      tables);
+
+  const auto composed = compiler.root().visible_rules_in_order();
+  std::printf("\ncomposed table: %zu rules, DAG: %zu edges\n", composed.size(),
+              compiler.root().visible_graph().edge_count());
+
+  // Show the derived rules of one translation: the composed match keeps the
+  // public destination, while the actions carry the rewrite plus the
+  // forwarding decision the *private* address receives in the router.
+  const Rule& translation = nat.front();
+  std::printf("\ntranslation %s\nderives:\n", translation.to_string().c_str());
+  for (const Rule& r : composed) {
+    if (translation.match.subsumes(r.match) && r.match.field(FieldId::kDstIp).mask == 0xffffffffu &&
+        r.match.field(FieldId::kDstIp).value ==
+            translation.match.field(FieldId::kDstIp).value) {
+      std::printf("  %s\n", r.to_string().c_str());
+    }
+  }
+
+  // The passthrough default replicates the router below everything else.
+  std::printf("\nlast rules of the composed table (the untranslated fall-through):\n");
+  for (size_t i = composed.size() > 3 ? composed.size() - 3 : 0; i < composed.size(); ++i) {
+    std::printf("  %s\n", composed[i].to_string().c_str());
+  }
+
+  // Live update: replace one translation and show the delta.
+  const Rule fresh = classbench::random_nat_rule(router, 8, rng);
+  auto removed = compiler.remove("nat", translation.id);
+  auto added = compiler.insert("nat", fresh);
+  std::printf("\nreplacing that translation: -%zu composed rules, +%zu composed "
+              "rules,\n  DAG delta: -%zu edges +%zu edges\n",
+              removed.removed.size(), added.added.size(),
+              removed.dag.removed_edges.size() + added.dag.removed_edges.size(),
+              removed.dag.added_edges.size() + added.dag.added_edges.size());
+  return 0;
+}

@@ -1,0 +1,237 @@
+#include "classbench/format.h"
+
+#include <bit>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "flowspace/action.h"
+#include "util/strfmt.h"
+
+namespace ruletris::classbench {
+
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+using util::strfmt;
+
+std::vector<std::pair<uint32_t, uint32_t>> range_to_prefixes(uint32_t lo, uint32_t hi,
+                                                             uint32_t width) {
+  if (width == 0 || width > 32) throw std::invalid_argument("bad field width");
+  const uint64_t bound = width == 32 ? 0x100000000ULL : (1ULL << width);
+  if (lo > hi || hi >= bound) throw std::invalid_argument("bad range");
+
+  // Greedy: repeatedly take the largest aligned power-of-two block starting
+  // at `lo` that does not overshoot `hi` — the classic minimal prefix cover.
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  uint64_t cur = lo;
+  const uint64_t end = static_cast<uint64_t>(hi) + 1;
+  while (cur < end) {
+    uint64_t block = 1;
+    // Largest power of two aligned at cur...
+    while (block < bound && (cur & ((block << 1) - 1)) == 0 && cur + (block << 1) <= end) {
+      block <<= 1;
+    }
+    const uint32_t mask =
+        static_cast<uint32_t>((bound - block)) & static_cast<uint32_t>(bound - 1);
+    out.emplace_back(static_cast<uint32_t>(cur), mask);
+    cur += block;
+  }
+  return out;
+}
+
+namespace {
+
+struct LineParser {
+  std::string line;
+  size_t pos = 0;
+  size_t line_no = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(strfmt("classbench: line %zu: %s", line_no, what.c_str()));
+  }
+
+  void skip_space() {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool done() {
+    skip_space();
+    return pos >= line.size();
+  }
+
+  void expect(char c) {
+    skip_space();
+    if (pos >= line.size() || line[pos] != c) fail(strfmt("expected '%c'", c));
+    ++pos;
+  }
+
+  uint64_t number() {
+    skip_space();
+    if (pos >= line.size()) fail("expected a number");
+    uint64_t value = 0;
+    if (line.compare(pos, 2, "0x") == 0 || line.compare(pos, 2, "0X") == 0) {
+      pos += 2;
+      size_t digits = 0;
+      while (pos < line.size() && std::isxdigit(static_cast<unsigned char>(line[pos]))) {
+        const char c = static_cast<char>(std::tolower(line[pos]));
+        value = value * 16 + static_cast<uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+        ++pos;
+        ++digits;
+      }
+      if (digits == 0) fail("expected hex digits");
+    } else {
+      size_t digits = 0;
+      while (pos < line.size() && std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+        ++pos;
+        ++digits;
+      }
+      if (digits == 0) fail("expected digits");
+    }
+    return value;
+  }
+
+  /// a.b.c.d/len
+  std::pair<uint32_t, uint32_t> ip_prefix() {
+    const uint64_t a = number();
+    expect('.');
+    const uint64_t b = number();
+    expect('.');
+    const uint64_t c = number();
+    expect('.');
+    const uint64_t d = number();
+    expect('/');
+    const uint64_t len = number();
+    if (a > 255 || b > 255 || c > 255 || d > 255) fail("IP octet out of range");
+    if (len > 32) fail("prefix length out of range");
+    const uint32_t ip = static_cast<uint32_t>(a << 24 | b << 16 | c << 8 | d);
+    return {ip, static_cast<uint32_t>(len)};
+  }
+
+  /// lo : hi
+  std::pair<uint32_t, uint32_t> port_range() {
+    const uint64_t lo = number();
+    expect(':');
+    const uint64_t hi = number();
+    if (lo > 0xffff || hi > 0xffff || lo > hi) fail("bad port range");
+    return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
+  }
+
+  /// value/mask (hex or decimal)
+  std::pair<uint32_t, uint32_t> value_mask() {
+    const uint64_t value = number();
+    expect('/');
+    const uint64_t mask = number();
+    return {static_cast<uint32_t>(value), static_cast<uint32_t>(mask)};
+  }
+};
+
+}  // namespace
+
+ParsedFilterSet parse_classbench(std::istream& in, uint32_t ports) {
+  ParsedFilterSet result;
+  std::string raw;
+  size_t line_no = 0;
+  uint32_t next_port = 0;
+
+  struct Expanded {
+    TernaryMatch match;
+    ActionList actions;
+  };
+  std::vector<Expanded> expanded;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    LineParser p{raw, 0, line_no};
+    p.skip_space();
+    if (p.pos >= raw.size() || raw[p.pos] == '#') continue;  // blank/comment
+    if (raw[p.pos] != '@') p.fail("filter must start with '@'");
+    ++p.pos;
+
+    const auto [src_ip, src_len] = p.ip_prefix();
+    const auto [dst_ip, dst_len] = p.ip_prefix();
+    const auto [sport_lo, sport_hi] = p.port_range();
+    const auto [dport_lo, dport_hi] = p.port_range();
+    const auto [proto, proto_mask] = p.value_mask();
+    // Optional trailing flags column (ignored, validated syntactically).
+    if (!p.done()) p.value_mask();
+    if (!p.done()) p.fail("trailing tokens");
+
+    TernaryMatch base;
+    base.set_prefix(FieldId::kSrcIp, src_ip, src_len);
+    base.set_prefix(FieldId::kDstIp, dst_ip, dst_len);
+    base.set_ternary(FieldId::kIpProto, proto, proto_mask & 0xff);
+
+    const ActionList actions{Action::forward(1 + (next_port++ % ports))};
+
+    const auto sport_prefixes = range_to_prefixes(sport_lo, sport_hi, 16);
+    const auto dport_prefixes = range_to_prefixes(dport_lo, dport_hi, 16);
+    size_t produced = 0;
+    for (const auto& [sv, sm] : sport_prefixes) {
+      for (const auto& [dv, dm] : dport_prefixes) {
+        TernaryMatch m = base;
+        m.set_ternary(FieldId::kSrcPort, sv, sm);
+        m.set_ternary(FieldId::kDstPort, dv, dm);
+        expanded.push_back(Expanded{std::move(m), actions});
+        ++produced;
+      }
+    }
+    ++result.filters;
+    result.expansion_overhead += produced - 1;
+  }
+
+  // Priorities: line order is matched-first order.
+  int32_t priority = static_cast<int32_t>(expanded.size());
+  result.rules.reserve(expanded.size());
+  for (Expanded& e : expanded) {
+    result.rules.push_back(Rule::make(std::move(e.match), std::move(e.actions), priority--));
+  }
+  return result;
+}
+
+ParsedFilterSet load_classbench_file(const std::string& path, uint32_t ports) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("classbench: cannot open " + path);
+  return parse_classbench(in, ports);
+}
+
+namespace {
+
+/// Converts a ternary port match back to its [lo, hi] range. Only prefix
+/// masks (contiguous leading ones) round-trip; others throw.
+std::pair<uint32_t, uint32_t> port_to_range(const flowspace::FieldTernary& ft) {
+  const uint32_t full = 0xffff;
+  const uint32_t mask = ft.mask & full;
+  // Must be a prefix mask within 16 bits.
+  const uint32_t inverted = (~mask) & full;
+  if ((inverted & (inverted + 1)) != 0) {
+    throw std::runtime_error("classbench: non-prefix port mask cannot be serialized");
+  }
+  return {ft.value, ft.value | inverted};
+}
+
+}  // namespace
+
+void write_classbench(std::ostream& out, const std::vector<Rule>& rules) {
+  for (const Rule& r : rules) {
+    const auto& src = r.match.field(FieldId::kSrcIp);
+    const auto& dst = r.match.field(FieldId::kDstIp);
+    const auto [slo, shi] = port_to_range(r.match.field(FieldId::kSrcPort));
+    const auto [dlo, dhi] = port_to_range(r.match.field(FieldId::kDstPort));
+    const auto& proto = r.match.field(FieldId::kIpProto);
+    out << strfmt("@%s/%u\t%s/%u\t%u : %u\t%u : %u\t0x%02X/0x%02X\n",
+                  flowspace::ip_to_string(src.value).c_str(),
+                  static_cast<unsigned>(std::popcount(src.mask)),
+                  flowspace::ip_to_string(dst.value).c_str(),
+                  static_cast<unsigned>(std::popcount(dst.mask)), slo, shi, dlo, dhi,
+                  proto.value, proto.mask);
+  }
+}
+
+}  // namespace ruletris::classbench

@@ -1,0 +1,52 @@
+// ClassBench filter-set file format (Taylor & Turner, ToN 2007).
+//
+// Reads/writes the de-facto standard packet-classifier text format emitted
+// by the ClassBench tool (and db_generator), so real published filter sets
+// can drive every compiler and bench in this repository:
+//
+//   @210.45.0.0/16  10.2.3.0/24  0 : 65535  80 : 80  0x06/0xFF  0x0/0x0
+//    ^srcIP/len     ^dstIP/len   ^src port  ^dst port ^proto     ^flags(opt)
+//
+// Port ranges are converted to ternary port prefixes with the classic
+// range-to-prefix expansion (one TCAM entry per prefix), which is also how
+// hardware ingests them. Line order encodes priority (first = matched
+// first), as ClassBench consumers conventionally assume.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "flowspace/rule.h"
+
+namespace ruletris::classbench {
+
+/// Minimal cover of [lo, hi] by ternary (value, mask) prefixes over a
+/// `width`-bit field. lo <= hi < 2^width required.
+std::vector<std::pair<uint32_t, uint32_t>> range_to_prefixes(uint32_t lo, uint32_t hi,
+                                                             uint32_t width);
+
+struct ParsedFilterSet {
+  /// Expanded TCAM rules, matched-first order, distinct priorities assigned.
+  std::vector<flowspace::Rule> rules;
+  /// Original filter count (before range expansion).
+  size_t filters = 0;
+  /// Rules produced by range expansion beyond one-per-filter.
+  size_t expansion_overhead = 0;
+};
+
+/// Parses a ClassBench filter set. Throws std::runtime_error with the line
+/// number on malformed input. Filters get forwarding actions round-robin
+/// over `ports` unless the file carries an action column (non-standard).
+ParsedFilterSet parse_classbench(std::istream& in, uint32_t ports = 16);
+
+/// Convenience: parse from a file path.
+ParsedFilterSet load_classbench_file(const std::string& path, uint32_t ports = 16);
+
+/// Writes rules in ClassBench syntax. Rules whose port matches are ternary
+/// prefixes are emitted as the corresponding [lo, hi] range.
+void write_classbench(std::ostream& out, const std::vector<flowspace::Rule>& rules);
+
+}  // namespace ruletris::classbench

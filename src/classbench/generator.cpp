@@ -1,0 +1,209 @@
+#include "classbench/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "flowspace/action.h"
+
+namespace ruletris::classbench {
+
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::TernaryMatch;
+using flowspace::TernaryMatchHash;
+using util::Rng;
+
+namespace {
+
+constexpr uint32_t kTcp = 6;
+constexpr uint32_t kUdp = 17;
+
+constexpr uint32_t kWellKnownPorts[] = {80, 443, 22, 53, 25, 110, 143, 3306, 8080, 123};
+
+uint32_t random_port(Rng& rng) {
+  return kWellKnownPorts[rng.next_below(std::size(kWellKnownPorts))];
+}
+
+uint32_t random_ip(Rng& rng) { return rng.next_u32(); }
+
+/// Prefix length mixture resembling a production FIB / IP-chain seed.
+uint32_t router_prefix_len(Rng& rng) {
+  static constexpr double weights[] = {0.03, 0.05, 0.22, 0.15, 0.45, 0.05, 0.05};
+  static constexpr uint32_t lens[] = {8, 12, 16, 20, 24, 28, 32};
+  return lens[rng.next_weighted(weights, std::size(weights))];
+}
+
+/// Shorter, blockier prefixes for firewall-style sources/destinations.
+uint32_t firewall_prefix_len(Rng& rng) {
+  static constexpr double weights[] = {0.25, 0.35, 0.30, 0.10};
+  static constexpr uint32_t lens[] = {8, 16, 24, 32};
+  return lens[rng.next_weighted(weights, std::size(weights))];
+}
+
+/// Priority in the specificity band: more specified bits -> matched earlier.
+/// Stays well below the CoVisor sequential width (8192).
+int32_t specificity_priority(const TernaryMatch& m, Rng& rng) {
+  return static_cast<int32_t>(m.specified_bits()) * 16 +
+         static_cast<int32_t>(rng.next_below(16)) + 1;
+}
+
+// Every monitoring filter anchors on a destination block. ClassBench
+// firewall seeds contain a minority of destination-wildcard (port/protocol
+// only) filters; we omit them because, against a destination-prefix router,
+// each such filter cross-produces with the *whole* router table and the
+// composed table degenerates to O(|monitor| x |router|) — the bounded
+// profile keeps the emulation at realistic composed sizes (see DESIGN.md).
+TernaryMatch random_monitor_match(Rng& rng) {
+  TernaryMatch m;
+  const double shape = rng.next_double();
+  if (shape < 0.35) {
+    // Service monitor: destination block + protocol + well-known port.
+    m.set_prefix(FieldId::kDstIp, random_ip(rng), rng.next_bool(0.5) ? 8 : 16);
+    m.set_exact(FieldId::kIpProto, rng.next_bool(0.8) ? kTcp : kUdp);
+    m.set_exact(FieldId::kDstPort, random_port(rng));
+  } else if (shape < 0.65) {
+    // Site pair monitor: source and destination blocks.
+    m.set_prefix(FieldId::kSrcIp, random_ip(rng), firewall_prefix_len(rng));
+    m.set_prefix(FieldId::kDstIp, random_ip(rng), firewall_prefix_len(rng));
+  } else if (shape < 0.85) {
+    // Destination service monitor.
+    m.set_prefix(FieldId::kDstIp, random_ip(rng), firewall_prefix_len(rng));
+    m.set_exact(FieldId::kIpProto, rng.next_bool(0.8) ? kTcp : kUdp);
+    if (rng.next_bool(0.6)) m.set_exact(FieldId::kDstPort, random_port(rng));
+  } else {
+    // Broad sweep: a destination /8, optionally protocol-qualified.
+    m.set_prefix(FieldId::kDstIp, random_ip(rng), 8);
+    if (rng.next_bool(0.5)) {
+      m.set_exact(FieldId::kIpProto, rng.next_bool(0.5) ? kTcp : kUdp);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<Rule> generate_router(size_t count, Rng& rng) {
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  std::unordered_set<TernaryMatch, TernaryMatchHash> seen;
+  std::vector<std::pair<uint32_t, uint32_t>> prefixes;  // (value, len)
+
+  while (rules.size() + 1 < count) {
+    uint32_t value, len;
+    if (!prefixes.empty() && rng.next_bool(0.3)) {
+      // Nest inside an existing prefix: this is what creates dependency
+      // chains (LPM ordering constraints) in the DAG.
+      const auto& [pv, pl] = prefixes[rng.next_below(prefixes.size())];
+      len = std::min<uint32_t>(32, pl + 2 + static_cast<uint32_t>(rng.next_below(7)));
+      const uint32_t host = rng.next_u32() & (len >= 32 ? 0u : ((1u << (32 - pl)) - 1u));
+      value = pv | (host & ~(len >= 32 ? 0u : ((1u << (32 - len)) - 1u)));
+    } else {
+      len = router_prefix_len(rng);
+      value = random_ip(rng);
+    }
+    TernaryMatch m;
+    m.set_prefix(FieldId::kDstIp, value, len);
+    if (!seen.insert(m).second) continue;
+    prefixes.emplace_back(m.field(FieldId::kDstIp).value, len);
+    rules.push_back(Rule::make(
+        m, ActionList{Action::forward(1 + static_cast<uint32_t>(rng.next_below(16)))},
+        0));
+  }
+  // Default route.
+  rules.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{Action::drop()}, 0));
+
+  // Longest-prefix-match order with pairwise distinct priorities.
+  std::stable_sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    return a.match.specified_bits() > b.match.specified_bits();
+  });
+  int32_t priority = static_cast<int32_t>(rules.size());
+  for (Rule& r : rules) r.priority = priority--;
+  return rules;
+}
+
+std::vector<Rule> generate_monitor(size_t count, Rng& rng) {
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  std::unordered_set<TernaryMatch, TernaryMatchHash> seen;
+  uint32_t counter = 0;
+  while (rules.size() + 1 < count) {
+    TernaryMatch m = random_monitor_match(rng);
+    if (!seen.insert(m).second) continue;
+    rules.push_back(
+        Rule::make(m, ActionList{Action::count(counter++)}, specificity_priority(m, rng)));
+  }
+  // Match-all no-op default: composition frameworks compose *total* member
+  // functions, so unmonitored traffic must still flow through the other
+  // member's rules untouched.
+  rules.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{}, 1));
+  return rules;
+}
+
+Rule random_monitor_rule(size_t table_size, Rng& rng) {
+  TernaryMatch m = random_monitor_match(rng);
+  return Rule::make(m,
+                    ActionList{Action::count(static_cast<uint32_t>(
+                        table_size + rng.next_below(1u << 20)))},
+                    specificity_priority(m, rng));
+}
+
+std::vector<Rule> generate_firewall(size_t count, Rng& rng) {
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  std::unordered_set<TernaryMatch, TernaryMatchHash> seen;
+  while (rules.size() + 1 < count) {
+    TernaryMatch m = random_monitor_match(rng);
+    if (!seen.insert(m).second) continue;
+    ActionList actions = rng.next_bool(0.4) ? ActionList{Action::drop()}
+                                            : ActionList{Action::forward(1)};
+    rules.push_back(Rule::make(m, std::move(actions), specificity_priority(m, rng)));
+  }
+  // Default-deny backstop, as firewall policies end.
+  rules.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{Action::drop()}, 1));
+  return rules;
+}
+
+Rule random_nat_rule(const std::vector<Rule>& router_rules, size_t table_size, Rng& rng) {
+  (void)table_size;
+  // Public-facing exact destination, optionally port-qualified.
+  TernaryMatch m;
+  m.set_exact(FieldId::kDstIp, 0xc8000000u | (rng.next_u32() & 0x00ffffffu));  // 200/8 pool
+  const bool has_port = rng.next_bool(0.5);
+  if (has_port) {
+    m.set_exact(FieldId::kIpProto, kTcp);
+    m.set_exact(FieldId::kDstPort, random_port(rng));
+  }
+
+  // Translate to a private address inside some router prefix, so the
+  // sequential composition with the router is non-trivial.
+  const Rule& target = router_rules[rng.next_below(router_rules.size())];
+  const auto& dst = target.match.field(FieldId::kDstIp);
+  const uint32_t private_ip = dst.value | (rng.next_u32() & ~dst.mask);
+
+  std::vector<Action> actions{Action::set_field(FieldId::kDstIp, private_ip)};
+  if (has_port && rng.next_bool(0.4)) {
+    actions.push_back(Action::set_field(FieldId::kDstPort,
+                                        1024 + static_cast<uint32_t>(rng.next_below(0xfc00))));
+  }
+  const int32_t priority =
+      (has_port ? 2000 : 1000) + static_cast<int32_t>(rng.next_below(512));
+  return Rule::make(m, ActionList(std::move(actions)), priority);
+}
+
+std::vector<Rule> generate_nat(size_t count, const std::vector<Rule>& router_rules,
+                               Rng& rng) {
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  std::unordered_set<TernaryMatch, TernaryMatchHash> seen;
+  while (rules.size() + 1 < count) {
+    Rule r = random_nat_rule(router_rules, count, rng);
+    if (!seen.insert(r.match).second) continue;
+    rules.push_back(std::move(r));
+  }
+  // Passthrough default: untranslated traffic flows to the router unchanged.
+  rules.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{}, 1));
+  return rules;
+}
+
+}  // namespace ruletris::classbench

@@ -1,0 +1,50 @@
+// ClassBench-style synthetic rule generation (Sec. VII-A(b) substitute).
+//
+// The paper generates monitoring rules with ClassBench's firewall seed,
+// router rules with its IP-chain seed, and NAT tables derived from the
+// router rules' addresses. This generator reproduces the structural
+// properties those seeds give the workloads — prefix-length mixtures,
+// nested prefixes (which create rule dependencies), port/protocol
+// selectivity — with a deterministic RNG so every experiment is exactly
+// reproducible.
+#pragma once
+
+#include <vector>
+
+#include "flowspace/rule.h"
+#include "util/rng.h"
+
+namespace ruletris::classbench {
+
+using flowspace::FlowTable;
+using flowspace::Rule;
+
+/// L3 router table (IP-chain profile): dst_ip prefixes with a realistic
+/// length mixture and deliberate nesting (more-specific child prefixes), a
+/// default route, forwarding actions. Priorities realize longest-prefix
+/// match and are pairwise distinct.
+std::vector<Rule> generate_router(size_t count, util::Rng& rng);
+
+/// L3-L4 monitoring table (firewall profile): src/dst prefixes, protocol
+/// and port selectors; actions bump flow counters.
+std::vector<Rule> generate_monitor(size_t count, util::Rng& rng);
+
+/// A fresh monitoring rule for update streams, with a priority drawn from
+/// the same band as generate_monitor uses.
+Rule random_monitor_rule(size_t table_size, util::Rng& rng);
+
+/// L3-L4 firewall/ACL table: like monitor but with accept/drop actions.
+std::vector<Rule> generate_firewall(size_t count, util::Rng& rng);
+
+/// L3-L4 NAT table derived from router rules: exact public dst_ip (+port)
+/// matches rewritten to private addresses that fall inside the router's
+/// prefixes (so sequential composition is non-trivial), plus a passthrough
+/// default.
+std::vector<Rule> generate_nat(size_t count, const std::vector<Rule>& router_rules,
+                               util::Rng& rng);
+
+/// A fresh NAT rule for update streams.
+Rule random_nat_rule(const std::vector<Rule>& router_rules, size_t table_size,
+                     util::Rng& rng);
+
+}  // namespace ruletris::classbench

@@ -1,0 +1,112 @@
+#include "classbench/trace.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "classbench/format.h"
+#include "classbench/generator.h"
+#include "util/rng.h"
+#include "util/strfmt.h"
+
+namespace ruletris::classbench {
+
+using flowspace::Rule;
+using util::strfmt;
+
+UpdateTrace parse_trace(std::istream& in) {
+  UpdateTrace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string verb;
+    if (!(tokens >> verb) || verb[0] == '#') continue;
+
+    if (verb == "del") {
+      long long ref;
+      if (!(tokens >> ref)) {
+        throw std::runtime_error(strfmt("trace: line %zu: del needs a reference", line_no));
+      }
+      TraceStep step;
+      step.kind = TraceStep::Kind::kDelete;
+      step.ref = ref;
+      trace.steps.push_back(std::move(step));
+    } else if (verb == "add") {
+      int priority;
+      if (!(tokens >> priority)) {
+        throw std::runtime_error(strfmt("trace: line %zu: add needs a priority", line_no));
+      }
+      std::string filter;
+      std::getline(tokens, filter);
+      std::istringstream filter_stream(filter);
+      ParsedFilterSet parsed;
+      try {
+        parsed = parse_classbench(filter_stream);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(strfmt("trace: line %zu: %s", line_no, e.what()));
+      }
+      if (parsed.rules.empty()) {
+        throw std::runtime_error(strfmt("trace: line %zu: add carries no filter", line_no));
+      }
+      TraceStep step;
+      step.kind = TraceStep::Kind::kAdd;
+      for (Rule& r : parsed.rules) {
+        r.priority = priority;
+        step.rules.push_back(std::move(r));
+      }
+      trace.steps.push_back(std::move(step));
+    } else {
+      throw std::runtime_error(strfmt("trace: line %zu: unknown verb '%s'", line_no,
+                                      verb.c_str()));
+    }
+  }
+  return trace;
+}
+
+void write_trace(std::ostream& out, const UpdateTrace& trace) {
+  for (const TraceStep& step : trace.steps) {
+    if (step.kind == TraceStep::Kind::kDelete) {
+      out << "del " << step.ref << "\n";
+      continue;
+    }
+    for (const Rule& r : step.rules) {
+      out << "add " << r.priority << " ";
+      write_classbench(out, {r});
+    }
+  }
+}
+
+UpdateTrace synthesize_churn_trace(
+    size_t initial_size, size_t updates, uint64_t seed,
+    const std::function<Rule(util::Rng&)>& make_rule) {
+  util::Rng rng(seed);
+  UpdateTrace trace;
+  trace.steps.reserve(2 * updates);
+
+  // Live references: negative = initial-table position, positive = add index.
+  std::vector<long long> live;
+  live.reserve(initial_size);
+  for (size_t i = 0; i < initial_size; ++i) {
+    live.push_back(-static_cast<long long>(i) - 1);
+  }
+  long long add_counter = 0;
+
+  for (size_t u = 0; u < updates; ++u) {
+    const size_t victim = rng.next_below(live.size());
+    TraceStep del;
+    del.kind = TraceStep::Kind::kDelete;
+    del.ref = live[victim];
+    trace.steps.push_back(del);
+
+    TraceStep add;
+    add.kind = TraceStep::Kind::kAdd;
+    Rule r = make_rule ? make_rule(rng) : random_monitor_rule(initial_size, rng);
+    add.rules.push_back(std::move(r));
+    trace.steps.push_back(std::move(add));
+    live[victim] = ++add_counter;
+  }
+  return trace;
+}
+
+}  // namespace ruletris::classbench

@@ -1,0 +1,55 @@
+// Update-trace file format: replayable rule-churn streams.
+//
+// The paper's update streams ("each update contains one rule delete and one
+// rule insert") are random; for regression comparisons and for driving the
+// CLI from recorded workloads, traces can be serialized and replayed:
+//
+//   # comment
+//   del 17
+//   add 23 @0.0.0.0/0 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF
+//
+// `del N` removes the rule introduced by the N-th `add` of the trace (or,
+// for N < 0, the (-N)-th rule of the initial table). `add K <filter>` adds a
+// ClassBench-syntax filter with priority K (range-expanded adds replay as a
+// group). Traces are plain text, diffable, and seed-independent.
+#pragma once
+
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "flowspace/rule.h"
+#include "util/rng.h"
+
+namespace ruletris::classbench {
+
+struct TraceStep {
+  enum class Kind { kAdd, kDelete };
+  Kind kind = Kind::kAdd;
+  // kDelete: reference to the rule being removed (see file-format comment).
+  long long ref = 0;
+  // kAdd: the expanded rules (one filter may expand to several).
+  std::vector<flowspace::Rule> rules;
+};
+
+struct UpdateTrace {
+  std::vector<TraceStep> steps;
+};
+
+/// Parses a trace; throws std::runtime_error with line numbers on errors.
+UpdateTrace parse_trace(std::istream& in);
+
+/// Serializes a trace (adds are written in ClassBench filter syntax; only
+/// prefix-expressible port matches can be serialized).
+void write_trace(std::ostream& out, const UpdateTrace& trace);
+
+/// Materializes a random delete+insert churn trace over `initial_size`
+/// seed rules, for `updates` steps, reproducibly from `seed`. Replacement
+/// rules come from `make_rule` (default: monitoring-profile rules).
+UpdateTrace synthesize_churn_trace(
+    size_t initial_size, size_t updates, uint64_t seed,
+    const std::function<flowspace::Rule(util::Rng&)>& make_rule = {});
+
+}  // namespace ruletris::classbench

@@ -1,0 +1,114 @@
+#include "compiler/baseline.h"
+
+#include <unordered_map>
+
+#include "compiler/compose_ops.h"
+#include "compiler/composed_node.h"
+
+namespace ruletris::compiler {
+
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::TernaryMatch;
+using flowspace::TernaryMatchHash;
+
+namespace {
+
+// Composes two rule lists (already in match order) under `op`, returning the
+// result in match order. Lexicographic (left, right) pair order realizes the
+// "descending priority order" iteration of Sec. IV-A.
+std::vector<Rule> compose_lists(OpKind op, const std::vector<Rule>& left,
+                                const std::vector<Rule>& right) {
+  std::vector<Rule> out;
+  if (op == OpKind::kPriority) {
+    out = left;
+    out.insert(out.end(), right.begin(), right.end());
+    return out;
+  }
+  for (const Rule& l : left) {
+    for (const Rule& r : right) {
+      auto composed = compose_rule_pair(op, l, r);
+      if (!composed) continue;
+      out.push_back(Rule{flowspace::next_rule_id(), std::move(composed->first),
+                         std::move(composed->second), 0});
+    }
+  }
+  return out;
+}
+
+std::vector<Rule> compose_spec(const PolicySpec& spec,
+                               const std::map<std::string, FlowTable>& tables) {
+  if (spec.is_leaf) {
+    auto it = tables.find(spec.leaf_name);
+    return it == tables.end() ? std::vector<Rule>{} : it->second.rules();
+  }
+  return compose_lists(static_cast<OpKind>(spec.op),
+                       compose_spec(*spec.left, tables),
+                       compose_spec(*spec.right, tables));
+}
+
+}  // namespace
+
+std::vector<Rule> compose_from_scratch(const PolicySpec& spec,
+                                       const std::map<std::string, FlowTable>& tables) {
+  std::vector<Rule> raw = compose_spec(spec, tables);
+  // First-wins dedup of identical matches: the earlier rule obscures the
+  // later one for every packet, so dropping the latter is semantics-free.
+  std::vector<Rule> out;
+  out.reserve(raw.size());
+  std::unordered_map<TernaryMatch, bool, TernaryMatchHash> seen;
+  for (Rule& r : raw) {
+    if (!seen.emplace(r.match, true).second) continue;
+    out.push_back(std::move(r));
+  }
+  int32_t priority = static_cast<int32_t>(out.size());
+  for (Rule& r : out) r.priority = priority--;
+  return out;
+}
+
+BaselineCompiler::BaselineCompiler(PolicySpec spec,
+                                   std::map<std::string, FlowTable> initial_tables)
+    : spec_(std::move(spec)), tables_(std::move(initial_tables)) {
+  output_ = compose_from_scratch(spec_, tables_);
+}
+
+PrioritizedUpdate BaselineCompiler::recompile_and_diff() {
+  std::vector<Rule> fresh = compose_from_scratch(spec_, tables_);
+
+  std::unordered_map<TernaryMatch, const Rule*, TernaryMatchHash> old_by_match;
+  for (const Rule& r : output_) old_by_match[r.match] = &r;
+
+  PrioritizedUpdate ops;
+  for (Rule& r : fresh) {
+    auto it = old_by_match.find(r.match);
+    if (it == old_by_match.end()) {
+      ops.push_back(PrioritizedOp::add(r));
+      continue;
+    }
+    // Keep the id stable for a persistent match.
+    r.id = it->second->id;
+    if (r.actions != it->second->actions || r.priority != it->second->priority) {
+      ops.push_back(PrioritizedOp::mod(r));
+    }
+    old_by_match.erase(it);
+  }
+  for (const auto& [match, rule] : old_by_match) {
+    (void)match;
+    ops.push_back(PrioritizedOp::del(rule->id));
+  }
+  output_ = std::move(fresh);
+  return ops;
+}
+
+PrioritizedUpdate BaselineCompiler::insert(const std::string& leaf, Rule rule) {
+  tables_.at(leaf).insert(std::move(rule));
+  return recompile_and_diff();
+}
+
+PrioritizedUpdate BaselineCompiler::remove(const std::string& leaf, RuleId id) {
+  tables_.at(leaf).erase(id);
+  return recompile_and_diff();
+}
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,48 @@
+// Baseline composition compiler (Sec. VI, VII-A).
+//
+// "The baseline compiler recompiles the new flow table from scratch for
+// every rule update and assigns sequential priority values to the new flow
+// table." Its output stream therefore contains a large number of updates
+// that only change rule priorities — the behaviour the paper uses to show
+// why naive compilation murders TCAM update latency.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "compiler/policy_spec.h"
+#include "compiler/prioritized.h"
+#include "flowspace/rule.h"
+
+namespace ruletris::compiler {
+
+/// From-scratch composition of the spec over the given member tables, with
+/// sequential priorities (size .. 1) and first-wins dedup of equal matches.
+/// Also used by tests as the reference semantics for composed tables.
+std::vector<flowspace::Rule> compose_from_scratch(
+    const PolicySpec& spec, const std::map<std::string, flowspace::FlowTable>& tables);
+
+class BaselineCompiler {
+ public:
+  BaselineCompiler(PolicySpec spec,
+                   std::map<std::string, flowspace::FlowTable> initial_tables);
+
+  /// Current compiled output (descending priority order).
+  const std::vector<flowspace::Rule>& compiled() const { return output_; }
+
+  PrioritizedUpdate insert(const std::string& leaf, flowspace::Rule rule);
+  PrioritizedUpdate remove(const std::string& leaf, flowspace::RuleId id);
+
+ private:
+  /// Recompiles everything and diffs against the previous output by match:
+  /// new matches become adds, vanished matches become deletes, and matches
+  /// whose priority or actions changed become modifies (ids are kept stable
+  /// for persistent matches so the diff is well-defined).
+  PrioritizedUpdate recompile_and_diff();
+
+  PolicySpec spec_;
+  std::map<std::string, flowspace::FlowTable> tables_;
+  std::vector<flowspace::Rule> output_;
+};
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,42 @@
+#include "compiler/compose_ops.h"
+
+#include <stdexcept>
+
+#include "compiler/composed_node.h"
+
+namespace ruletris::compiler {
+
+using flowspace::ActionList;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+
+std::optional<std::pair<TernaryMatch, ActionList>> compose_rule_pair(OpKind op,
+                                                                     const Rule& l,
+                                                                     const Rule& r) {
+  switch (op) {
+    case OpKind::kParallel: {
+      auto match = l.match.intersect(r.match);
+      if (!match) return std::nullopt;
+      return std::make_pair(*match, ActionList::parallel_union(l.actions, r.actions));
+    }
+    case OpKind::kSequential: {
+      auto preimage = l.actions.rewrite_preimage(r.match);
+      if (!preimage) return std::nullopt;
+      auto match = l.match.intersect(*preimage);
+      if (!match) return std::nullopt;
+      return std::make_pair(*match,
+                            ActionList::sequential_merge(l.actions, r.actions));
+    }
+    case OpKind::kPriority:
+      break;
+  }
+  throw std::invalid_argument("compose_rule_pair: priority op does not compose pairs");
+}
+
+TernaryMatch right_probe_match(OpKind op, const TernaryMatch& left_match,
+                               const ActionList& left_actions) {
+  if (op == OpKind::kSequential) return left_actions.apply_rewrites(left_match);
+  return left_match;
+}
+
+}  // namespace ruletris::compiler

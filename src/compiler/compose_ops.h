@@ -1,0 +1,30 @@
+// Operator semantics shared by all three compilers (Sec. IV-A).
+//
+// para(r1, r2): match intersection, action union.
+// seq(r1, r2):  r2's match pulled back through r1's rewrites, intersected
+//               with r1's match; actions merged with rewrite override.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "flowspace/rule.h"
+
+namespace ruletris::compiler {
+
+enum class OpKind;  // composed_node.h
+
+/// Composes one left rule with one right rule under `op` (parallel or
+/// sequential); nullopt when the result match is empty. Priorities are
+/// ignored — callers assign DAG edges or algebra priorities themselves.
+std::optional<std::pair<flowspace::TernaryMatch, flowspace::ActionList>>
+compose_rule_pair(OpKind op, const flowspace::Rule& l, const flowspace::Rule& r);
+
+/// The flow space a left rule hands to the right member table: identity for
+/// parallel, the rewritten match for sequential. Used to probe the right
+/// member's overlap index.
+flowspace::TernaryMatch right_probe_match(OpKind op,
+                                          const flowspace::TernaryMatch& left_match,
+                                          const flowspace::ActionList& left_actions);
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,726 @@
+#include "compiler/composed_node.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "compiler/compose_ops.h"
+
+namespace ruletris::compiler {
+
+using flowspace::Action;
+
+const char* op_name(OpKind op) {
+  switch (op) {
+    case OpKind::kParallel: return "parallel";
+    case OpKind::kSequential: return "sequential";
+    case OpKind::kPriority: return "priority";
+  }
+  return "?";
+}
+
+ComposedNode::ComposedNode(OpKind op, std::unique_ptr<PolicyNode> left,
+                           std::unique_ptr<PolicyNode> right)
+    : op_(op),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      visible_dag_([this](RuleId existing, RuleId incoming) {
+        return visible_before(existing, incoming);
+      }) {
+  full_rebuild();
+}
+
+const ComposedNode::Entry& ComposedNode::entry(RuleId id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) throw std::out_of_range("ComposedNode: unknown entry");
+  return it->second;
+}
+
+bool ComposedNode::entry_before(const Entry& a, const Entry& b) const {
+  // Sources may be mid-deletion (their entries are removed within the same
+  // update); the child comparators fall back to a stable arbitrary order for
+  // dead ids, which is harmless because every entry with a dead source is
+  // itself removed before the update completes.
+  if (op_ == OpKind::kPriority) {
+    const bool a_left = a.left_src != 0;
+    const bool b_left = b.left_src != 0;
+    if (a_left != b_left) return a_left;  // whole left table stacks on top
+    return a_left ? left_->visible_before(a.left_src, b.left_src)
+                  : right_->visible_before(a.right_src, b.right_src);
+  }
+  if (a.left_src != b.left_src) return left_->visible_before(a.left_src, b.left_src);
+  return right_->visible_before(a.right_src, b.right_src);
+}
+
+std::optional<std::pair<TernaryMatch, ActionList>> ComposedNode::compose_pair(
+    const Rule& l, const Rule& r) const {
+  return compose_rule_pair(op_, l, r);
+}
+
+TernaryMatch ComposedNode::right_probe(const TernaryMatch& left_match,
+                                       const ActionList& left_actions) const {
+  return right_probe_match(op_, left_match, left_actions);
+}
+
+// ---------------------------------------------------------------------------
+// Visible-level helpers
+// ---------------------------------------------------------------------------
+
+void ComposedNode::forward_delta(const dag::DagDelta& delta, UpdateBuilder& out) {
+  for (const auto& [u, v] : delta.removed_edges) out.remove_edge(u, v);
+  for (const auto& [u, v] : delta.added_edges) out.add_edge(u, v);
+}
+
+void ComposedNode::make_visible(RuleId rep_id, UpdateBuilder& out) {
+  const Entry& rep = entry(rep_id);
+  if (!bulk_building_) {
+    forward_delta(visible_dag_.insert(rep_id, rep.match), out);
+  }
+  out.add_rule(Rule{rep_id, rep.match, rep.actions, 0});
+}
+
+void ComposedNode::make_invisible(RuleId rep_id, UpdateBuilder& out) {
+  if (!bulk_building_) {
+    forward_delta(visible_dag_.remove(rep_id), out);
+  }
+  out.remove_rule(rep_id);
+}
+
+void ComposedNode::promote_pending(UpdateBuilder& out) {
+  for (const TernaryMatch& match : pending_promotions_) {
+    auto it = keys_.find(match);
+    if (it == keys_.end()) continue;  // key vertex fully drained
+    KeyVertex& kv = it->second;
+    if (kv.rep != 0 || kv.members.empty()) continue;
+    RuleId best = kv.members.front();
+    for (RuleId m : kv.members) {
+      if (m != best && entry_before(entry(m), entry(best))) best = m;
+    }
+    kv.rep = best;
+    make_visible(best, out);
+  }
+  pending_promotions_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Member/visible state mutation
+// ---------------------------------------------------------------------------
+
+RuleId ComposedNode::add_entry(TernaryMatch match, ActionList actions,
+                               RuleId left_src, RuleId right_src, UpdateBuilder& out) {
+  const RuleId eid = flowspace::next_rule_id();
+  Entry e{eid, std::move(match), std::move(actions), left_src, right_src};
+  const TernaryMatch key_match = e.match;
+
+  by_pair_[PairKey{left_src, right_src}] = eid;
+  if (left_src != 0) by_left_[left_src].push_back(eid);
+  if (right_src != 0) by_right_[right_src].push_back(eid);
+  member_graph_.add_vertex(eid);
+
+  KeyVertex& kv = keys_[key_match];
+  kv.members.push_back(eid);
+  auto [it, inserted] = entries_.emplace(eid, std::move(e));
+  const Entry& stored = it->second;
+
+  if (kv.members.size() == 1) {
+    kv.rep = eid;
+    make_visible(eid, out);
+  } else if (kv.rep != 0 && entry_before(stored, entry(kv.rep))) {
+    set_representative(kv, eid, out);
+  }
+  // kv.rep == 0 (promotion pending) cannot coexist with additions: removals
+  // and promote_pending always complete before adds in apply_child_update.
+  return eid;
+}
+
+void ComposedNode::set_representative(KeyVertex& key, RuleId new_rep, UpdateBuilder& out) {
+  const RuleId old_rep = key.rep;
+  if (old_rep == new_rep) return;
+  if (bulk_building_) {
+    key.rep = new_rep;
+    return;
+  }
+  make_invisible(old_rep, out);
+  key.rep = new_rep;
+  make_visible(new_rep, out);
+}
+
+void ComposedNode::add_member_edge(RuleId u, RuleId v, UpdateBuilder& out) {
+  (void)out;  // visible DAG is maintained exactly; member edges never leak
+  if (u == v || member_graph_.has_edge(u, v)) return;
+  member_graph_.add_edge(u, v);
+}
+
+void ComposedNode::remove_member_edge(RuleId u, RuleId v, UpdateBuilder& out) {
+  (void)out;
+  member_graph_.remove_edge(u, v);
+}
+
+void ComposedNode::remove_entry(RuleId eid, UpdateBuilder& out) {
+  const Entry e = entry(eid);  // copy: we are about to erase it
+
+  member_graph_.remove_vertex(eid);
+
+  KeyVertex& kv = keys_.at(e.match);
+  kv.members.erase(std::remove(kv.members.begin(), kv.members.end(), eid),
+                   kv.members.end());
+  if (kv.rep == eid) {
+    make_invisible(eid, out);
+    if (kv.members.empty()) {
+      keys_.erase(e.match);
+    } else {
+      // Defer picking the replacement until every removal of the current
+      // update has been applied (the comparator needs live sources).
+      kv.rep = 0;
+      pending_promotions_.push_back(e.match);
+    }
+  } else if (kv.members.empty()) {
+    // rep == 0 (promotion was pending) and the last member just vanished.
+    keys_.erase(e.match);
+  }
+
+  by_pair_.erase(PairKey{e.left_src, e.right_src});
+  auto drop_from = [eid](std::vector<RuleId>& vec) {
+    vec.erase(std::remove(vec.begin(), vec.end(), eid), vec.end());
+  };
+  if (e.left_src != 0) {
+    auto it = by_left_.find(e.left_src);
+    if (it != by_left_.end()) {
+      drop_from(it->second);
+      if (it->second.empty()) by_left_.erase(it);
+    }
+  }
+  if (e.right_src != 0) {
+    auto it = by_right_.find(e.right_src);
+    if (it != by_right_.end()) {
+      drop_from(it->second);
+      if (it->second.empty()) by_right_.erase(it);
+    }
+  }
+  entries_.erase(eid);
+}
+
+void ComposedNode::remove_entry_with_patch(RuleId eid, UpdateBuilder& out) {
+  std::vector<std::pair<RuleId, RuleId>> seeds;
+  for (RuleId p : member_graph_.predecessors(eid)) {
+    for (RuleId s : member_graph_.successors(eid)) seeds.emplace_back(p, s);
+  }
+  remove_entry(eid, out);
+  resolve_tentative(std::move(seeds), nullptr, nullptr, out);
+}
+
+void ComposedNode::resolve_tentative(std::vector<std::pair<RuleId, RuleId>> seeds,
+                                     const std::unordered_set<RuleId>* lower_set,
+                                     const std::unordered_set<RuleId>* upper_set,
+                                     UpdateBuilder& out) {
+  std::unordered_set<PairKey, PairKeyHash> visited;
+  std::deque<std::pair<RuleId, RuleId>> queue(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    auto [u, v] = queue.front();
+    queue.pop_front();
+    if (u == v) continue;
+    if (!visited.insert(PairKey{u, v}).second) continue;
+    auto iu = entries_.find(u);
+    auto iv = entries_.find(v);
+    if (iu == entries_.end() || iv == entries_.end()) continue;
+    if (member_graph_.has_edge(u, v)) continue;  // already a real dependency
+    if (iu->second.match.overlaps(iv->second.match)) {
+      add_member_edge(u, v, out);
+      continue;
+    }
+    // No overlap: the constraint may instead bind u's more general
+    // predecessors, or v's successors. (The paper prunes successors that v
+    // subsumes — such a successor cannot overlap u either — but pruning the
+    // *expansion* would also hide that successor's own successors, which can
+    // stick out of v's flow space; we keep walking and let the overlap test
+    // fail cheaply instead.)
+    for (RuleId p : member_graph_.predecessors(u)) {
+      if (lower_set != nullptr && lower_set->count(p) == 0) continue;
+      queue.emplace_back(p, v);
+    }
+    for (RuleId s : member_graph_.successors(v)) {
+      if (upper_set != nullptr && upper_set->count(s) == 0) continue;
+      queue.emplace_back(u, s);
+    }
+  }
+}
+
+void ComposedNode::resolve_mega(const std::unordered_set<RuleId>& lower_set,
+                                const std::unordered_set<RuleId>& upper_set,
+                                UpdateBuilder& out) {
+  // Tops of the lower set: vertices with no successor inside the set (they
+  // are matched first within it). Bottoms of the upper set: vertices with no
+  // predecessor inside it (matched last within it).
+  std::vector<RuleId> tops, bottoms;
+  for (RuleId u : lower_set) {
+    bool top = true;
+    for (RuleId s : member_graph_.successors(u)) {
+      if (lower_set.count(s)) {
+        top = false;
+        break;
+      }
+    }
+    if (top) tops.push_back(u);
+  }
+  for (RuleId v : upper_set) {
+    bool bottom = true;
+    for (RuleId p : member_graph_.predecessors(v)) {
+      if (upper_set.count(p)) {
+        bottom = false;
+        break;
+      }
+    }
+    if (bottom) bottoms.push_back(v);
+  }
+  std::vector<std::pair<RuleId, RuleId>> seeds;
+  seeds.reserve(tops.size() * bottoms.size());
+  for (RuleId u : tops) {
+    for (RuleId v : bottoms) seeds.emplace_back(u, v);
+  }
+  resolve_tentative(std::move(seeds), &lower_set, &upper_set, out);
+}
+
+std::unordered_set<RuleId> ComposedNode::entry_set_of_left(RuleId left_src) const {
+  std::unordered_set<RuleId> out;
+  auto it = by_left_.find(left_src);
+  if (it != by_left_.end()) out.insert(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::unordered_set<RuleId> ComposedNode::entry_set_of_right(RuleId right_src) const {
+  std::unordered_set<RuleId> out;
+  auto it = by_right_.find(right_src);
+  if (it != by_right_.end()) out.insert(it->second.begin(), it->second.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Full compilation (Sec. IV-B)
+// ---------------------------------------------------------------------------
+
+void ComposedNode::full_rebuild() {
+  entries_.clear();
+  by_pair_.clear();
+  by_left_.clear();
+  by_right_.clear();
+  member_graph_ = DependencyGraph();
+  keys_.clear();
+  pending_promotions_.clear();
+
+  UpdateBuilder sink;  // initial compile: the whole table is the "update"
+  bulk_building_ = true;
+
+  const std::vector<Rule> left_rules = left_->visible_rules_in_order();
+
+  if (op_ == OpKind::kPriority) {
+    const std::vector<Rule> right_rules = right_->visible_rules_in_order();
+    for (const Rule& l : left_rules) {
+      add_entry(l.match, l.actions, l.id, 0, sink);
+    }
+    for (const Rule& r : right_rules) {
+      add_entry(r.match, r.actions, 0, r.id, sink);
+    }
+    for (const auto& [a, b] : left_->visible_graph().edges()) {
+      add_member_edge(by_pair_.at(PairKey{a, 0}), by_pair_.at(PairKey{b, 0}), sink);
+    }
+    for (const auto& [a, b] : right_->visible_graph().edges()) {
+      add_member_edge(by_pair_.at(PairKey{0, a}), by_pair_.at(PairKey{0, b}), sink);
+    }
+    // The mega dependency: everything in the right table yields to the left.
+    std::unordered_set<RuleId> lower, upper;
+    for (const auto& [id, e] : entries_) {
+      (e.left_src != 0 ? upper : lower).insert(id);
+    }
+    if (!lower.empty() && !upper.empty()) resolve_mega(lower, upper, sink);
+  } else {
+    // Parallel / sequential: cross product guided by the overlap index.
+    for (const Rule& l : left_rules) {
+      const TernaryMatch probe = right_probe(l.match, l.actions);
+      for (RuleId rid : right_->visible_overlapping(probe)) {
+        const Rule r{rid, right_->visible_match(rid), right_->visible_actions(rid), 0};
+        auto composed = compose_pair(l, r);
+        if (!composed) continue;
+        add_entry(std::move(composed->first), std::move(composed->second), l.id, rid,
+                  sink);
+      }
+    }
+
+    // Edges inherited from the right member DAG (within one left rule).
+    for (const auto& [eid, e] : entries_) {
+      for (RuleId n : right_->visible_graph().successors(e.right_src)) {
+        auto it = by_pair_.find(PairKey{e.left_src, n});
+        if (it != by_pair_.end()) add_member_edge(eid, it->second, sink);
+      }
+    }
+
+    if (op_ == OpKind::kParallel) {
+      // Edges inherited from the left member DAG (within one right rule):
+      // the full graph cross-product of Sec. IV-B1.
+      for (const auto& [eid, e] : entries_) {
+        for (RuleId lj : left_->visible_graph().successors(e.left_src)) {
+          auto it = by_pair_.find(PairKey{lj, e.right_src});
+          if (it != by_pair_.end()) add_member_edge(eid, it->second, sink);
+        }
+      }
+    } else {
+      // Sequential: partial DAGs are stitched with mega-dependency
+      // resolution (Sec. IV-B2). The paper stitches along left-DAG edges,
+      // which suffices when every partial table covers its left rule's flow
+      // space (true with a default rule in the right member). In general a
+      // packet can fall *through* an intermediate partial, so we stitch
+      // every ordered left pair whose overlap is not covered by the partial
+      // tables in between.
+      for (size_t j = 1; j < left_rules.size(); ++j) {
+        for (size_t i = 0; i < j; ++i) {
+          maybe_resolve_sequential_pair(left_rules, i, j, sink);
+        }
+      }
+    }
+  }
+
+  bulk_building_ = false;
+
+  // Bulk-load the exact visible DAG over the representatives.
+  std::vector<const Entry*> reps;
+  reps.reserve(keys_.size());
+  for (const auto& [match, kv] : keys_) {
+    (void)match;
+    reps.push_back(&entry(kv.rep));
+  }
+  std::sort(reps.begin(), reps.end(),
+            [this](const Entry* a, const Entry* b) { return entry_before(*a, *b); });
+  std::vector<std::pair<RuleId, TernaryMatch>> ordered;
+  ordered.reserve(reps.size());
+  for (const Entry* e : reps) ordered.emplace_back(e->id, e->match);
+  visible_dag_.bulk_load(ordered);
+}
+
+void ComposedNode::maybe_resolve_sequential_pair(const std::vector<Rule>& left_rules,
+                                                 size_t upper_idx, size_t lower_idx,
+                                                 UpdateBuilder& out) {
+  const Rule& upper = left_rules[upper_idx];  // matched first
+  const Rule& lower = left_rules[lower_idx];
+  auto overlap = lower.match.intersect(upper.match);
+  if (!overlap) return;
+  const auto lower_set = entry_set_of_left(lower.id);
+  const auto upper_set = entry_set_of_left(upper.id);
+  if (lower_set.empty() || upper_set.empty()) return;
+  // Coverage by the *composed entries* of the partials strictly in between:
+  // those are matched before anything in lower's partial, so packets they
+  // cover never reach the lower partial inside this overlap.
+  std::vector<TernaryMatch> cover;
+  for (size_t k = upper_idx + 1; k < lower_idx; ++k) {
+    auto it = by_left_.find(left_rules[k].id);
+    if (it == by_left_.end()) continue;
+    for (RuleId eid : it->second) cover.push_back(entry(eid).match);
+  }
+  if (flowspace::is_covered_by(*overlap, cover)) return;
+  resolve_mega(lower_set, upper_set, out);
+}
+
+void ComposedNode::resolve_sequential_megas_around(RuleId left_src, UpdateBuilder& out) {
+  const std::vector<Rule> left_rules = left_->visible_rules_in_order();
+  size_t at = left_rules.size();
+  for (size_t i = 0; i < left_rules.size(); ++i) {
+    if (left_rules[i].id == left_src) {
+      at = i;
+      break;
+    }
+  }
+  if (at == left_rules.size()) return;  // source no longer visible
+  for (size_t i = 0; i < at; ++i) maybe_resolve_sequential_pair(left_rules, i, at, out);
+  for (size_t j = at + 1; j < left_rules.size(); ++j) {
+    maybe_resolve_sequential_pair(left_rules, at, j, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental compilation (Sec. IV-C)
+// ---------------------------------------------------------------------------
+
+TableUpdate ComposedNode::apply_child_update(bool from_left, const TableUpdate& update) {
+  UpdateBuilder out;
+
+  // 1. Edge removals between surviving child rules (removals referencing
+  //    deleted rules are handled by entry removal below).
+  for (const auto& [a, b] : update.dag.removed_edges) {
+    if (op_ == OpKind::kPriority) {
+      auto ia = by_pair_.find(from_left ? PairKey{a, 0} : PairKey{0, a});
+      auto ib = by_pair_.find(from_left ? PairKey{b, 0} : PairKey{0, b});
+      if (ia != by_pair_.end() && ib != by_pair_.end()) {
+        remove_member_edge(ia->second, ib->second, out);
+      }
+    } else if (from_left) {
+      on_left_edge_removed(a, b, out);
+    } else {
+      on_right_edge_removed(a, b, out);
+    }
+  }
+
+  // 2. Rule removals, then the deferred representative promotions.
+  for (RuleId removed : update.removed) {
+    if (op_ == OpKind::kPriority) {
+      auto it = by_pair_.find(from_left ? PairKey{removed, 0} : PairKey{0, removed});
+      if (it != by_pair_.end()) remove_entry_with_patch(it->second, out);
+    } else if (from_left) {
+      on_left_removed(removed, out);
+    } else {
+      on_right_removed(removed, out);
+    }
+  }
+  promote_pending(out);
+
+  // 3. Rule additions.
+  std::vector<RuleId> added_ids;
+  for (const Rule& added : update.added) {
+    added_ids.push_back(added.id);
+    if (op_ == OpKind::kPriority) {
+      if (from_left) {
+        add_entry(added.match, added.actions, added.id, 0, out);
+      } else {
+        add_entry(added.match, added.actions, 0, added.id, out);
+      }
+    } else if (from_left) {
+      on_left_added(added, out);
+    } else {
+      on_right_added(added, out);
+    }
+  }
+
+  // 4. Edge additions (may reference freshly added rules).
+  for (const auto& [a, b] : update.dag.added_edges) {
+    if (op_ == OpKind::kPriority) {
+      auto ia = by_pair_.find(from_left ? PairKey{a, 0} : PairKey{0, a});
+      auto ib = by_pair_.find(from_left ? PairKey{b, 0} : PairKey{0, b});
+      if (ia != by_pair_.end() && ib != by_pair_.end()) {
+        add_member_edge(ia->second, ib->second, out);
+      }
+    } else if (from_left) {
+      on_left_edge_added(a, b, out);
+    } else {
+      on_right_edge_added(a, b, out);
+    }
+  }
+
+  // 5. Priority op: re-resolve the table-level mega dependency around the
+  //    freshly inserted rules (Sec. IV-C).
+  if (op_ == OpKind::kPriority && !added_ids.empty()) {
+    std::unordered_set<RuleId> lower, upper;
+    for (const auto& [id, e] : entries_) {
+      (e.left_src != 0 ? upper : lower).insert(id);
+    }
+    if (!lower.empty() && !upper.empty()) {
+      std::vector<std::pair<RuleId, RuleId>> seeds;
+      if (from_left) {
+        // New upper rules: every top of the lower set may need to yield.
+        for (RuleId added : added_ids) {
+          auto it = by_pair_.find(PairKey{added, 0});
+          if (it == by_pair_.end()) continue;
+          for (RuleId u : lower) {
+            bool top = true;
+            for (RuleId s : member_graph_.successors(u)) {
+              if (lower.count(s)) {
+                top = false;
+                break;
+              }
+            }
+            if (top) seeds.emplace_back(u, it->second);
+          }
+        }
+      } else {
+        // New lower rules: they must yield to the bottoms of the upper set.
+        for (RuleId added : added_ids) {
+          auto it = by_pair_.find(PairKey{0, added});
+          if (it == by_pair_.end()) continue;
+          for (RuleId v : upper) {
+            bool bottom = true;
+            for (RuleId p : member_graph_.predecessors(v)) {
+              if (upper.count(p)) {
+                bottom = false;
+                break;
+              }
+            }
+            if (bottom) seeds.emplace_back(it->second, v);
+          }
+        }
+      }
+      resolve_tentative(std::move(seeds), &lower, &upper, out);
+    }
+  }
+
+  return out.build();
+}
+
+void ComposedNode::on_left_removed(RuleId left_src, UpdateBuilder& out) {
+  const auto doomed = entry_set_of_left(left_src);
+  for (RuleId eid : doomed) remove_entry_with_patch(eid, out);
+}
+
+void ComposedNode::on_right_removed(RuleId right_src, UpdateBuilder& out) {
+  const auto doomed = entry_set_of_right(right_src);
+  for (RuleId eid : doomed) remove_entry_with_patch(eid, out);
+}
+
+void ComposedNode::on_left_added(const Rule& rule, UpdateBuilder& out) {
+  const TernaryMatch probe = right_probe(rule.match, rule.actions);
+  std::vector<RuleId> new_entries;
+  for (RuleId rid : right_->visible_overlapping(probe)) {
+    const Rule r{rid, right_->visible_match(rid), right_->visible_actions(rid), 0};
+    auto composed = compose_pair(rule, r);
+    if (!composed) continue;
+    new_entries.push_back(add_entry(std::move(composed->first),
+                                    std::move(composed->second), rule.id, rid, out));
+  }
+  // Within-partial edges inherited from the right DAG.
+  for (RuleId eid : new_entries) {
+    const Entry& e = entry(eid);
+    for (RuleId n : right_->visible_graph().successors(e.right_src)) {
+      auto it = by_pair_.find(PairKey{e.left_src, n});
+      if (it != by_pair_.end()) add_member_edge(eid, it->second, out);
+    }
+    for (RuleId p : right_->visible_graph().predecessors(e.right_src)) {
+      auto it = by_pair_.find(PairKey{e.left_src, p});
+      if (it != by_pair_.end()) add_member_edge(it->second, eid, out);
+    }
+  }
+  // Cross-partial constraints: stitch the new partial table against every
+  // ordered left pair whose overlap it participates in.
+  if (op_ == OpKind::kSequential) {
+    resolve_sequential_megas_around(rule.id, out);
+  }
+  // For parallel composition, cross-partial edges arrive with the child's
+  // DAG delta (the edges incident to `rule`), handled by on_left_edge_added.
+}
+
+void ComposedNode::on_right_added(const Rule& rule, UpdateBuilder& out) {
+  std::vector<RuleId> new_entries;
+  std::unordered_set<RuleId> touched_left;
+  if (op_ == OpKind::kParallel) {
+    for (RuleId lid : left_->visible_overlapping(rule.match)) {
+      const Rule l{lid, left_->visible_match(lid), left_->visible_actions(lid), 0};
+      auto composed = compose_pair(l, rule);
+      if (!composed) continue;
+      new_entries.push_back(add_entry(std::move(composed->first),
+                                      std::move(composed->second), lid, rule.id, out));
+      touched_left.insert(lid);
+    }
+  } else {
+    // Sequential right insert composes against every left rule whose
+    // rewritten flow space can reach the new rule (Sec. IV-C).
+    for (const Rule& l : left_->visible_rules_in_order()) {
+      if (!right_probe(l.match, l.actions).overlaps(rule.match)) continue;
+      auto composed = compose_pair(l, rule);
+      if (!composed) continue;
+      new_entries.push_back(add_entry(std::move(composed->first),
+                                      std::move(composed->second), l.id, rule.id, out));
+      touched_left.insert(l.id);
+    }
+  }
+
+  // Left-DAG-derived edges among/around the new entries (parallel cross
+  // product; for sequential these arise from the mega stitching below).
+  if (op_ == OpKind::kParallel) {
+    for (RuleId eid : new_entries) {
+      const Entry& e = entry(eid);
+      for (RuleId lj : left_->visible_graph().successors(e.left_src)) {
+        auto it = by_pair_.find(PairKey{lj, e.right_src});
+        if (it != by_pair_.end()) add_member_edge(eid, it->second, out);
+      }
+      for (RuleId li : left_->visible_graph().predecessors(e.left_src)) {
+        auto it = by_pair_.find(PairKey{li, e.right_src});
+        if (it != by_pair_.end()) add_member_edge(it->second, eid, out);
+      }
+    }
+  } else {
+    for (RuleId l : touched_left) resolve_sequential_megas_around(l, out);
+  }
+}
+
+void ComposedNode::on_left_edge_added(RuleId li, RuleId lj, UpdateBuilder& out) {
+  if (op_ == OpKind::kParallel) {
+    auto it = by_left_.find(li);
+    if (it == by_left_.end()) return;
+    for (RuleId eid : it->second) {
+      auto jt = by_pair_.find(PairKey{lj, entry(eid).right_src});
+      if (jt != by_pair_.end()) add_member_edge(eid, jt->second, out);
+    }
+  } else {
+    const auto lower = entry_set_of_left(li);
+    const auto upper = entry_set_of_left(lj);
+    if (!lower.empty() && !upper.empty()) resolve_mega(lower, upper, out);
+  }
+}
+
+void ComposedNode::on_left_edge_removed(RuleId li, RuleId lj, UpdateBuilder& out) {
+  if (op_ != OpKind::kParallel) {
+    // Sequential: member edges between the two partial tables were verified
+    // by overlap, so they remain valid (possibly redundant) constraints.
+    return;
+  }
+  auto it = by_left_.find(li);
+  if (it == by_left_.end()) return;
+  for (RuleId eid : std::vector<RuleId>(it->second)) {
+    auto jt = by_pair_.find(PairKey{lj, entry(eid).right_src});
+    if (jt != by_pair_.end()) remove_member_edge(eid, jt->second, out);
+  }
+}
+
+void ComposedNode::on_right_edge_added(RuleId m, RuleId n, UpdateBuilder& out) {
+  auto it = by_right_.find(m);
+  if (it == by_right_.end()) return;
+  for (RuleId eid : it->second) {
+    auto jt = by_pair_.find(PairKey{entry(eid).left_src, n});
+    if (jt != by_pair_.end()) add_member_edge(eid, jt->second, out);
+  }
+}
+
+void ComposedNode::on_right_edge_removed(RuleId m, RuleId n, UpdateBuilder& out) {
+  auto it = by_right_.find(m);
+  if (it == by_right_.end()) return;
+  for (RuleId eid : std::vector<RuleId>(it->second)) {
+    auto jt = by_pair_.find(PairKey{entry(eid).left_src, n});
+    if (jt != by_pair_.end()) remove_member_edge(eid, jt->second, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PolicyNode interface
+// ---------------------------------------------------------------------------
+
+std::vector<Rule> ComposedNode::visible_rules_in_order() const {
+  std::vector<Rule> out;
+  out.reserve(visible_dag_.size());
+  int32_t priority = static_cast<int32_t>(visible_dag_.size());
+  for (RuleId id : visible_dag_.order()) {
+    const Entry& e = entry(id);
+    out.push_back(Rule{e.id, e.match, e.actions, priority--});
+  }
+  return out;
+}
+
+bool ComposedNode::has_visible(RuleId id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  return keys_.at(it->second.match).rep == id;
+}
+
+const TernaryMatch& ComposedNode::visible_match(RuleId id) const {
+  return entry(id).match;
+}
+
+const ActionList& ComposedNode::visible_actions(RuleId id) const {
+  return entry(id).actions;
+}
+
+bool ComposedNode::visible_before(RuleId a, RuleId b) const {
+  const auto ia = entries_.find(a);
+  const auto ib = entries_.find(b);
+  if (ia == entries_.end() || ib == entries_.end()) return a < b;  // dead ids
+  return entry_before(ia->second, ib->second);
+}
+
+std::vector<RuleId> ComposedNode::visible_overlapping(const TernaryMatch& m) const {
+  return visible_dag_.overlapping(m);
+}
+
+}  // namespace ruletris::compiler

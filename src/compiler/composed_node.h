@@ -1,0 +1,187 @@
+// Binary composition node: parallel (+), sequential (>), priority ($) with
+// DAG preservation — the RuleTris front-end core (Sec. IV-B, IV-C).
+//
+// The node keeps the *member-level* state the paper describes: every
+// composed rule ever derived (including ones obscured by an identical
+// higher-priority match), the member-level dependency graph built with the
+// paper's algorithms (graph cross-products, mega-dependency resolution), and
+// the two-level nested key-vertex structure indexed by match. The *visible*
+// level — one representative rule per key vertex — is what the parent node
+// (or the back-end) consumes; obscured members are retained so that future
+// incremental removals can promote them (Sec. IV-B1).
+//
+// Deviation from the paper (see DESIGN.md): the paper derives the visible
+// DAG by projecting member-level edges onto key-vertex representatives. We
+// found that projection unsound when an ordering chain passes through an
+// obscured member whose key's representative sits elsewhere in the match
+// order, so the visible DAG is maintained exactly by dag::MinDagMaintainer
+// over the representatives instead. The member-level machinery is retained
+// for provenance, key-vertex bookkeeping, and fidelity to Sec. IV-B.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "compiler/node.h"
+#include "compiler/update.h"
+#include "compiler/update_builder.h"
+#include "dag/min_dag_maintainer.h"
+
+namespace ruletris::compiler {
+
+enum class OpKind { kParallel, kSequential, kPriority };
+
+const char* op_name(OpKind op);
+
+class ComposedNode final : public PolicyNode {
+ public:
+  /// Takes ownership of both children and performs the initial full compile.
+  ComposedNode(OpKind op, std::unique_ptr<PolicyNode> left,
+               std::unique_ptr<PolicyNode> right);
+
+  OpKind op() const { return op_; }
+  PolicyNode& left() { return *left_; }
+  PolicyNode& right() { return *right_; }
+
+  /// Recomputes the whole composed state from the children (also used by
+  /// tests and the incremental-vs-scratch ablation).
+  void full_rebuild();
+
+  /// Applies an update that the left/right child has *already applied to
+  /// itself*, and returns this node's own visible update.
+  TableUpdate apply_child_update(bool from_left, const TableUpdate& update);
+
+  /// Total member entries, including obscured ones (diagnostics).
+  size_t member_size() const { return entries_.size(); }
+  const DependencyGraph& member_graph() const { return member_graph_; }
+
+  // PolicyNode interface.
+  std::vector<Rule> visible_rules_in_order() const override;
+  const DependencyGraph& visible_graph() const override { return visible_dag_.graph(); }
+  bool has_visible(RuleId id) const override;
+  const TernaryMatch& visible_match(RuleId id) const override;
+  const ActionList& visible_actions(RuleId id) const override;
+  size_t visible_size() const override { return keys_.size(); }
+  bool visible_before(RuleId a, RuleId b) const override;
+  std::vector<RuleId> visible_overlapping(const TernaryMatch& m) const override;
+
+ private:
+  struct Entry {
+    RuleId id = 0;
+    TernaryMatch match;
+    ActionList actions;
+    RuleId left_src = 0;   // 0 for a priority-op passthrough of a right rule
+    RuleId right_src = 0;  // 0 for a priority-op passthrough of a left rule
+  };
+
+  struct KeyVertex {
+    std::vector<RuleId> members;  // unordered; representative tracked aside
+    RuleId rep = 0;               // 0 while a promotion is pending
+  };
+
+  struct PairKey {
+    RuleId l, r;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      return std::hash<RuleId>()(k.l) * 0x9e3779b97f4a7c15ULL + std::hash<RuleId>()(k.r);
+    }
+  };
+
+  const Entry& entry(RuleId id) const;
+
+  /// Canonical matched-first-before order between two member entries:
+  /// lexicographic over (left source order, right source order); for the
+  /// priority op, all left passthroughs precede all right passthroughs.
+  bool entry_before(const Entry& a, const Entry& b) const;
+
+  /// Operator semantics (Sec. IV-A); nullopt when the result match is empty.
+  std::optional<std::pair<TernaryMatch, ActionList>> compose_pair(
+      const Rule& l, const Rule& r) const;
+
+  /// The match to probe the right child's index with, for a left rule
+  /// (identity for parallel; rewritten match for sequential).
+  TernaryMatch right_probe(const TernaryMatch& left_match,
+                           const ActionList& left_actions) const;
+
+  // --- visible-level helpers
+  void forward_delta(const dag::DagDelta& delta, UpdateBuilder& out);
+  void make_visible(RuleId rep_id, UpdateBuilder& out);
+  void make_invisible(RuleId rep_id, UpdateBuilder& out);
+  /// Promotes representatives for every key vertex whose rep was removed
+  /// earlier in the current update (all removals must have been applied).
+  void promote_pending(UpdateBuilder& out);
+
+  // --- member/visible state mutation (visible changes recorded in `out`).
+  RuleId add_entry(TernaryMatch match, ActionList actions, RuleId left_src,
+                   RuleId right_src, UpdateBuilder& out);
+  void remove_entry(RuleId eid, UpdateBuilder& out);
+  void add_member_edge(RuleId u, RuleId v, UpdateBuilder& out);
+  void remove_member_edge(RuleId u, RuleId v, UpdateBuilder& out);
+  void set_representative(KeyVertex& key, RuleId new_rep, UpdateBuilder& out);
+
+  /// Recursive tentative-edge resolution (Sec. IV-B3) on the member graph.
+  void resolve_tentative(std::vector<std::pair<RuleId, RuleId>> seeds,
+                         const std::unordered_set<RuleId>* lower_set,
+                         const std::unordered_set<RuleId>* upper_set,
+                         UpdateBuilder& out);
+
+  /// Resolves a mega dependency "every rule in lower must yield to upper"
+  /// by seeding tops(lower) x bottoms(upper) (Sec. IV-B2/3).
+  void resolve_mega(const std::unordered_set<RuleId>& lower_set,
+                    const std::unordered_set<RuleId>& upper_set, UpdateBuilder& out);
+
+  std::unordered_set<RuleId> entry_set_of_left(RuleId left_src) const;
+  std::unordered_set<RuleId> entry_set_of_right(RuleId right_src) const;
+
+  /// Sequential stitching (Sec. IV-B2, generalized): resolves the mega
+  /// dependency between the partial tables of left_rules[upper_idx] and
+  /// left_rules[lower_idx] unless their overlap is entirely covered by the
+  /// composed entries of the partials in between.
+  void maybe_resolve_sequential_pair(const std::vector<Rule>& left_rules,
+                                     size_t upper_idx, size_t lower_idx,
+                                     UpdateBuilder& out);
+
+  /// Re-stitches every ordered left pair involving `left_src`.
+  void resolve_sequential_megas_around(RuleId left_src, UpdateBuilder& out);
+
+  // --- incremental handlers
+  void on_left_removed(RuleId left_src, UpdateBuilder& out);
+  void on_right_removed(RuleId right_src, UpdateBuilder& out);
+  void on_left_added(const Rule& rule, UpdateBuilder& out);
+  void on_right_added(const Rule& rule, UpdateBuilder& out);
+  void on_left_edge_added(RuleId li, RuleId lj, UpdateBuilder& out);
+  void on_left_edge_removed(RuleId li, RuleId lj, UpdateBuilder& out);
+  void on_right_edge_added(RuleId m, RuleId n, UpdateBuilder& out);
+  void on_right_edge_removed(RuleId m, RuleId n, UpdateBuilder& out);
+
+  /// Removes an entry and patches the member DAG around it with verified
+  /// tentative predecessor x successor edges (Sec. IV-C rule delete).
+  void remove_entry_with_patch(RuleId eid, UpdateBuilder& out);
+
+  OpKind op_;
+  std::unique_ptr<PolicyNode> left_;
+  std::unique_ptr<PolicyNode> right_;
+
+  std::unordered_map<RuleId, Entry> entries_;
+  std::unordered_map<PairKey, RuleId, PairKeyHash> by_pair_;
+  std::unordered_map<RuleId, std::vector<RuleId>> by_left_;
+  std::unordered_map<RuleId, std::vector<RuleId>> by_right_;
+
+  DependencyGraph member_graph_;
+  // Nested key-vertex structure: entries grouped by match (the entry's own
+  // `match` field is the lookup key, so no separate reverse map is needed).
+  std::unordered_map<TernaryMatch, KeyVertex, flowspace::TernaryMatchHash> keys_;
+  std::vector<TernaryMatch> pending_promotions_;
+
+  // Exact minimum DAG over the representatives (see header comment).
+  dag::MinDagMaintainer visible_dag_;
+  // During full_rebuild the visible DAG is bulk-loaded at the end instead of
+  // being maintained per insert.
+  bool bulk_building_ = false;
+};
+
+}  // namespace ruletris::compiler

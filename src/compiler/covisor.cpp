@@ -1,0 +1,279 @@
+#include "compiler/covisor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "compiler/compose_ops.h"
+#include "compiler/composed_node.h"
+
+namespace ruletris::compiler {
+
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::RuleIndex;
+
+namespace {
+
+int32_t algebra_priority(OpKind op, int32_t left, int32_t right) {
+  switch (op) {
+    case OpKind::kParallel:
+      return left + right;
+    case OpKind::kSequential:
+      if (right >= kCovisorSeqWidth) {
+        throw std::overflow_error("CoVisor: right priority exceeds sequential width");
+      }
+      return left * kCovisorSeqWidth + right;
+    case OpKind::kPriority:
+      break;
+  }
+  throw std::invalid_argument("algebra_priority: priority op handled separately");
+}
+
+struct PairKey {
+  RuleId l, r;
+  bool operator==(const PairKey&) const = default;
+};
+struct PairKeyHash {
+  size_t operator()(const PairKey& k) const {
+    return std::hash<RuleId>()(k.l) * 0x9e3779b97f4a7c15ULL + std::hash<RuleId>()(k.r);
+  }
+};
+
+}  // namespace
+
+struct CovisorCompiler::Node {
+  bool is_leaf = false;
+  OpKind op = OpKind::kParallel;
+  std::unique_ptr<Node> left, right;
+
+  // Result view of this subtree.
+  std::unordered_map<RuleId, Rule> rules;
+  RuleIndex index;
+
+  // Provenance for composed nodes.
+  std::unordered_map<PairKey, RuleId, PairKeyHash> by_pair;
+  std::unordered_map<RuleId, std::vector<RuleId>> by_left, by_right;
+  std::unordered_map<RuleId, PairKey> sources;  // result id -> member sources
+
+  void add_result(Rule rule, RuleId lsrc, RuleId rsrc, PrioritizedUpdate& out) {
+    index.insert(rule.id, rule.match);
+    by_pair[PairKey{lsrc, rsrc}] = rule.id;
+    if (lsrc != 0) by_left[lsrc].push_back(rule.id);
+    if (rsrc != 0) by_right[rsrc].push_back(rule.id);
+    sources[rule.id] = PairKey{lsrc, rsrc};
+    out.push_back(PrioritizedOp::add(rule));
+    rules.emplace(rule.id, std::move(rule));
+  }
+
+  void erase_result(RuleId rid, PrioritizedUpdate& out) {
+    const PairKey key = sources.at(rid);
+    by_pair.erase(key);
+    auto drop = [rid](std::unordered_map<RuleId, std::vector<RuleId>>& map, RuleId src) {
+      if (src == 0) return;
+      auto it = map.find(src);
+      if (it == map.end()) return;
+      it->second.erase(std::remove(it->second.begin(), it->second.end(), rid),
+                       it->second.end());
+      if (it->second.empty()) map.erase(it);
+    };
+    drop(by_left, key.l);
+    drop(by_right, key.r);
+    sources.erase(rid);
+    index.erase(rid);
+    rules.erase(rid);
+    out.push_back(PrioritizedOp::del(rid));
+  }
+
+  void compose_one(const Rule& l, const Rule& r, PrioritizedUpdate& out) {
+    auto composed = compose_rule_pair(op, l, r);
+    if (!composed) return;
+    Rule result{flowspace::next_rule_id(), std::move(composed->first),
+                std::move(composed->second),
+                algebra_priority(op, l.priority, r.priority)};
+    add_result(std::move(result), l.id, r.id, out);
+  }
+
+  /// Applies a child's prioritized update and emits this node's own.
+  PrioritizedUpdate apply_child(bool from_left, const PrioritizedUpdate& update) {
+    PrioritizedUpdate out;
+    for (const PrioritizedOp& op_in : update) {
+      switch (op_in.kind) {
+        case PrioritizedOp::Kind::kDelete: {
+          auto& by_src = from_left ? by_left : by_right;
+          auto it = by_src.find(op_in.rule.id);
+          if (it == by_src.end()) break;
+          const std::vector<RuleId> derived = it->second;
+          for (RuleId rid : derived) erase_result(rid, out);
+          break;
+        }
+        case PrioritizedOp::Kind::kAdd: {
+          const Rule& added = op_in.rule;
+          if (op == OpKind::kPriority) {
+            Rule result = added;
+            result.id = flowspace::next_rule_id();
+            if (from_left) result.priority += kCovisorPriorityOffset;
+            add_result(std::move(result), from_left ? added.id : 0,
+                       from_left ? 0 : added.id, out);
+            break;
+          }
+          if (from_left) {
+            const auto probe = right_probe_match(op, added.match, added.actions);
+            for (RuleId rid : right_result_overlapping(probe)) {
+              compose_one(added, result_of_child(false, rid), out);
+            }
+          } else {
+            for (const auto& [lid, lrule] : left_rules_view()) {
+              (void)lid;
+              if (!right_probe_match(op, lrule.match, lrule.actions)
+                       .overlaps(added.match)) {
+                continue;
+              }
+              compose_one(lrule, added, out);
+            }
+          }
+          break;
+        }
+        case PrioritizedOp::Kind::kModify:
+          // CoVisor never emits modifies (no reprioritization).
+          throw std::logic_error("CovisorCompiler: unexpected modify from child");
+      }
+    }
+    return out;
+  }
+
+  const std::unordered_map<RuleId, Rule>& left_rules_view() const { return left->rules; }
+
+  std::vector<RuleId> right_result_overlapping(const flowspace::TernaryMatch& m) const {
+    return right->index.find_overlapping(m);
+  }
+
+  const Rule& result_of_child(bool from_left, RuleId id) const {
+    return (from_left ? left : right)->rules.at(id);
+  }
+
+  void full_build() {
+    rules.clear();
+    index.clear();
+    by_pair.clear();
+    by_left.clear();
+    by_right.clear();
+    sources.clear();
+    PrioritizedUpdate sink;
+    if (op == OpKind::kPriority) {
+      for (const auto& [id, r] : left->rules) {
+        Rule result = r;
+        result.id = flowspace::next_rule_id();
+        result.priority += kCovisorPriorityOffset;
+        add_result(std::move(result), id, 0, sink);
+      }
+      for (const auto& [id, r] : right->rules) {
+        Rule result = r;
+        result.id = flowspace::next_rule_id();
+        add_result(std::move(result), 0, id, sink);
+      }
+      return;
+    }
+    for (const auto& [lid, lrule] : left->rules) {
+      (void)lid;
+      const auto probe = right_probe_match(op, lrule.match, lrule.actions);
+      for (RuleId rid : right->index.find_overlapping(probe)) {
+        compose_one(lrule, right->rules.at(rid), sink);
+      }
+    }
+  }
+};
+
+CovisorCompiler::CovisorCompiler(const PolicySpec& spec,
+                                 std::map<std::string, flowspace::FlowTable> tables) {
+  root_ = build(spec, tables);
+  // Record leaf-to-root paths.
+  struct Walker {
+    std::map<std::string, LeafRef>& leaves;
+    std::map<Node*, std::string> names;
+    void walk(Node* node, std::vector<std::pair<Node*, bool>> path) {
+      if (node->is_leaf) {
+        leaves[names.at(node)].path = std::move(path);
+        return;
+      }
+      auto lp = path;
+      lp.insert(lp.begin(), {node, true});
+      walk(node->left.get(), lp);
+      auto rp = path;
+      rp.insert(rp.begin(), {node, false});
+      walk(node->right.get(), rp);
+    }
+  };
+  Walker walker{leaves_, {}};
+  for (auto& [name, ref] : leaves_) walker.names[ref.node] = name;
+  walker.walk(root_.get(), {});
+}
+
+CovisorCompiler::~CovisorCompiler() = default;
+
+std::unique_ptr<CovisorCompiler::Node> CovisorCompiler::build(
+    const PolicySpec& spec, std::map<std::string, flowspace::FlowTable>& tables) {
+  auto node = std::make_unique<Node>();
+  if (spec.is_leaf) {
+    node->is_leaf = true;
+    auto it = tables.find(spec.leaf_name);
+    if (it != tables.end()) {
+      for (const Rule& r : it->second.rules()) {
+        node->index.insert(r.id, r.match);
+        node->rules.emplace(r.id, r);
+      }
+    }
+    if (leaves_.count(spec.leaf_name)) {
+      throw std::invalid_argument("duplicate leaf name: " + spec.leaf_name);
+    }
+    leaves_[spec.leaf_name].node = node.get();
+    return node;
+  }
+  node->op = static_cast<OpKind>(spec.op);
+  node->left = build(*spec.left, tables);
+  node->right = build(*spec.right, tables);
+  node->full_build();
+  return node;
+}
+
+PrioritizedUpdate CovisorCompiler::propagate(const std::string& leaf,
+                                             PrioritizedUpdate update) {
+  const auto& ref = leaves_.at(leaf);
+  for (const auto& [node, from_left] : ref.path) {
+    if (update.empty()) break;
+    update = node->apply_child(from_left, update);
+  }
+  return update;
+}
+
+PrioritizedUpdate CovisorCompiler::insert(const std::string& leaf, Rule rule) {
+  Node* node = leaves_.at(leaf).node;
+  node->index.insert(rule.id, rule.match);
+  PrioritizedUpdate update{PrioritizedOp::add(rule)};
+  node->rules.emplace(rule.id, std::move(rule));
+  return propagate(leaf, std::move(update));
+}
+
+PrioritizedUpdate CovisorCompiler::remove(const std::string& leaf, RuleId id) {
+  Node* node = leaves_.at(leaf).node;
+  if (!node->rules.count(id)) return {};
+  node->rules.erase(id);
+  node->index.erase(id);
+  return propagate(leaf, PrioritizedUpdate{PrioritizedOp::del(id)});
+}
+
+std::vector<Rule> CovisorCompiler::compiled() const {
+  std::vector<Rule> out;
+  out.reserve(root_->rules.size());
+  for (const auto& [id, r] : root_->rules) {
+    (void)id;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const Rule& a, const Rule& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace ruletris::compiler

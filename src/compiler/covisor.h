@@ -1,0 +1,58 @@
+// CoVisor-style incremental composition compiler (Jin et al., NSDI'15;
+// paper Sec. VI baseline).
+//
+// CoVisor compiles incrementally using an overlap index (so its compilation
+// time is excellent) and assigns priorities with a convenient algebra that
+// never reprioritizes existing rules:
+//   parallel:   p = p_left + p_right
+//   sequential: p = p_left * kSeqWidth + p_right
+//   priority:   left rules get a large offset above right rules
+// It ships prioritized adds/deletes only — no dependency information — which
+// is exactly why the switch firmware must over-conservatively move TCAM
+// entries for it (the effect RuleTris eliminates).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "compiler/policy_spec.h"
+#include "compiler/prioritized.h"
+#include "flowspace/rule.h"
+#include "flowspace/rule_index.h"
+
+namespace ruletris::compiler {
+
+/// Priority-space width reserved for a sequential right member. Leaf
+/// priorities must stay below this for the algebra to be order-preserving.
+inline constexpr int32_t kCovisorSeqWidth = 1 << 13;
+/// Offset stacking a priority-operator's left member above its right member.
+inline constexpr int32_t kCovisorPriorityOffset = 1 << 26;
+
+class CovisorCompiler {
+ public:
+  CovisorCompiler(const PolicySpec& spec,
+                  std::map<std::string, flowspace::FlowTable> initial_tables);
+  ~CovisorCompiler();
+
+  PrioritizedUpdate insert(const std::string& leaf, flowspace::Rule rule);
+  PrioritizedUpdate remove(const std::string& leaf, flowspace::RuleId id);
+
+  /// The current composed table, descending priority order.
+  std::vector<flowspace::Rule> compiled() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> build(const PolicySpec& spec,
+                              std::map<std::string, flowspace::FlowTable>& tables);
+  PrioritizedUpdate propagate(const std::string& leaf, PrioritizedUpdate update);
+
+  std::unique_ptr<Node> root_;
+  struct LeafRef {
+    Node* node = nullptr;
+    std::vector<std::pair<Node*, bool>> path;  // parent chain with side flag
+  };
+  std::map<std::string, LeafRef> leaves_;
+};
+
+}  // namespace ruletris::compiler

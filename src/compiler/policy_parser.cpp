@@ -1,0 +1,100 @@
+#include "compiler/policy_parser.h"
+
+#include <cctype>
+
+namespace ruletris::compiler {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  PolicySpec parse() {
+    PolicySpec spec = expr();
+    skip_space();
+    if (pos_ != text_.size()) {
+      throw PolicyParseError("trailing input after policy expression", pos_);
+    }
+    return spec;
+  }
+
+ private:
+  PolicySpec expr() {
+    PolicySpec left = term();
+    for (;;) {
+      skip_space();
+      if (consume('+')) {
+        left = PolicySpec::parallel(std::move(left), term());
+      } else if (consume('$')) {
+        left = PolicySpec::priority(std::move(left), term());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  PolicySpec term() {
+    PolicySpec left = factor();
+    for (;;) {
+      skip_space();
+      if (consume('>')) {
+        left = PolicySpec::sequential(std::move(left), factor());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  PolicySpec factor() {
+    skip_space();
+    if (consume('(')) {
+      PolicySpec inner = expr();
+      skip_space();
+      if (!consume(')')) throw PolicyParseError("expected ')'", pos_);
+      return inner;
+    }
+    const size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      return PolicySpec::leaf(text_.substr(start, pos_ - start));
+    }
+    throw PolicyParseError("expected table name or '('", pos_);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+PolicySpec parse_policy(const std::string& text) { return Parser(text).parse(); }
+
+std::string policy_to_string(const PolicySpec& spec) {
+  if (spec.is_leaf) return spec.leaf_name;
+  static const char* kOps[] = {" + ", " > ", " $ "};
+  return "(" + policy_to_string(*spec.left) + kOps[spec.op] +
+         policy_to_string(*spec.right) + ")";
+}
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,36 @@
+// Textual policy expressions, e.g. "(monitor + router) $ fallback".
+//
+// Grammar (left-associative; '>' binds tighter than '+' and '$'):
+//   expr   := term (('+' | '$') term)*
+//   term   := factor ('>' factor)*
+//   factor := IDENT | '(' expr ')'
+//   IDENT  := [A-Za-z_][A-Za-z0-9_-]*
+// Used by the CLI driver and handy for configuration files.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "compiler/policy_spec.h"
+
+namespace ruletris::compiler {
+
+class PolicyParseError : public std::runtime_error {
+ public:
+  PolicyParseError(const std::string& message, size_t position)
+      : std::runtime_error(message + " (at offset " + std::to_string(position) + ")"),
+        position_(position) {}
+
+  size_t position() const { return position_; }
+
+ private:
+  size_t position_;
+};
+
+/// Parses `text` into a PolicySpec; throws PolicyParseError on bad input.
+PolicySpec parse_policy(const std::string& text);
+
+/// Renders a spec back to its textual form (fully parenthesized).
+std::string policy_to_string(const PolicySpec& spec);
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,63 @@
+// Declarative policy composition spec, e.g. (monitor + router) $ fallback.
+//
+// A PolicySpec is a small expression tree over named leaf tables; compilers
+// (RuleTris, CoVisor, Baseline) instantiate their own runtime trees from it,
+// so one bench scenario drives all three with the same configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ruletris::compiler {
+
+enum class OpKind;  // defined in composed_node.h
+
+struct PolicySpec {
+  bool is_leaf = false;
+  std::string leaf_name;          // when is_leaf
+  int op = 0;                     // OpKind as int to avoid a header cycle
+  std::shared_ptr<PolicySpec> left, right;
+
+  static PolicySpec leaf(std::string name) {
+    PolicySpec s;
+    s.is_leaf = true;
+    s.leaf_name = std::move(name);
+    return s;
+  }
+  static PolicySpec combine(int op, PolicySpec l, PolicySpec r) {
+    PolicySpec s;
+    s.op = op;
+    s.left = std::make_shared<PolicySpec>(std::move(l));
+    s.right = std::make_shared<PolicySpec>(std::move(r));
+    return s;
+  }
+  static PolicySpec parallel(PolicySpec l, PolicySpec r) {
+    return combine(0, std::move(l), std::move(r));
+  }
+  static PolicySpec sequential(PolicySpec l, PolicySpec r) {
+    return combine(1, std::move(l), std::move(r));
+  }
+  static PolicySpec priority(PolicySpec l, PolicySpec r) {
+    return combine(2, std::move(l), std::move(r));
+  }
+
+  /// All leaf names, left-to-right.
+  std::vector<std::string> leaf_names() const {
+    std::vector<std::string> out;
+    collect(out);
+    return out;
+  }
+
+ private:
+  void collect(std::vector<std::string>& out) const {
+    if (is_leaf) {
+      out.push_back(leaf_name);
+      return;
+    }
+    left->collect(out);
+    right->collect(out);
+  }
+};
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,37 @@
+// Prioritized rule-update stream: the output format of the Baseline and
+// CoVisor compilers (and the input format of the priority-based firmware).
+//
+// Unlike RuleTris updates, these carry integer priorities and no DAG —
+// exactly what state-of-the-art compilers ship to switches (Sec. II-c).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flowspace/rule.h"
+
+namespace ruletris::compiler {
+
+struct PrioritizedOp {
+  enum class Kind { kAdd, kDelete, kModify };
+
+  Kind kind = Kind::kAdd;
+  flowspace::Rule rule;  // kDelete: only `id` is meaningful;
+                         // kModify: new priority/actions for existing `id`.
+
+  static PrioritizedOp add(flowspace::Rule r) {
+    return {Kind::kAdd, std::move(r)};
+  }
+  static PrioritizedOp del(flowspace::RuleId id) {
+    flowspace::Rule r;
+    r.id = id;
+    return {Kind::kDelete, std::move(r)};
+  }
+  static PrioritizedOp mod(flowspace::Rule r) {
+    return {Kind::kModify, std::move(r)};
+  }
+};
+
+using PrioritizedUpdate = std::vector<PrioritizedOp>;
+
+}  // namespace ruletris::compiler

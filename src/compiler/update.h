@@ -1,0 +1,50 @@
+// Update records exchanged along the composition tree and with the back-end.
+//
+// Every policy change — whether entering at a leaf table or produced by an
+// operator node — is expressed as a TableUpdate: visible rule additions and
+// removals plus the corresponding delta of the visible minimum DAG
+// (Sec. III-B: "incremental rule inserts, deletes and modifications together
+// with the updates to the DAG").
+#pragma once
+
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "flowspace/rule.h"
+
+namespace ruletris::compiler {
+
+using dag::DagDelta;
+using flowspace::Rule;
+using flowspace::RuleId;
+
+struct TableUpdate {
+  /// Rules removed from the visible table (ids were previously visible).
+  std::vector<RuleId> removed;
+  /// Rules added to the visible table. `priority` is meaningless for
+  /// DAG-carrying updates and set to 0.
+  std::vector<Rule> added;
+  /// Delta to the visible DAG. Vertex removals/additions mirror
+  /// `removed`/`added`; edge changes may touch surviving rules too.
+  DagDelta dag;
+
+  bool empty() const { return removed.empty() && added.empty() && dag.empty(); }
+
+  void merge(TableUpdate other) {
+    removed.insert(removed.end(), other.removed.begin(), other.removed.end());
+    added.insert(added.end(), std::make_move_iterator(other.added.begin()),
+                 std::make_move_iterator(other.added.end()));
+    auto& d = dag;
+    d.removed_vertices.insert(d.removed_vertices.end(),
+                              other.dag.removed_vertices.begin(),
+                              other.dag.removed_vertices.end());
+    d.removed_edges.insert(d.removed_edges.end(), other.dag.removed_edges.begin(),
+                           other.dag.removed_edges.end());
+    d.added_vertices.insert(d.added_vertices.end(), other.dag.added_vertices.begin(),
+                            other.dag.added_vertices.end());
+    d.added_edges.insert(d.added_edges.end(), other.dag.added_edges.begin(),
+                         other.dag.added_edges.end());
+  }
+};
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,117 @@
+// Chronological update recorder with net-effect normalization.
+//
+// A single child update can make a composed node's visible state churn: a
+// key vertex's representative may be demoted and later restored, an edge
+// added and then removed again. Parents and the back-end consume
+// *normalized* TableUpdates (removals, then additions), so this builder
+// records mutation events in order and emits only the net difference
+// between the pre- and post-update visible state.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "compiler/update.h"
+
+namespace ruletris::compiler {
+
+class UpdateBuilder {
+ public:
+  /// Records that visible rule `rule.id` became visible.
+  void add_rule(const Rule& rule) {
+    cancelled_.erase(rule.id);  // an id may come back after cancelling out
+    auto it = verts_.find(rule.id);
+    if (it == verts_.end()) {
+      verts_.emplace(rule.id, VertexState{false, true, rule});
+    } else {
+      it->second.present_now = true;
+      it->second.rule = rule;
+    }
+  }
+
+  /// Records that visible rule `id` is no longer visible.
+  void remove_rule(RuleId id) {
+    auto it = verts_.find(id);
+    if (it == verts_.end()) {
+      verts_.emplace(id, VertexState{true, false, Rule{}});
+    } else if (!it->second.present_before) {
+      // Added earlier in this very update: cancels out entirely.
+      verts_.erase(it);
+      cancelled_.insert(id);
+    } else {
+      it->second.present_now = false;
+    }
+  }
+
+  void add_edge(RuleId u, RuleId v) { bump_edge(u, v, +1); }
+  void remove_edge(RuleId u, RuleId v) { bump_edge(u, v, -1); }
+
+  /// Emits the net update. Edge changes implied by vertex removal are
+  /// omitted (DagDelta vertex removal removes incident edges), and edges
+  /// touching cancelled or removed vertices are dropped.
+  TableUpdate build() const {
+    TableUpdate out;
+    for (const auto& [id, st] : verts_) {
+      if (st.present_before && !st.present_now) {
+        out.removed.push_back(id);
+        out.dag.removed_vertices.push_back(id);
+      } else if (st.present_now) {
+        if (st.present_before) {
+          // Removed and re-added within the update: surface as both so the
+          // consumer refreshes match/actions.
+          out.removed.push_back(id);
+          out.dag.removed_vertices.push_back(id);
+        }
+        out.added.push_back(st.rule);
+        out.dag.added_vertices.push_back(id);
+      }
+    }
+    for (const auto& [key, net] : edges_) {
+      if (net == 0) continue;
+      if (!endpoint_live(key.first) || !endpoint_live(key.second)) continue;
+      if (net > 0) {
+        out.dag.added_edges.emplace_back(key.first, key.second);
+      } else {
+        // A net-removed edge between two still-visible rules.
+        out.dag.removed_edges.emplace_back(key.first, key.second);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct VertexState {
+    bool present_before;
+    bool present_now;
+    Rule rule;
+  };
+  struct EdgeKey {
+    RuleId first, second;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& k) const {
+      return std::hash<RuleId>()(k.first) * 0x9e3779b97f4a7c15ULL +
+             std::hash<RuleId>()(k.second);
+    }
+  };
+
+  bool endpoint_live(RuleId id) const {
+    if (cancelled_.count(id)) return false;
+    auto it = verts_.find(id);
+    return it == verts_.end() || it->second.present_now;
+  }
+
+  void bump_edge(RuleId u, RuleId v, int delta) {
+    const EdgeKey key{u, v};
+    auto [it, inserted] = edges_.try_emplace(key, 0);
+    it->second += delta;
+    if (it->second == 0) edges_.erase(it);
+  }
+
+  std::unordered_map<RuleId, VertexState> verts_;
+  std::unordered_set<RuleId> cancelled_;
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> edges_;
+};
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,47 @@
+#include "dag/builder.h"
+
+#include <unordered_map>
+
+namespace ruletris::dag {
+
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+
+DependencyGraph build_min_dag(const FlowTable& table) {
+  DependencyGraph graph;
+  const auto& rules = table.rules();  // descending priority == match order
+  for (const Rule& r : rules) graph.add_vertex(r.id);
+
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = 0; j + 1 <= i; ++j) {
+      // Candidate edge rules[i] -> rules[j] (j is matched first).
+      auto overlap = rules[i].match.intersect(rules[j].match);
+      if (!overlap) continue;
+      // The dependency is direct iff part of the overlap survives all rules
+      // strictly between j and i.
+      std::vector<TernaryMatch> between;
+      between.reserve(i - j);
+      for (size_t k = j + 1; k < i; ++k) between.push_back(rules[k].match);
+      if (!flowspace::is_covered_by(*overlap, between)) {
+        graph.add_edge(rules[i].id, rules[j].id);
+      }
+    }
+  }
+  return graph;
+}
+
+bool order_respects_dag(const std::vector<Rule>& rules, const DependencyGraph& graph) {
+  std::unordered_map<RuleId, size_t> pos;
+  pos.reserve(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) pos[rules[i].id] = i;
+  for (const auto& [u, v] : graph.edges()) {
+    auto pu = pos.find(u);
+    auto pv = pos.find(v);
+    if (pu == pos.end() || pv == pos.end()) return false;
+    if (pv->second >= pu->second) return false;  // v must be matched first
+  }
+  return true;
+}
+
+}  // namespace ruletris::dag

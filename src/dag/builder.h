@@ -1,0 +1,30 @@
+// Brute-force minimum-DAG extraction from a prioritized flow table.
+//
+// This is the algorithm the paper calls "prohibitively time consuming" for
+// the update path (Sec. IV). RuleTris still needs it in two places:
+//  * bootstrapping DAGs for leaf tables populated by dependency-unaware
+//    applications (Sec. III-B: "RuleTris can extract the DAGs from the
+//    prioritized flow tables"), and
+//  * as the correctness oracle for the compositional construction.
+//
+// Definition of the minimum DAG (CacheFlow-style direct dependency, which
+// matches every example in the paper): edge u -> v, with v earlier in match
+// order, exists iff some packet matches both u and v and is not matched by
+// any rule strictly between them.
+#pragma once
+
+#include "dag/dependency_graph.h"
+#include "flowspace/rule.h"
+
+namespace ruletris::dag {
+
+/// Builds the minimum DAG of `table`. O(n^2) pair checks, each with an exact
+/// flow-space cover test over the rules in between.
+DependencyGraph build_min_dag(const flowspace::FlowTable& table);
+
+/// True iff every edge constraint of `graph` is satisfied by the order of
+/// `rules` (dependencies appear earlier). Used to validate layouts.
+bool order_respects_dag(const std::vector<flowspace::Rule>& rules,
+                        const DependencyGraph& graph);
+
+}  // namespace ruletris::dag

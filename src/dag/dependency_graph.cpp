@@ -1,0 +1,185 @@
+#include "dag/dependency_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "util/strfmt.h"
+
+namespace ruletris::dag {
+
+namespace {
+const std::unordered_set<RuleId> kEmptySet;
+}
+
+bool DependencyGraph::has_edge(RuleId u, RuleId v) const {
+  auto it = nodes_.find(u);
+  return it != nodes_.end() && it->second.out.count(v) != 0;
+}
+
+void DependencyGraph::add_vertex(RuleId v) { nodes_.try_emplace(v); }
+
+void DependencyGraph::remove_vertex(RuleId v) {
+  auto it = nodes_.find(v);
+  if (it == nodes_.end()) return;
+  for (RuleId succ : it->second.out) {
+    nodes_[succ].in.erase(v);
+    --edge_count_;
+  }
+  for (RuleId pred : it->second.in) {
+    nodes_[pred].out.erase(v);
+    --edge_count_;
+  }
+  nodes_.erase(it);
+}
+
+void DependencyGraph::add_edge(RuleId u, RuleId v) {
+  if (u == v) throw std::invalid_argument("DependencyGraph: self edge");
+  add_vertex(u);
+  add_vertex(v);
+  if (nodes_[u].out.insert(v).second) {
+    nodes_[v].in.insert(u);
+    ++edge_count_;
+  }
+}
+
+void DependencyGraph::remove_edge(RuleId u, RuleId v) {
+  auto it = nodes_.find(u);
+  if (it == nodes_.end()) return;
+  if (it->second.out.erase(v)) {
+    nodes_[v].in.erase(u);
+    --edge_count_;
+  }
+}
+
+const DependencyGraph::Node& DependencyGraph::node(RuleId v) const {
+  auto it = nodes_.find(v);
+  if (it == nodes_.end()) throw std::out_of_range("DependencyGraph: unknown vertex");
+  return it->second;
+}
+
+const std::unordered_set<RuleId>& DependencyGraph::successors(RuleId u) const {
+  auto it = nodes_.find(u);
+  return it == nodes_.end() ? kEmptySet : it->second.out;
+}
+
+const std::unordered_set<RuleId>& DependencyGraph::predecessors(RuleId u) const {
+  auto it = nodes_.find(u);
+  return it == nodes_.end() ? kEmptySet : it->second.in;
+}
+
+std::vector<RuleId> DependencyGraph::vertices() const {
+  std::vector<RuleId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) {
+    (void)n;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RuleId> DependencyGraph::sources() const {
+  std::vector<RuleId> out;
+  for (const auto& [id, n] : nodes_) {
+    if (n.out.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RuleId> DependencyGraph::sinks() const {
+  std::vector<RuleId> out;
+  for (const auto& [id, n] : nodes_) {
+    if (n.in.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RuleId> DependencyGraph::topo_order_high_to_low() const {
+  // Kahn's algorithm peeling vertices with no unprocessed *successors*:
+  // a vertex may be emitted once everything it must sit below is emitted.
+  std::unordered_map<RuleId, size_t> remaining_out;
+  std::deque<RuleId> ready;
+  for (const auto& [id, n] : nodes_) {
+    remaining_out[id] = n.out.size();
+    if (n.out.empty()) ready.push_back(id);
+  }
+  std::vector<RuleId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const RuleId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (RuleId pred : node(v).in) {
+      if (--remaining_out[pred] == 0) ready.push_back(pred);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::runtime_error("DependencyGraph: cycle detected");
+  }
+  // A vertex with no (unprocessed) successors depends on nothing left, so it
+  // may be matched first: the peel order is already matched-first.
+  return order;
+}
+
+bool DependencyGraph::reaches(RuleId u, RuleId v) const {
+  if (!has_vertex(u) || !has_vertex(v)) return false;
+  std::unordered_set<RuleId> seen{u};
+  std::deque<RuleId> queue{u};
+  while (!queue.empty()) {
+    const RuleId cur = queue.front();
+    queue.pop_front();
+    if (cur == v) return true;
+    for (RuleId next : node(cur).out) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool DependencyGraph::would_create_cycle(RuleId u, RuleId v) const {
+  // Adding u -> v creates a cycle iff u is already reachable from v.
+  return reaches(v, u);
+}
+
+void DependencyGraph::apply(const DagDelta& delta) {
+  for (const auto& [u, v] : delta.removed_edges) remove_edge(u, v);
+  for (RuleId v : delta.removed_vertices) remove_vertex(v);
+  for (RuleId v : delta.added_vertices) add_vertex(v);
+  for (const auto& [u, v] : delta.added_edges) add_edge(u, v);
+}
+
+std::vector<std::pair<RuleId, RuleId>> DependencyGraph::edges() const {
+  std::vector<std::pair<RuleId, RuleId>> out;
+  out.reserve(edge_count_);
+  for (const auto& [id, n] : nodes_) {
+    for (RuleId succ : n.out) out.emplace_back(id, succ);
+  }
+  return out;
+}
+
+bool DependencyGraph::operator==(const DependencyGraph& other) const {
+  if (nodes_.size() != other.nodes_.size() || edge_count_ != other.edge_count_) {
+    return false;
+  }
+  for (const auto& [id, n] : nodes_) {
+    auto it = other.nodes_.find(id);
+    if (it == other.nodes_.end() || it->second.out != n.out) return false;
+  }
+  return true;
+}
+
+std::string DependencyGraph::to_string() const {
+  std::string out = util::strfmt("DAG(%zu vertices, %zu edges)\n", nodes_.size(), edge_count_);
+  auto ids = vertices();
+  std::sort(ids.begin(), ids.end());
+  for (RuleId id : ids) {
+    std::vector<RuleId> succ(node(id).out.begin(), node(id).out.end());
+    std::sort(succ.begin(), succ.end());
+    out += util::strfmt("  %llu ->", static_cast<unsigned long long>(id));
+    for (RuleId s : succ) out += util::strfmt(" %llu", static_cast<unsigned long long>(s));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ruletris::dag

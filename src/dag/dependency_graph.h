@@ -1,0 +1,107 @@
+// The rule dependency graph (DAG) — RuleTris's central abstraction.
+//
+// Vertices are rule ids. A directed edge u -> v means "u depends on v":
+// v must be matched before u, i.e. v must sit at a higher-priority TCAM
+// address than u (paper Sec. II-b). The *minimum* DAG contains an edge only
+// where swapping the two rules would change classification semantics; all
+// construction algorithms in src/compiler and src/dag produce minimum DAGs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "flowspace/rule.h"
+
+namespace ruletris::dag {
+
+using flowspace::RuleId;
+
+/// Incremental change to a DAG, produced by the front-end compilers and
+/// shipped to the back-end alongside rule updates (Sec. III-B).
+struct DagDelta {
+  std::vector<RuleId> removed_vertices;
+  std::vector<std::pair<RuleId, RuleId>> removed_edges;
+  std::vector<RuleId> added_vertices;
+  std::vector<std::pair<RuleId, RuleId>> added_edges;  // (u, v) for u -> v
+
+  bool empty() const {
+    return removed_vertices.empty() && removed_edges.empty() &&
+           added_vertices.empty() && added_edges.empty();
+  }
+  void clear() {
+    removed_vertices.clear();
+    removed_edges.clear();
+    added_vertices.clear();
+    added_edges.clear();
+  }
+};
+
+class DependencyGraph {
+ public:
+  DependencyGraph() = default;
+
+  size_t vertex_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  bool has_vertex(RuleId v) const { return nodes_.count(v) != 0; }
+  bool has_edge(RuleId u, RuleId v) const;
+
+  void add_vertex(RuleId v);
+
+  /// Removes the vertex and all incident edges.
+  void remove_vertex(RuleId v);
+
+  /// Adds u -> v ("v must be matched before u"). Adds missing vertices.
+  /// No-op if the edge exists. Self-edges are rejected.
+  void add_edge(RuleId u, RuleId v);
+
+  void remove_edge(RuleId u, RuleId v);
+
+  /// Out-neighbours of u: the rules u depends on (placed above u).
+  const std::unordered_set<RuleId>& successors(RuleId u) const;
+
+  /// In-neighbours of u: the rules depending on u (placed below u).
+  const std::unordered_set<RuleId>& predecessors(RuleId u) const;
+
+  std::vector<RuleId> vertices() const;
+
+  /// Vertices with no successors (may be matched last / sit anywhere low).
+  std::vector<RuleId> sources() const;
+  /// Vertices with no predecessors (nothing forces anything below them).
+  std::vector<RuleId> sinks() const;
+
+  /// Topological order from high match-priority to low: v appears before u
+  /// whenever edge u -> v exists. Throws std::runtime_error on a cycle.
+  std::vector<RuleId> topo_order_high_to_low() const;
+
+  /// True iff adding u -> v would create a cycle.
+  bool would_create_cycle(RuleId u, RuleId v) const;
+
+  /// True iff v is reachable from u along dependency edges.
+  bool reaches(RuleId u, RuleId v) const;
+
+  /// Applies a delta: removals first, then additions.
+  void apply(const DagDelta& delta);
+
+  std::vector<std::pair<RuleId, RuleId>> edges() const;
+
+  bool operator==(const DependencyGraph& other) const;
+
+  std::string to_string() const;
+
+ private:
+  struct Node {
+    std::unordered_set<RuleId> out;  // successors
+    std::unordered_set<RuleId> in;   // predecessors
+  };
+
+  const Node& node(RuleId v) const;
+
+  std::unordered_map<RuleId, Node> nodes_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace ruletris::dag

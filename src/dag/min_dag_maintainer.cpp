@@ -1,0 +1,177 @@
+#include "dag/min_dag_maintainer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ruletris::dag {
+
+MinDagMaintainer::MinDagMaintainer(BeforeFn before) : before_(std::move(before)) {}
+
+bool MinDagMaintainer::is_direct(RuleId hi, RuleId lo) const {
+  auto overlap = matches_.at(hi).intersect(matches_.at(lo));
+  if (!overlap) return false;
+  const uint64_t hi_rank = rank(hi);
+  const uint64_t lo_rank = rank(lo);
+  // Only rules overlapping the overlap region can cover any of it.
+  std::vector<TernaryMatch> between;
+  for (RuleId c : index_.find_overlapping(*overlap)) {
+    if (c == hi || c == lo) continue;
+    const uint64_t r = rank(c);
+    if (r > hi_rank && r < lo_rank) between.push_back(matches_.at(c));
+  }
+  // Most-general covers first: they erase whole fragment families at once,
+  // which keeps the subtraction from fragmenting on wide tables.
+  std::sort(between.begin(), between.end(),
+            [](const TernaryMatch& a, const TernaryMatch& b) {
+              return a.specified_bits() < b.specified_bits();
+            });
+  try {
+    return !flowspace::is_covered_by(*overlap, between, 1 << 17);
+  } catch (const std::runtime_error&) {
+    // Fragment blow-up: treat the pair as direct. A spurious edge is a
+    // harmless (consistent) extra constraint; a missing edge would not be.
+    return true;
+  }
+}
+
+void MinDagMaintainer::renumber() {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    ranks_[order_[i]] = (static_cast<uint64_t>(i) + 1) * kRankGap;
+  }
+}
+
+DagDelta MinDagMaintainer::insert(RuleId id, TernaryMatch match) {
+  if (contains(id)) throw std::invalid_argument("MinDagMaintainer: duplicate id");
+  DagDelta delta;
+
+  // Position: after every existing rule the comparator places before `id`.
+  const auto it = std::partition_point(
+      order_.begin(), order_.end(),
+      [this, id](RuleId existing) { return before_(existing, id); });
+  const size_t idx = static_cast<size_t>(it - order_.begin());
+
+  // Sparse rank between the neighbours; renumber when the gap is exhausted.
+  const uint64_t lo_rank = idx > 0 ? rank(order_[idx - 1]) : 0;
+  uint64_t new_rank;
+  if (idx == order_.size()) {
+    new_rank = lo_rank + kRankGap;
+  } else {
+    const uint64_t hi_rank = rank(order_[idx]);
+    new_rank = lo_rank + (hi_rank - lo_rank) / 2;
+    if (new_rank == lo_rank) {
+      order_.insert(order_.begin() + static_cast<ptrdiff_t>(idx), id);
+      ranks_[id] = 0;
+      renumber();
+      new_rank = rank(id);
+    }
+  }
+  if (!contains(id)) {
+    order_.insert(order_.begin() + static_cast<ptrdiff_t>(idx), id);
+    ranks_[id] = new_rank;
+  }
+  matches_.emplace(id, match);
+  index_.insert(id, match);
+  graph_.add_vertex(id);
+  delta.added_vertices.push_back(id);
+
+  const uint64_t my_rank = rank(id);
+  const std::vector<RuleId> candidates = index_.find_overlapping(match);
+
+  // New direct dependencies incident to `id`.
+  for (RuleId c : candidates) {
+    if (c == id) continue;
+    if (rank(c) < my_rank) {
+      if (is_direct(c, id)) {
+        graph_.add_edge(id, c);
+        delta.added_edges.emplace_back(id, c);
+      }
+    } else {
+      if (is_direct(id, c)) {
+        graph_.add_edge(c, id);
+        delta.added_edges.emplace_back(c, id);
+      }
+    }
+  }
+
+  // Existing edges that `id` now covers: pairs straddling it that both
+  // overlap it.
+  for (RuleId u : candidates) {
+    if (u == id || rank(u) < my_rank) continue;
+    std::vector<RuleId> succs(graph_.successors(u).begin(), graph_.successors(u).end());
+    for (RuleId s : succs) {
+      if (s == id || rank(s) > my_rank) continue;
+      if (!match.overlaps(matches_.at(s))) continue;
+      if (!is_direct(s, u)) {
+        graph_.remove_edge(u, s);
+        delta.removed_edges.emplace_back(u, s);
+      }
+    }
+  }
+  return delta;
+}
+
+DagDelta MinDagMaintainer::remove(RuleId id) {
+  DagDelta delta;
+  auto mit = matches_.find(id);
+  if (mit == matches_.end()) return delta;
+  const TernaryMatch match = mit->second;
+
+  std::vector<RuleId> above, below;
+  for (RuleId c : index_.find_overlapping(match)) {
+    if (c == id) continue;
+    (rank(c) < rank(id) ? above : below).push_back(c);
+  }
+
+  for (RuleId s : graph_.successors(id)) delta.removed_edges.emplace_back(id, s);
+  for (RuleId p : graph_.predecessors(id)) delta.removed_edges.emplace_back(p, id);
+  graph_.remove_vertex(id);
+  delta.removed_vertices.push_back(id);
+
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  ranks_.erase(id);
+  matches_.erase(mit);
+  index_.erase(id);
+
+  // Pairs the removed rule used to cover may become direct.
+  for (RuleId u : below) {
+    for (RuleId s : above) {
+      if (graph_.has_edge(u, s)) continue;
+      if (!matches_.at(u).overlaps(matches_.at(s))) continue;
+      if (is_direct(s, u)) {
+        graph_.add_edge(u, s);
+        delta.added_edges.emplace_back(u, s);
+      }
+    }
+  }
+  return delta;
+}
+
+void MinDagMaintainer::bulk_load(
+    const std::vector<std::pair<RuleId, TernaryMatch>>& rules) {
+  order_.clear();
+  ranks_.clear();
+  matches_.clear();
+  index_.clear();
+  graph_ = DependencyGraph();
+
+  order_.reserve(rules.size());
+  for (const auto& [id, match] : rules) {
+    order_.push_back(id);
+    matches_.emplace(id, match);
+    index_.insert(id, match);
+    graph_.add_vertex(id);
+  }
+  renumber();
+
+  // Pairwise with index prefilter: for each rule, only earlier overlapping
+  // rules are dependency candidates.
+  for (RuleId lo : order_) {
+    const uint64_t lo_rank = rank(lo);
+    for (RuleId hi : index_.find_overlapping(matches_.at(lo))) {
+      if (hi == lo || rank(hi) >= lo_rank) continue;
+      if (is_direct(hi, lo)) graph_.add_edge(lo, hi);
+    }
+  }
+}
+
+}  // namespace ruletris::dag

@@ -1,0 +1,134 @@
+#include "flowspace/action.h"
+
+#include <algorithm>
+
+#include "util/strfmt.h"
+
+namespace ruletris::flowspace {
+
+using util::strfmt;
+
+std::string Action::to_string() const {
+  switch (type) {
+    case ActionType::kForward: return strfmt("fwd(%u)", arg);
+    case ActionType::kDrop: return "drop";
+    case ActionType::kToController: return "to_controller";
+    case ActionType::kToSoftware: return "to_software";
+    case ActionType::kCount: return strfmt("count(%u)", arg);
+    case ActionType::kSetField:
+      if (field == FieldId::kSrcIp || field == FieldId::kDstIp) {
+        return strfmt("set(%s=%s)", field_name(field), ip_to_string(arg).c_str());
+      }
+      return strfmt("set(%s=%u)", field_name(field), arg);
+  }
+  return "?";
+}
+
+ActionList::ActionList(std::initializer_list<Action> actions)
+    : actions_(actions) {
+  canonicalize();
+}
+
+ActionList::ActionList(std::vector<Action> actions) : actions_(std::move(actions)) {
+  canonicalize();
+}
+
+void ActionList::canonicalize() {
+  std::sort(actions_.begin(), actions_.end());
+  actions_.erase(std::unique(actions_.begin(), actions_.end()), actions_.end());
+}
+
+void ActionList::add(const Action& a) {
+  actions_.push_back(a);
+  canonicalize();
+}
+
+bool ActionList::contains(ActionType t) const {
+  return std::any_of(actions_.begin(), actions_.end(),
+                     [t](const Action& a) { return a.type == t; });
+}
+
+std::vector<Action> ActionList::set_fields() const {
+  std::vector<Action> out;
+  for (const Action& a : actions_) {
+    if (a.is_set_field()) out.push_back(a);
+  }
+  return out;
+}
+
+ActionList ActionList::parallel_union(const ActionList& a, const ActionList& b) {
+  std::vector<Action> merged = a.actions_;
+  merged.insert(merged.end(), b.actions_.begin(), b.actions_.end());
+  return ActionList(std::move(merged));
+}
+
+ActionList ActionList::sequential_merge(const ActionList& left, const ActionList& right) {
+  std::vector<Action> merged;
+  // Left's rewrites survive unless the right rewrites the same field.
+  for (const Action& a : left.actions_) {
+    if (!a.is_set_field()) {
+      if (a.type != ActionType::kForward) merged.push_back(a);  // terminals union;
+      // a left Forward is consumed by feeding the packet to the right stage.
+      continue;
+    }
+    const bool overridden =
+        std::any_of(right.actions_.begin(), right.actions_.end(), [&](const Action& b) {
+          return b.is_set_field() && b.field == a.field;
+        });
+    if (!overridden) merged.push_back(a);
+  }
+  merged.insert(merged.end(), right.actions_.begin(), right.actions_.end());
+  return ActionList(std::move(merged));
+}
+
+Packet ActionList::apply_rewrites(const Packet& p) const {
+  Packet out = p;
+  for (const Action& a : actions_) {
+    if (a.is_set_field()) out.set(a.field, a.arg);
+  }
+  return out;
+}
+
+TernaryMatch ActionList::apply_rewrites(const TernaryMatch& m) const {
+  TernaryMatch out = m;
+  for (const Action& a : actions_) {
+    if (a.is_set_field()) out.set_exact(a.field, a.arg);
+  }
+  return out;
+}
+
+std::optional<TernaryMatch> ActionList::rewrite_preimage(const TernaryMatch& m) const {
+  TernaryMatch out = m;
+  for (const Action& a : actions_) {
+    if (!a.is_set_field()) continue;
+    const FieldTernary& ft = m.field(a.field);
+    // After the rewrite the field equals a.arg; `m` accepts that iff its
+    // constraint is compatible. If so, the original value is unconstrained.
+    if (((a.arg ^ ft.value) & ft.mask) != 0) return std::nullopt;
+    out.set_wildcard(a.field);
+  }
+  return out;
+}
+
+size_t ActionList::hash() const {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const Action& a : actions_) {
+    h ^= (static_cast<uint64_t>(a.type) << 40) ^
+         (static_cast<uint64_t>(a.field) << 32) ^ a.arg;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string ActionList::to_string() const {
+  if (actions_.empty()) return "[]";
+  std::string out = "[";
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    if (i) out += ", ";
+    out += actions_[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ruletris::flowspace

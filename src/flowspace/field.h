@@ -1,0 +1,77 @@
+// Header-field vocabulary for the flow-space algebra.
+//
+// RuleTris composes OpenFlow-style rules over a fixed multi-field header.
+// We model the classic 5-tuple plus ingress port and EtherType, which covers
+// every workload in the paper (L3-L4 monitoring, L3 routing, L3-L4 NAT).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ruletris::flowspace {
+
+enum class FieldId : uint8_t {
+  kInPort = 0,
+  kEthType = 1,
+  kIpProto = 2,
+  kSrcIp = 3,
+  kDstIp = 4,
+  kSrcPort = 5,
+  kDstPort = 6,
+};
+
+inline constexpr size_t kNumFields = 7;
+
+inline constexpr std::array<FieldId, kNumFields> kAllFields = {
+    FieldId::kInPort, FieldId::kEthType, FieldId::kIpProto, FieldId::kSrcIp,
+    FieldId::kDstIp,  FieldId::kSrcPort, FieldId::kDstPort,
+};
+
+/// Bit width of each field.
+constexpr uint32_t field_width(FieldId f) {
+  switch (f) {
+    case FieldId::kInPort: return 8;
+    case FieldId::kEthType: return 16;
+    case FieldId::kIpProto: return 8;
+    case FieldId::kSrcIp: return 32;
+    case FieldId::kDstIp: return 32;
+    case FieldId::kSrcPort: return 16;
+    case FieldId::kDstPort: return 16;
+  }
+  return 0;
+}
+
+/// All-ones mask of the field's width (the "fully specified" mask).
+constexpr uint32_t field_full_mask(FieldId f) {
+  const uint32_t w = field_width(f);
+  return w >= 32 ? 0xffffffffu : ((1u << w) - 1u);
+}
+
+constexpr const char* field_name(FieldId f) {
+  switch (f) {
+    case FieldId::kInPort: return "in_port";
+    case FieldId::kEthType: return "eth_type";
+    case FieldId::kIpProto: return "ip_proto";
+    case FieldId::kSrcIp: return "src_ip";
+    case FieldId::kDstIp: return "dst_ip";
+    case FieldId::kSrcPort: return "src_port";
+    case FieldId::kDstPort: return "dst_port";
+  }
+  return "?";
+}
+
+constexpr size_t field_index(FieldId f) { return static_cast<size_t>(f); }
+
+/// A concrete packet header: one value per field. Used by lookup semantics
+/// and the semantic-equivalence property tests.
+struct Packet {
+  std::array<uint32_t, kNumFields> fields{};
+
+  uint32_t get(FieldId f) const { return fields[field_index(f)]; }
+  void set(FieldId f, uint32_t v) { fields[field_index(f)] = v & field_full_mask(f); }
+};
+
+std::string ip_to_string(uint32_t ip);
+
+}  // namespace ruletris::flowspace

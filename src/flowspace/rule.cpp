@@ -1,0 +1,85 @@
+#include "flowspace/rule.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "util/strfmt.h"
+
+namespace ruletris::flowspace {
+
+using util::strfmt;
+
+RuleId next_rule_id() {
+  static std::atomic<RuleId> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Rule::to_string() const {
+  return strfmt("#%llu prio=%d %s -> %s", static_cast<unsigned long long>(id),
+                priority, match.to_string().c_str(), actions.to_string().c_str());
+}
+
+FlowTable::FlowTable(std::vector<Rule> rules) : rules_(std::move(rules)) {
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const Rule& a, const Rule& b) { return a.priority > b.priority; });
+  reindex();
+}
+
+void FlowTable::reindex() {
+  index_.clear();
+  index_.reserve(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) index_[rules_[i].id] = i;
+}
+
+const Rule& FlowTable::rule(RuleId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("FlowTable::rule: unknown id");
+  return rules_[it->second];
+}
+
+RuleId FlowTable::insert(Rule rule) {
+  const RuleId id = rule.id;
+  if (id == kInvalidRuleId) throw std::invalid_argument("FlowTable::insert: invalid id");
+  if (index_.count(id)) throw std::invalid_argument("FlowTable::insert: duplicate id");
+  // Insert after all existing rules with >= priority (stable tie order).
+  auto it = std::upper_bound(
+      rules_.begin(), rules_.end(), rule.priority,
+      [](int32_t p, const Rule& r) { return p > r.priority; });
+  rules_.insert(it, std::move(rule));
+  reindex();
+  return id;
+}
+
+std::optional<Rule> FlowTable::erase(RuleId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  Rule removed = std::move(rules_[it->second]);
+  rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(it->second));
+  reindex();
+  return removed;
+}
+
+const Rule* FlowTable::lookup(const Packet& p) const {
+  for (const Rule& r : rules_) {
+    if (r.match.matches(p)) return &r;
+  }
+  return nullptr;
+}
+
+size_t FlowTable::position(RuleId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("FlowTable::position: unknown id");
+  return it->second;
+}
+
+std::string FlowTable::to_string() const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    out += r.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ruletris::flowspace

@@ -1,0 +1,79 @@
+// Rules and flow tables.
+//
+// A FlowTable is a prioritized rule list with first-match-wins semantics on
+// priority (ties broken by insertion order, matching OpenFlow's undefined
+// tie behaviour deterministically). It is the common abstraction shared by
+// the front-end compilers and by the switch-side table image.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flowspace/action.h"
+#include "flowspace/ternary.h"
+
+namespace ruletris::flowspace {
+
+using RuleId = uint64_t;
+inline constexpr RuleId kInvalidRuleId = 0;
+
+/// Process-wide monotonic rule-id source. Ids are never reused, which lets
+/// provenance maps and DAG deltas refer to rules unambiguously across
+/// updates.
+RuleId next_rule_id();
+
+struct Rule {
+  RuleId id = kInvalidRuleId;
+  TernaryMatch match;
+  ActionList actions;
+  int32_t priority = 0;
+
+  static Rule make(TernaryMatch match, ActionList actions, int32_t priority) {
+    return Rule{next_rule_id(), std::move(match), std::move(actions), priority};
+  }
+
+  std::string to_string() const;
+};
+
+class FlowTable {
+ public:
+  FlowTable() = default;
+
+  /// Builds a table from rules; keeps them sorted by descending priority
+  /// (stable on ties).
+  explicit FlowTable(std::vector<Rule> rules);
+
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  /// Rules in descending priority order (index 0 = matched first).
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  bool contains(RuleId id) const { return index_.count(id) != 0; }
+  const Rule& rule(RuleId id) const;
+
+  /// Inserts keeping the priority order; returns the rule's id.
+  RuleId insert(Rule rule);
+
+  /// Removes by id; returns the removed rule, or nullopt if absent.
+  std::optional<Rule> erase(RuleId id);
+
+  /// First-match lookup; nullptr when no rule matches.
+  const Rule* lookup(const Packet& p) const;
+
+  /// Position of the rule in priority order (0 = highest).
+  size_t position(RuleId id) const;
+
+  std::string to_string() const;
+
+ private:
+  void reindex();
+
+  std::vector<Rule> rules_;                     // descending priority
+  std::unordered_map<RuleId, size_t> index_;    // id -> position
+};
+
+}  // namespace ruletris::flowspace

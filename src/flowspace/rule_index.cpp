@@ -1,0 +1,63 @@
+#include "flowspace/rule_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ruletris::flowspace {
+
+uint32_t RuleIndex::bucket_of(const TernaryMatch& m) {
+  const FieldTernary& ft = m.field(FieldId::kIpProto);
+  if (ft.mask == field_full_mask(FieldId::kIpProto)) return ft.value;
+  return kWildcardBucket;
+}
+
+void RuleIndex::insert(RuleId id, const TernaryMatch& match) {
+  if (by_id_.count(id)) throw std::invalid_argument("RuleIndex::insert: duplicate id");
+  const uint32_t bucket = bucket_of(match);
+  buckets_[bucket].push_back(Entry{id, match});
+  by_id_[id] = bucket;
+}
+
+void RuleIndex::erase(RuleId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  auto& vec = buckets_[it->second];
+  vec.erase(std::remove_if(vec.begin(), vec.end(),
+                           [id](const Entry& e) { return e.id == id; }),
+            vec.end());
+  by_id_.erase(it);
+}
+
+void RuleIndex::clear() {
+  buckets_.clear();
+  by_id_.clear();
+}
+
+void RuleIndex::scan_bucket(uint32_t bucket, const TernaryMatch& m,
+                            std::vector<RuleId>& out) const {
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) return;
+  for (const Entry& e : it->second) {
+    if (e.match.overlaps(m)) out.push_back(e.id);
+  }
+}
+
+std::vector<RuleId> RuleIndex::find_overlapping(const TernaryMatch& m) const {
+  std::vector<RuleId> out;
+  const uint32_t bucket = bucket_of(m);
+  if (bucket == kWildcardBucket) {
+    // A proto-wildcard query can overlap any bucket.
+    for (const auto& [key, entries] : buckets_) {
+      (void)key;
+      for (const Entry& e : entries) {
+        if (e.match.overlaps(m)) out.push_back(e.id);
+      }
+    }
+  } else {
+    scan_bucket(bucket, m, out);
+    scan_bucket(kWildcardBucket, m, out);
+  }
+  return out;
+}
+
+}  // namespace ruletris::flowspace

@@ -1,0 +1,47 @@
+// Overlap index over rule matches.
+//
+// Incremental composition (Sec. IV-C) repeatedly asks "which rules of the
+// other member table overlap this new rule?". Following CoVisor, we keep an
+// index instead of scanning the whole table: rules are bucketed by their
+// ip_proto constraint (the most selective exactly-matched field in the
+// paper's workloads), and candidates are rejected with the cheap per-field
+// overlap test.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flowspace/rule.h"
+
+namespace ruletris::flowspace {
+
+class RuleIndex {
+ public:
+  void insert(RuleId id, const TernaryMatch& match);
+  void erase(RuleId id);
+  void clear();
+
+  size_t size() const { return by_id_.size(); }
+
+  /// Ids of all indexed matches that overlap `m` (unordered).
+  std::vector<RuleId> find_overlapping(const TernaryMatch& m) const;
+
+ private:
+  struct Entry {
+    RuleId id;
+    TernaryMatch match;
+  };
+
+  // Bucket key: ip_proto value when exactly matched, or the wildcard bucket.
+  static constexpr uint32_t kWildcardBucket = 0xffffffffu;
+  static uint32_t bucket_of(const TernaryMatch& m);
+
+  void scan_bucket(uint32_t bucket, const TernaryMatch& m,
+                   std::vector<RuleId>& out) const;
+
+  std::unordered_map<uint32_t, std::vector<Entry>> buckets_;
+  std::unordered_map<RuleId, uint32_t> by_id_;  // id -> bucket
+};
+
+}  // namespace ruletris::flowspace

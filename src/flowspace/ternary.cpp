@@ -1,0 +1,180 @@
+#include "flowspace/ternary.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/strfmt.h"
+
+namespace ruletris::flowspace {
+
+using util::strfmt;
+
+std::string ip_to_string(uint32_t ip) {
+  return strfmt("%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+}
+
+TernaryMatch& TernaryMatch::set_exact(FieldId f, uint32_t value) {
+  return set_ternary(f, value, field_full_mask(f));
+}
+
+TernaryMatch& TernaryMatch::set_prefix(FieldId f, uint32_t value, uint32_t prefix_len) {
+  const uint32_t w = field_width(f);
+  if (prefix_len > w) throw std::invalid_argument("prefix_len exceeds field width");
+  const uint32_t mask =
+      prefix_len == 0 ? 0u
+                      : (field_full_mask(f) & ~((prefix_len >= w) ? 0u : ((1u << (w - prefix_len)) - 1u)));
+  return set_ternary(f, value, mask);
+}
+
+TernaryMatch& TernaryMatch::set_ternary(FieldId f, uint32_t value, uint32_t mask) {
+  const uint32_t full = field_full_mask(f);
+  if ((mask & ~full) != 0) throw std::invalid_argument("mask exceeds field width");
+  fields_[field_index(f)] = FieldTernary{value & mask, mask};
+  return *this;
+}
+
+TernaryMatch& TernaryMatch::set_wildcard(FieldId f) {
+  fields_[field_index(f)] = FieldTernary{};
+  return *this;
+}
+
+bool TernaryMatch::is_wildcard() const {
+  for (const auto& ft : fields_) {
+    if (ft.mask != 0) return false;
+  }
+  return true;
+}
+
+bool TernaryMatch::matches(const Packet& p) const {
+  for (size_t i = 0; i < kNumFields; ++i) {
+    if (((p.fields[i] ^ fields_[i].value) & fields_[i].mask) != 0) return false;
+  }
+  return true;
+}
+
+bool TernaryMatch::overlaps(const TernaryMatch& other) const {
+  for (size_t i = 0; i < kNumFields; ++i) {
+    const uint32_t common = fields_[i].mask & other.fields_[i].mask;
+    if (((fields_[i].value ^ other.fields_[i].value) & common) != 0) return false;
+  }
+  return true;
+}
+
+std::optional<TernaryMatch> TernaryMatch::intersect(const TernaryMatch& other) const {
+  if (!overlaps(other)) return std::nullopt;
+  TernaryMatch out;
+  for (size_t i = 0; i < kNumFields; ++i) {
+    out.fields_[i].mask = fields_[i].mask | other.fields_[i].mask;
+    out.fields_[i].value =
+        (fields_[i].value & fields_[i].mask) | (other.fields_[i].value & other.fields_[i].mask);
+  }
+  return out;
+}
+
+bool TernaryMatch::subsumes(const TernaryMatch& other) const {
+  for (size_t i = 0; i < kNumFields; ++i) {
+    // Every bit we care about must be cared about by `other` with the same
+    // value; otherwise `other` has packets outside us (or disagrees).
+    if ((fields_[i].mask & other.fields_[i].mask) != fields_[i].mask) return false;
+    if (((fields_[i].value ^ other.fields_[i].value) & fields_[i].mask) != 0) return false;
+  }
+  return true;
+}
+
+uint32_t TernaryMatch::specified_bits() const {
+  uint32_t n = 0;
+  for (const auto& ft : fields_) n += static_cast<uint32_t>(std::popcount(ft.mask));
+  return n;
+}
+
+std::vector<TernaryMatch> TernaryMatch::subtract(const TernaryMatch& other) const {
+  if (!overlaps(other)) return {*this};
+
+  // Orthogonal split: enumerate bit positions that `other` constrains but we
+  // do not. For the k-th such position, emit the piece of `this` that agrees
+  // with `other` on positions 0..k-1 and disagrees on position k. The pieces
+  // are pairwise disjoint and their union is exactly `this \ other`.
+  std::vector<TernaryMatch> pieces;
+  TernaryMatch agreed = *this;  // progressively constrained to agree with `other`
+  for (size_t i = 0; i < kNumFields; ++i) {
+    uint32_t extra = other.fields_[i].mask & ~fields_[i].mask;
+    while (extra != 0) {
+      const uint32_t bit = extra & (~extra + 1);  // lowest set bit
+      extra &= ~bit;
+      TernaryMatch piece = agreed;
+      piece.fields_[i].mask |= bit;
+      piece.fields_[i].value =
+          (piece.fields_[i].value & ~bit) | (~other.fields_[i].value & bit);
+      pieces.push_back(piece);
+      agreed.fields_[i].mask |= bit;
+      agreed.fields_[i].value =
+          (agreed.fields_[i].value & ~bit) | (other.fields_[i].value & bit);
+    }
+  }
+  // If no extra positions exist, `other` subsumes us given the overlap.
+  return pieces;
+}
+
+Packet TernaryMatch::sample_packet() const {
+  Packet p;
+  for (size_t i = 0; i < kNumFields; ++i) p.fields[i] = fields_[i].value;
+  return p;
+}
+
+size_t TernaryMatch::hash() const {
+  // FNV-1a over the field words.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint32_t w) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& ft : fields_) {
+    mix(ft.value);
+    mix(ft.mask);
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string TernaryMatch::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (FieldId f : kAllFields) {
+    const auto& ft = fields_[field_index(f)];
+    if (ft.mask == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    if (f == FieldId::kSrcIp || f == FieldId::kDstIp) {
+      const uint32_t prefix_len = static_cast<uint32_t>(std::popcount(ft.mask));
+      out += strfmt("%s=%s/%u", field_name(f), ip_to_string(ft.value).c_str(), prefix_len);
+    } else if (ft.mask == field_full_mask(f)) {
+      out += strfmt("%s=%u", field_name(f), ft.value);
+    } else {
+      out += strfmt("%s=0x%x/0x%x", field_name(f), ft.value, ft.mask);
+    }
+  }
+  if (first) out += "*";
+  out += "}";
+  return out;
+}
+
+bool is_covered_by(const TernaryMatch& m, const std::vector<TernaryMatch>& cover,
+                   size_t fragment_limit) {
+  std::vector<TernaryMatch> fragments = {m};
+  for (const TernaryMatch& c : cover) {
+    std::vector<TernaryMatch> next;
+    next.reserve(fragments.size());
+    for (const TernaryMatch& frag : fragments) {
+      auto pieces = frag.subtract(c);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+      if (next.size() > fragment_limit) {
+        throw std::runtime_error("is_covered_by: fragment limit exceeded");
+      }
+    }
+    fragments = std::move(next);
+    if (fragments.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace ruletris::flowspace

@@ -1,0 +1,96 @@
+// Multi-field ternary matches: the flow-space elements of RuleTris.
+//
+// A TernaryMatch constrains each header field with a (value, mask) pair,
+// where mask bits select the cared-about positions. The algebra implemented
+// here — overlap, intersection, subsumption, subtraction — is exactly what
+// the paper's DAG construction (Sec. IV-B) and redundancy elimination
+// (Sec. V-B) require.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flowspace/field.h"
+
+namespace ruletris::flowspace {
+
+/// Ternary constraint on a single field. Canonical form: value bits outside
+/// the mask are zero, and both stay within the field width.
+struct FieldTernary {
+  uint32_t value = 0;
+  uint32_t mask = 0;  // 0 == fully wildcarded
+
+  bool operator==(const FieldTernary&) const = default;
+};
+
+class TernaryMatch {
+ public:
+  /// Constructs the all-wildcard match (matches every packet).
+  TernaryMatch() = default;
+
+  /// The universe match "*".
+  static TernaryMatch wildcard() { return TernaryMatch(); }
+
+  const FieldTernary& field(FieldId f) const { return fields_[field_index(f)]; }
+
+  /// Constrains `f` to exactly `value`.
+  TernaryMatch& set_exact(FieldId f, uint32_t value);
+
+  /// Constrains `f` to the `prefix_len` high bits of `value` (CIDR style).
+  TernaryMatch& set_prefix(FieldId f, uint32_t value, uint32_t prefix_len);
+
+  /// Constrains `f` with an arbitrary ternary (value, mask) pair.
+  TernaryMatch& set_ternary(FieldId f, uint32_t value, uint32_t mask);
+
+  /// Removes any constraint on `f`.
+  TernaryMatch& set_wildcard(FieldId f);
+
+  bool is_wildcard() const;
+  bool matches(const Packet& p) const;
+
+  /// True iff some packet matches both.
+  bool overlaps(const TernaryMatch& other) const;
+
+  /// Intersection of the two flow spaces; nullopt when disjoint.
+  std::optional<TernaryMatch> intersect(const TernaryMatch& other) const;
+
+  /// True iff this match's flow space contains `other`'s entirely.
+  bool subsumes(const TernaryMatch& other) const;
+
+  /// Total number of cared-about (masked) bits; 0 for "*". A coarse
+  /// specificity measure used by generators and diagnostics.
+  uint32_t specified_bits() const;
+
+  /// `this \ other` as a set of pairwise-disjoint ternary matches. Empty
+  /// result means this ⊆ other.
+  std::vector<TernaryMatch> subtract(const TernaryMatch& other) const;
+
+  /// A packet contained in this match (all wildcard bits zeroed).
+  Packet sample_packet() const;
+
+  bool operator==(const TernaryMatch&) const = default;
+
+  /// Stable hash for use as an unordered-map key (the compiler's nested
+  /// key-vertex structure indexes vertices by match).
+  size_t hash() const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<FieldTernary, kNumFields> fields_{};
+};
+
+struct TernaryMatchHash {
+  size_t operator()(const TernaryMatch& m) const { return m.hash(); }
+};
+
+/// True iff `m` is entirely covered by the union of `cover`.
+/// Exact (performs iterative subtraction). `fragment_limit` bounds the
+/// intermediate fragment count; exceeding it throws std::runtime_error —
+/// callers in this repository stay far below the default.
+bool is_covered_by(const TernaryMatch& m, const std::vector<TernaryMatch>& cover,
+                   size_t fragment_limit = 1 << 20);
+
+}  // namespace ruletris::flowspace

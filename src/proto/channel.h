@@ -1,0 +1,25 @@
+// Control-channel latency model.
+//
+// The paper's end-to-end latency decomposes into compilation + channel +
+// firmware + TCAM time; the channel component for an OpenFlow TCP session is
+// dominated by a per-batch RTT plus serialization at line rate. The model is
+// deliberately simple and configurable; figures default to the same
+// decomposition the paper plots (channel excluded from the three bars).
+#pragma once
+
+#include <cstddef>
+
+namespace ruletris::proto {
+
+struct ChannelModel {
+  double per_batch_ms = 0.5;      // one RTT-ish cost per message batch
+  double per_byte_us = 0.0083;    // ~1 Gbps control link: 0.0083 us/byte
+  double per_message_us = 2.0;    // switch-agent parse/dispatch per message
+
+  double batch_latency_ms(size_t messages, size_t bytes) const {
+    return per_batch_ms + static_cast<double>(bytes) * per_byte_us / 1000.0 +
+           static_cast<double>(messages) * per_message_us / 1000.0;
+  }
+};
+
+}  // namespace ruletris::proto

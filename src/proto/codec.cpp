@@ -1,0 +1,229 @@
+#include "proto/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ruletris::proto {
+
+using dag::DagDelta;
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::ActionType;
+using flowspace::FieldId;
+using flowspace::kAllFields;
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::TernaryMatch;
+
+namespace {
+
+enum class MsgType : uint8_t {
+  kAdd = 1,
+  kDelete = 2,
+  kModify = 3,
+  kDagUpdate = 4,
+  kBarrier = 5,
+};
+
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u16(uint16_t v) { raw(&v, 2); }
+  void u32(uint32_t v) { raw(&v, 4); }
+  void u64(uint64_t v) { raw(&v, 8); }
+  void i32(int32_t v) { raw(&v, 4); }
+
+  void match(const TernaryMatch& m) {
+    for (FieldId f : kAllFields) {
+      u32(m.field(f).value);
+      u32(m.field(f).mask);
+    }
+  }
+
+  void actions(const ActionList& list) {
+    u16(static_cast<uint16_t>(list.size()));
+    for (const Action& a : list.actions()) {
+      u8(static_cast<uint8_t>(a.type));
+      u8(static_cast<uint8_t>(a.field));
+      u32(a.arg);
+    }
+  }
+
+  void rule(const Rule& r) {
+    u64(r.id);
+    i32(r.priority);
+    match(r.match);
+    actions(r.actions);
+  }
+
+  void delta(const DagDelta& d) {
+    u32(static_cast<uint32_t>(d.removed_vertices.size()));
+    for (RuleId v : d.removed_vertices) u64(v);
+    u32(static_cast<uint32_t>(d.removed_edges.size()));
+    for (const auto& [a, b] : d.removed_edges) {
+      u64(a);
+      u64(b);
+    }
+    u32(static_cast<uint32_t>(d.added_vertices.size()));
+    for (RuleId v : d.added_vertices) u64(v);
+    u32(static_cast<uint32_t>(d.added_edges.size()));
+    for (const auto& [a, b] : d.added_edges) {
+      u64(a);
+      u64(b);
+    }
+  }
+
+ private:
+  void raw(const void* p, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(p);
+    out_.insert(out_.end(), bytes, bytes + n);  // host is little-endian
+  }
+
+  Bytes& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& in) : in_(in) {}
+
+  bool done() const { return pos_ == in_.size(); }
+
+  uint8_t u8() { return in_.at(require(1)); }
+  uint16_t u16() { return read<uint16_t>(); }
+  uint32_t u32() { return read<uint32_t>(); }
+  uint64_t u64() { return read<uint64_t>(); }
+  int32_t i32() { return read<int32_t>(); }
+
+  TernaryMatch match() {
+    TernaryMatch m;
+    for (FieldId f : kAllFields) {
+      const uint32_t value = u32();
+      const uint32_t mask = u32();
+      m.set_ternary(f, value, mask);
+    }
+    return m;
+  }
+
+  ActionList actions() {
+    const uint16_t n = u16();
+    std::vector<Action> list;
+    list.reserve(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      Action a;
+      a.type = static_cast<ActionType>(u8());
+      a.field = static_cast<FieldId>(u8());
+      a.arg = u32();
+      list.push_back(a);
+    }
+    return ActionList(std::move(list));
+  }
+
+  Rule rule() {
+    Rule r;
+    r.id = u64();
+    r.priority = i32();
+    r.match = match();
+    r.actions = actions();
+    return r;
+  }
+
+  DagDelta delta() {
+    DagDelta d;
+    for (uint32_t i = 0, n = u32(); i < n; ++i) d.removed_vertices.push_back(u64());
+    for (uint32_t i = 0, n = u32(); i < n; ++i) {
+      const RuleId a = u64();
+      const RuleId b = u64();
+      d.removed_edges.emplace_back(a, b);
+    }
+    for (uint32_t i = 0, n = u32(); i < n; ++i) d.added_vertices.push_back(u64());
+    for (uint32_t i = 0, n = u32(); i < n; ++i) {
+      const RuleId a = u64();
+      const RuleId b = u64();
+      d.added_edges.emplace_back(a, b);
+    }
+    return d;
+  }
+
+ private:
+  template <typename T>
+  T read() {
+    T v;
+    std::memcpy(&v, in_.data() + require(sizeof(T)), sizeof(T));
+    return v;
+  }
+
+  size_t require(size_t n) {
+    if (pos_ + n > in_.size()) throw std::runtime_error("codec: truncated message");
+    const size_t at = pos_;
+    pos_ += n;
+    return at;
+  }
+
+  const Bytes& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes encode_batch(const MessageBatch& batch) {
+  Bytes out;
+  Writer w(out);
+  w.u32(static_cast<uint32_t>(batch.size()));
+  for (const Message& msg : batch) {
+    std::visit(
+        [&w](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, FlowModAdd>) {
+            w.u8(static_cast<uint8_t>(MsgType::kAdd));
+            w.rule(m.rule);
+          } else if constexpr (std::is_same_v<T, FlowModDelete>) {
+            w.u8(static_cast<uint8_t>(MsgType::kDelete));
+            w.u64(m.id);
+          } else if constexpr (std::is_same_v<T, FlowModModify>) {
+            w.u8(static_cast<uint8_t>(MsgType::kModify));
+            w.rule(m.rule);
+          } else if constexpr (std::is_same_v<T, DagUpdate>) {
+            w.u8(static_cast<uint8_t>(MsgType::kDagUpdate));
+            w.delta(m.delta);
+          } else {
+            w.u8(static_cast<uint8_t>(MsgType::kBarrier));
+          }
+        },
+        msg);
+  }
+  return out;
+}
+
+MessageBatch decode_batch(const Bytes& bytes) {
+  Reader r(bytes);
+  MessageBatch batch;
+  const uint32_t count = r.u32();
+  batch.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    switch (static_cast<MsgType>(r.u8())) {
+      case MsgType::kAdd:
+        batch.push_back(FlowModAdd{r.rule()});
+        break;
+      case MsgType::kDelete:
+        batch.push_back(FlowModDelete{r.u64()});
+        break;
+      case MsgType::kModify:
+        batch.push_back(FlowModModify{r.rule()});
+        break;
+      case MsgType::kDagUpdate:
+        batch.push_back(DagUpdate{r.delta()});
+        break;
+      case MsgType::kBarrier:
+        batch.push_back(Barrier{});
+        break;
+      default:
+        throw std::runtime_error("codec: unknown message type");
+    }
+  }
+  if (!r.done()) throw std::runtime_error("codec: trailing bytes");
+  return batch;
+}
+
+}  // namespace ruletris::proto

@@ -1,0 +1,29 @@
+// Binary wire codec for control messages.
+//
+// Little-endian, length-prefixed encoding so channel latency can be modeled
+// from real byte counts and so the protocol layer is actually exercised
+// end-to-end (serialize -> byte stream -> parse) rather than passed by
+// reference. Format (all integers little-endian):
+//   batch   := u32 count, count * message
+//   message := u8 type, payload
+//   rule    := u64 id, i32 priority, match, actions
+//   match   := 7 * (u32 value, u32 mask)
+//   actions := u16 count, count * (u8 type, u8 field, u32 arg)
+//   delta   := 4 length-prefixed sections (vertices/edges removed/added)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/messages.h"
+
+namespace ruletris::proto {
+
+using Bytes = std::vector<uint8_t>;
+
+Bytes encode_batch(const MessageBatch& batch);
+
+/// Throws std::runtime_error on malformed input.
+MessageBatch decode_batch(const Bytes& bytes);
+
+}  // namespace ruletris::proto

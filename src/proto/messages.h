@@ -1,0 +1,44 @@
+// Control-channel messages: OpenFlow-style flow-mods plus the RuleTris DAG
+// extension (Sec. III-B(c), VI).
+//
+// RuleTris extends OpenFlow v1.3 with experimenter messages that carry the
+// DAG or incremental DAG updates from the front-end compiler to the switch
+// firmware. We model the same message vocabulary: prioritized flow-mods for
+// the baseline compilers, and flow-mods + DagUpdate for RuleTris.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "flowspace/rule.h"
+
+namespace ruletris::proto {
+
+struct FlowModAdd {
+  flowspace::Rule rule;  // priority used by priority firmware, ignored by DAG firmware
+};
+
+struct FlowModDelete {
+  flowspace::RuleId id = 0;
+};
+
+struct FlowModModify {
+  flowspace::Rule rule;
+};
+
+/// Experimenter message carrying an incremental DAG update.
+struct DagUpdate {
+  dag::DagDelta delta;
+};
+
+/// Fences a batch; the switch replies when everything before is applied.
+struct Barrier {};
+
+using Message =
+    std::variant<FlowModAdd, FlowModDelete, FlowModModify, DagUpdate, Barrier>;
+
+using MessageBatch = std::vector<Message>;
+
+}  // namespace ruletris::proto

@@ -1,0 +1,41 @@
+#include "switchsim/adapters.h"
+
+namespace ruletris::switchsim {
+
+using proto::MessageBatch;
+
+MessageBatch to_messages(const compiler::TableUpdate& update) {
+  MessageBatch batch;
+  batch.reserve(update.removed.size() + update.added.size() + 2);
+  for (flowspace::RuleId id : update.removed) {
+    batch.push_back(proto::FlowModDelete{id});
+  }
+  batch.push_back(proto::DagUpdate{update.dag});
+  for (const flowspace::Rule& r : update.added) {
+    batch.push_back(proto::FlowModAdd{r});
+  }
+  batch.push_back(proto::Barrier{});
+  return batch;
+}
+
+MessageBatch to_messages(const compiler::PrioritizedUpdate& update) {
+  MessageBatch batch;
+  batch.reserve(update.size() + 1);
+  for (const compiler::PrioritizedOp& op : update) {
+    switch (op.kind) {
+      case compiler::PrioritizedOp::Kind::kAdd:
+        batch.push_back(proto::FlowModAdd{op.rule});
+        break;
+      case compiler::PrioritizedOp::Kind::kDelete:
+        batch.push_back(proto::FlowModDelete{op.rule.id});
+        break;
+      case compiler::PrioritizedOp::Kind::kModify:
+        batch.push_back(proto::FlowModModify{op.rule});
+        break;
+    }
+  }
+  batch.push_back(proto::Barrier{});
+  return batch;
+}
+
+}  // namespace ruletris::switchsim

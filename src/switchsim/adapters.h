@@ -1,0 +1,16 @@
+// Adapters from compiler outputs to protocol message batches.
+#pragma once
+
+#include "compiler/prioritized.h"
+#include "compiler/update.h"
+#include "proto/messages.h"
+
+namespace ruletris::switchsim {
+
+/// RuleTris update -> [deletes..., DagUpdate, adds..., Barrier].
+proto::MessageBatch to_messages(const compiler::TableUpdate& update);
+
+/// Baseline/CoVisor update -> prioritized flow-mods + Barrier.
+proto::MessageBatch to_messages(const compiler::PrioritizedUpdate& update);
+
+}  // namespace ruletris::switchsim

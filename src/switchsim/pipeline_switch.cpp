@@ -1,0 +1,81 @@
+#include "switchsim/pipeline_switch.h"
+
+#include "proto/codec.h"
+#include "tcam/backend_update.h"
+#include "util/timer.h"
+
+namespace ruletris::switchsim {
+
+using flowspace::ActionList;
+using flowspace::Packet;
+using proto::Message;
+using proto::MessageBatch;
+
+MultiTableSwitch::MultiTableSwitch(std::vector<size_t> stage_capacities,
+                                   proto::ChannelModel channel)
+    : channel_(channel) {
+  stages_.reserve(stage_capacities.size());
+  for (size_t capacity : stage_capacities) {
+    Stage stage;
+    stage.tcam = std::make_unique<tcam::Tcam>(capacity);
+    stage.scheduler = std::make_unique<tcam::DagScheduler>(*stage.tcam);
+    stages_.push_back(std::move(stage));
+  }
+}
+
+UpdateMetrics MultiTableSwitch::deliver(size_t stage_idx, const MessageBatch& batch) {
+  Stage& stage = stages_.at(stage_idx);
+
+  const proto::Bytes wire = proto::encode_batch(batch);
+  const MessageBatch decoded = proto::decode_batch(wire);
+
+  UpdateMetrics metrics;
+  const auto before = stage.tcam->stats();
+  util::Stopwatch watch;
+
+  tcam::BackendUpdate update;
+  for (const Message& msg : decoded) {
+    if (const auto* del = std::get_if<proto::FlowModDelete>(&msg)) {
+      update.removed.push_back(del->id);
+    } else if (const auto* add = std::get_if<proto::FlowModAdd>(&msg)) {
+      update.added.push_back(add->rule);
+    } else if (const auto* mod = std::get_if<proto::FlowModModify>(&msg)) {
+      update.removed.push_back(mod->rule.id);
+      update.added.push_back(mod->rule);
+    } else if (const auto* dag = std::get_if<proto::DagUpdate>(&msg)) {
+      auto& d = update.dag;
+      const auto& in = dag->delta;
+      d.removed_vertices.insert(d.removed_vertices.end(), in.removed_vertices.begin(),
+                                in.removed_vertices.end());
+      d.removed_edges.insert(d.removed_edges.end(), in.removed_edges.begin(),
+                             in.removed_edges.end());
+      d.added_vertices.insert(d.added_vertices.end(), in.added_vertices.begin(),
+                              in.added_vertices.end());
+      d.added_edges.insert(d.added_edges.end(), in.added_edges.begin(),
+                           in.added_edges.end());
+    }
+  }
+  metrics.ok = stage.scheduler->apply(update);
+  metrics.firmware_ms = watch.elapsed_ms();
+
+  const auto after = stage.tcam->stats();
+  metrics.entry_writes = after.entry_writes - before.entry_writes;
+  metrics.moves = after.moves - before.moves;
+  metrics.tcam_ms = static_cast<double>(metrics.entry_writes) * tcam::kEntryWriteMs;
+  metrics.channel_ms = channel_.batch_latency_ms(batch.size(), wire.size());
+  return metrics;
+}
+
+ActionList MultiTableSwitch::process(const Packet& packet) const {
+  Packet current = packet;
+  ActionList accumulated;
+  for (const Stage& stage : stages_) {
+    const flowspace::Rule* hit = stage.tcam->lookup(current);
+    if (hit == nullptr) continue;  // stage miss: identity
+    accumulated = ActionList::sequential_merge(accumulated, hit->actions);
+    current = hit->actions.apply_rewrites(current);
+  }
+  return accumulated;
+}
+
+}  // namespace ruletris::switchsim

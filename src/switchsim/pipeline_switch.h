@@ -1,0 +1,58 @@
+// Multi-table pipeline switch — the paper's Sec. VIII extension.
+//
+// "If we have two TCAM tables in a pipeline, the dependencies between the
+// two modules in a sequential composition can be decoupled by placing the
+// first one in the first TCAM and the second module in the second TCAM."
+//
+// Each stage is an independent TCAM driven by its own DAG scheduler; a
+// packet traverses the stages left to right, each stage's winning rule
+// rewriting the header before the next stage matches (exactly the
+// sequential-composition semantics of Sec. IV-A). A member-table update
+// then touches only its own stage: no cross-product recompilation, no
+// cross-module dependencies, member-sized flow tables.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "flowspace/action.h"
+#include "proto/channel.h"
+#include "proto/messages.h"
+#include "switchsim/switch.h"
+#include "tcam/dag_scheduler.h"
+#include "tcam/tcam.h"
+
+namespace ruletris::switchsim {
+
+class MultiTableSwitch {
+ public:
+  /// One capacity per pipeline stage (matching the composition's members,
+  /// left to right).
+  explicit MultiTableSwitch(std::vector<size_t> stage_capacities,
+                            proto::ChannelModel channel = {});
+
+  size_t stage_count() const { return stages_.size(); }
+  tcam::Tcam& tcam(size_t stage) { return *stages_.at(stage).tcam; }
+  const tcam::Tcam& tcam(size_t stage) const { return *stages_.at(stage).tcam; }
+  tcam::DagScheduler& firmware(size_t stage) { return *stages_.at(stage).scheduler; }
+
+  /// Applies a barrier-fenced update batch to one stage.
+  UpdateMetrics deliver(size_t stage, const proto::MessageBatch& batch);
+
+  /// End-to-end pipeline decision: the packet flows through every stage,
+  /// each stage's winner rewriting the header for the next; the returned
+  /// action list merges the stages with sequential semantics. A stage miss
+  /// contributes nothing (identity).
+  flowspace::ActionList process(const flowspace::Packet& packet) const;
+
+ private:
+  struct Stage {
+    std::unique_ptr<tcam::Tcam> tcam;
+    std::unique_ptr<tcam::DagScheduler> scheduler;
+  };
+
+  proto::ChannelModel channel_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace ruletris::switchsim

@@ -1,0 +1,101 @@
+#include "switchsim/switch.h"
+
+#include <stdexcept>
+
+#include "tcam/backend_update.h"
+#include "util/timer.h"
+
+namespace ruletris::switchsim {
+
+using proto::Barrier;
+using proto::DagUpdate;
+using proto::FlowModAdd;
+using proto::FlowModDelete;
+using proto::FlowModModify;
+using proto::Message;
+using proto::MessageBatch;
+
+SimulatedSwitch::SimulatedSwitch(FirmwareMode mode, size_t tcam_capacity,
+                                 proto::ChannelModel channel)
+    : mode_(mode), channel_(channel), tcam_(std::make_unique<tcam::Tcam>(tcam_capacity)) {
+  if (mode_ == FirmwareMode::kDag) {
+    dag_ = std::make_unique<tcam::DagScheduler>(*tcam_);
+  } else {
+    priority_ = std::make_unique<tcam::PriorityFirmware>(*tcam_);
+  }
+}
+
+tcam::DagScheduler& SimulatedSwitch::dag_firmware() {
+  if (!dag_) throw std::logic_error("switch runs the priority firmware");
+  return *dag_;
+}
+
+tcam::PriorityFirmware& SimulatedSwitch::priority_firmware() {
+  if (!priority_) throw std::logic_error("switch runs the DAG firmware");
+  return *priority_;
+}
+
+UpdateMetrics SimulatedSwitch::deliver(const MessageBatch& batch) {
+  const proto::Bytes wire = proto::encode_batch(batch);
+  const MessageBatch decoded = proto::decode_batch(wire);
+
+  UpdateMetrics metrics = apply_decoded(decoded);
+  metrics.channel_ms = channel_.batch_latency_ms(batch.size(), wire.size());
+  return metrics;
+}
+
+UpdateMetrics SimulatedSwitch::apply_decoded(const MessageBatch& batch) {
+  UpdateMetrics metrics;
+  const auto before = tcam_->stats();
+  util::Stopwatch watch;
+
+  if (mode_ == FirmwareMode::kDag) {
+    // One barrier-fenced transaction: fold the flow-mods and DAG updates
+    // into a single back-end update so inserts are scheduled with full
+    // dependency knowledge.
+    tcam::BackendUpdate update;
+    for (const Message& msg : batch) {
+      if (const auto* del = std::get_if<FlowModDelete>(&msg)) {
+        update.removed.push_back(del->id);
+      } else if (const auto* add = std::get_if<FlowModAdd>(&msg)) {
+        update.added.push_back(add->rule);
+      } else if (const auto* mod = std::get_if<FlowModModify>(&msg)) {
+        update.removed.push_back(mod->rule.id);
+        update.added.push_back(mod->rule);
+      } else if (const auto* dag = std::get_if<DagUpdate>(&msg)) {
+        auto& d = update.dag;
+        const auto& in = dag->delta;
+        d.removed_vertices.insert(d.removed_vertices.end(),
+                                  in.removed_vertices.begin(), in.removed_vertices.end());
+        d.removed_edges.insert(d.removed_edges.end(), in.removed_edges.begin(),
+                               in.removed_edges.end());
+        d.added_vertices.insert(d.added_vertices.end(), in.added_vertices.begin(),
+                                in.added_vertices.end());
+        d.added_edges.insert(d.added_edges.end(), in.added_edges.begin(),
+                             in.added_edges.end());
+      }
+    }
+    metrics.ok = dag_->apply(update);
+  } else {
+    compiler::PrioritizedUpdate update;
+    for (const Message& msg : batch) {
+      if (const auto* del = std::get_if<FlowModDelete>(&msg)) {
+        update.push_back(compiler::PrioritizedOp::del(del->id));
+      } else if (const auto* add = std::get_if<FlowModAdd>(&msg)) {
+        update.push_back(compiler::PrioritizedOp::add(add->rule));
+      } else if (const auto* mod = std::get_if<FlowModModify>(&msg)) {
+        update.push_back(compiler::PrioritizedOp::mod(mod->rule));
+      }
+    }
+    metrics.ok = priority_->apply(update);
+  }
+
+  metrics.firmware_ms = watch.elapsed_ms();
+  const auto after = tcam_->stats();
+  metrics.entry_writes = after.entry_writes - before.entry_writes;
+  metrics.moves = after.moves - before.moves;
+  metrics.tcam_ms = static_cast<double>(metrics.entry_writes) * tcam::kEntryWriteMs;
+  return metrics;
+}
+
+}  // namespace ruletris::switchsim

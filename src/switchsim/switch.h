@@ -1,0 +1,63 @@
+// Simulated hardware switch: control channel + firmware + TCAM.
+//
+// Substitutes for the paper's ONetSwitch prototype (Sec. VI). A switch runs
+// one of two firmwares: the RuleTris DAG back-end (DagScheduler) or the
+// stock priority-based firmware (PriorityFirmware). Updates arrive as
+// encoded protocol batches; the switch decodes and applies them, reporting
+// the same latency decomposition the paper measures — channel time, firmware
+// computation time (wall clock), and TCAM update time (entry writes x
+// 0.6 ms).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "proto/channel.h"
+#include "proto/codec.h"
+#include "proto/messages.h"
+#include "tcam/dag_scheduler.h"
+#include "tcam/priority_firmware.h"
+#include "tcam/tcam.h"
+
+namespace ruletris::switchsim {
+
+enum class FirmwareMode { kDag, kPriority };
+
+struct UpdateMetrics {
+  bool ok = true;
+  double channel_ms = 0.0;   // modelled transfer latency
+  double firmware_ms = 0.0;  // measured schedule computation time
+  double tcam_ms = 0.0;      // modelled: entry writes x 0.6 ms
+  size_t entry_writes = 0;
+  size_t moves = 0;
+
+  double total_ms() const { return channel_ms + firmware_ms + tcam_ms; }
+};
+
+class SimulatedSwitch {
+ public:
+  SimulatedSwitch(FirmwareMode mode, size_t tcam_capacity,
+                  proto::ChannelModel channel = {});
+
+  /// Encodes, "transfers", decodes and applies a batch; one barrier-fenced
+  /// update transaction.
+  UpdateMetrics deliver(const proto::MessageBatch& batch);
+
+  FirmwareMode mode() const { return mode_; }
+  tcam::Tcam& tcam() { return *tcam_; }
+  const tcam::Tcam& tcam() const { return *tcam_; }
+
+  tcam::DagScheduler& dag_firmware();
+  tcam::PriorityFirmware& priority_firmware();
+
+ private:
+  UpdateMetrics apply_decoded(const proto::MessageBatch& batch);
+
+  FirmwareMode mode_;
+  proto::ChannelModel channel_;
+  std::unique_ptr<tcam::Tcam> tcam_;
+  std::unique_ptr<tcam::DagScheduler> dag_;
+  std::unique_ptr<tcam::PriorityFirmware> priority_;
+};
+
+}  // namespace ruletris::switchsim

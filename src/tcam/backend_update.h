@@ -1,0 +1,21 @@
+// The update message consumed by the DAG-aware back-end: incremental rule
+// removals and additions plus the minimum-DAG delta (Sec. III-B). Mirrors
+// compiler::TableUpdate, re-declared here so the back-end stays independent
+// of the front-end library (in deployment it sits on the switch and receives
+// this via the OpenFlow DAG extension, src/proto).
+#pragma once
+
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "flowspace/rule.h"
+
+namespace ruletris::tcam {
+
+struct BackendUpdate {
+  std::vector<flowspace::RuleId> removed;
+  std::vector<flowspace::Rule> added;  // priorities ignored by the DAG back-end
+  dag::DagDelta dag;
+};
+
+}  // namespace ruletris::tcam

@@ -1,0 +1,185 @@
+#include "tcam/cacheflow.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ruletris::tcam {
+
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::ActionType;
+using flowspace::Packet;
+using flowspace::Rule;
+using flowspace::RuleId;
+
+CacheFlowManager::CacheFlowManager(std::vector<Rule> rules, dag::DependencyGraph graph,
+                                   Mode mode, size_t tcam_capacity)
+    : full_graph_(std::move(graph)), mode_(mode), tcam_(std::make_unique<Tcam>(tcam_capacity)) {
+  for (Rule& r : rules) {
+    full_graph_.add_vertex(r.id);
+    rules_.emplace(r.id, std::move(r));
+  }
+  if (mode_ == Mode::kDagFirmware) {
+    dag_firmware_ = std::make_unique<DagScheduler>(*tcam_);
+  } else {
+    priority_firmware_ = std::make_unique<PriorityFirmware>(*tcam_);
+  }
+}
+
+bool CacheFlowManager::firmware_insert(const Rule& rule,
+                                       const std::vector<RuleId>& above_ids,
+                                       const std::vector<RuleId>& below_ids) {
+  if (mode_ == Mode::kDagFirmware) {
+    dag_firmware_->graph().add_vertex(rule.id);
+    for (RuleId a : above_ids) dag_firmware_->graph().add_edge(rule.id, a);
+    for (RuleId b : below_ids) dag_firmware_->graph().add_edge(b, rule.id);
+    if (dag_firmware_->insert(rule)) return true;
+    dag_firmware_->graph().remove_vertex(rule.id);  // keep state rollback-clean
+    return false;
+  }
+  return priority_firmware_->insert(rule);
+}
+
+void CacheFlowManager::firmware_remove(RuleId id) {
+  if (mode_ == Mode::kDagFirmware) {
+    dag_firmware_->remove(id);
+  } else {
+    priority_firmware_->remove(id);
+  }
+}
+
+bool CacheFlowManager::ensure_cover(RuleId dep) {
+  auto [it, inserted] = cover_refs_.try_emplace(dep, 0);
+  ++it->second;
+  if (!inserted) return true;  // cover already installed
+
+  const Rule& target = full_rule(dep);
+  Rule cover{flowspace::next_rule_id(), target.match,
+             ActionList{Action::to_software()}, target.priority};
+  cover_ids_[dep] = cover.id;
+  // A cover only punts, so it needs no constraints of its own; the edges
+  // from future dependents are added at their insert time.
+  if (!firmware_insert(cover, {}, {})) {
+    util::log_warn("CacheFlow: TCAM full while installing cover rule");
+    cover_ids_.erase(dep);
+    cover_refs_.erase(dep);
+    return false;
+  }
+  return true;
+}
+
+void CacheFlowManager::release_cover(RuleId dep) {
+  auto it = cover_refs_.find(dep);
+  if (it == cover_refs_.end()) return;
+  if (--it->second > 0) return;
+  firmware_remove(cover_ids_.at(dep));
+  cover_ids_.erase(dep);
+  cover_refs_.erase(it);
+}
+
+bool CacheFlowManager::install(RuleId id) {
+  if (cached_.count(id)) return true;
+  auto rit = rules_.find(id);
+  if (rit == rules_.end()) throw std::out_of_range("CacheFlow: unknown rule");
+
+  // Cover-set: every direct dependency must be present (really or as punt).
+  // Cover acquisitions are rolled back if anything fails (full TCAM), so a
+  // failed install leaves the cache state untouched.
+  std::vector<RuleId> above;
+  std::vector<RuleId> acquired;
+  auto rollback = [this, &acquired] {
+    for (RuleId dep : acquired) release_cover(dep);
+  };
+  for (RuleId dep : full_graph_.successors(id)) {
+    if (cached_.count(dep)) {
+      above.push_back(dep);
+      continue;
+    }
+    if (!ensure_cover(dep)) {
+      rollback();
+      return false;
+    }
+    acquired.push_back(dep);
+    above.push_back(cover_ids_.at(dep));
+  }
+  // Cached rules that depend on `id` must sit below it.
+  std::vector<RuleId> below;
+  for (RuleId pred : full_graph_.predecessors(id)) {
+    if (cached_.count(pred)) below.push_back(pred);
+  }
+
+  if (!firmware_insert(rit->second, above, below)) {
+    rollback();
+    return false;
+  }
+  cached_.insert(id);
+
+  // If a cover was standing in for `id`, the real rule supersedes it.
+  auto cit = cover_ids_.find(id);
+  if (cit != cover_ids_.end()) {
+    firmware_remove(cit->second);
+    cover_ids_.erase(cit);
+    cover_refs_.erase(id);
+  }
+  return true;
+}
+
+void CacheFlowManager::evict(RuleId id) {
+  if (!cached_.count(id)) return;
+
+  std::vector<RuleId> cached_dependents;
+  for (RuleId pred : full_graph_.predecessors(id)) {
+    if (cached_.count(pred)) cached_dependents.push_back(pred);
+  }
+
+  firmware_remove(id);
+  cached_.erase(id);
+
+  if (!cached_dependents.empty()) {
+    // Demote to a cover: dependents still need the ambiguity resolved.
+    const Rule& target = full_rule(id);
+    Rule cover{flowspace::next_rule_id(), target.match,
+               ActionList{Action::to_software()}, target.priority};
+    cover_ids_[id] = cover.id;
+    cover_refs_[id] = cached_dependents.size();
+    if (!firmware_insert(cover, {}, cached_dependents)) {
+      util::log_warn("CacheFlow: TCAM full while demoting rule to cover");
+      cover_ids_.erase(id);
+      cover_refs_.erase(id);
+    }
+  }
+
+  for (RuleId dep : full_graph_.successors(id)) {
+    if (!cached_.count(dep)) release_cover(dep);
+  }
+}
+
+bool CacheFlowManager::swap(RuleId out_id, RuleId in_id) {
+  evict(out_id);
+  return install(in_id);
+}
+
+std::vector<RuleId> CacheFlowManager::cached_rules() const {
+  return {cached_.begin(), cached_.end()};
+}
+
+bool CacheFlowManager::lookup_consistent(const Packet& packet) const {
+  const Rule* hit = tcam_->lookup(packet);
+  if (hit == nullptr) return true;  // TCAM miss: default punt to software
+  if (hit->actions.contains(ActionType::kToSoftware)) return true;  // explicit punt
+
+  // Fast-path hit: must agree with the full table's decision.
+  const Rule* truth = nullptr;
+  int32_t best = INT32_MIN;
+  for (const auto& [id, r] : rules_) {
+    (void)id;
+    if (r.priority > best && r.match.matches(packet)) {
+      truth = &r;
+      best = r.priority;
+    }
+  }
+  return truth != nullptr && truth->id == hit->id;
+}
+
+}  // namespace ruletris::tcam

@@ -1,0 +1,84 @@
+// CacheFlow manager (Sec. V-C; Katta et al., HotSDN'14).
+//
+// Maintains a two-level rule cache: the TCAM holds a hot subset of a large
+// rule table, and correctness is preserved by installing "cover-set" rules —
+// for every direct DAG dependency of a cached rule whose target is not
+// itself cached, a punt rule with the target's match and a to-software
+// action sits above the cached rule, redirecting ambiguous packets to the
+// slow path. Swaps (evict one rule, install another) are driven either by
+// the DAG scheduler (RuleTris back-end) or by the priority firmware
+// (baseline), which is exactly the comparison of Fig. 11.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "flowspace/rule.h"
+#include "tcam/dag_scheduler.h"
+#include "tcam/priority_firmware.h"
+#include "tcam/tcam.h"
+
+namespace ruletris::tcam {
+
+class CacheFlowManager {
+ public:
+  enum class Mode { kDagFirmware, kPriorityFirmware };
+
+  /// `rules` is the full rule set (matched-first order with priorities set);
+  /// `graph` its minimum DAG.
+  CacheFlowManager(std::vector<Rule> rules, dag::DependencyGraph graph, Mode mode,
+                   size_t tcam_capacity);
+
+  /// Installs `id` (and any cover rules its dependencies require).
+  bool install(flowspace::RuleId id);
+
+  /// Evicts `id`. If cached rules still depend on it, it is demoted to a
+  /// cover rule instead of vanishing.
+  void evict(flowspace::RuleId id);
+
+  /// One cache swap: evict `out_id`, install `in_id`.
+  bool swap(flowspace::RuleId out_id, flowspace::RuleId in_id);
+
+  bool is_cached(flowspace::RuleId id) const { return cached_.count(id) != 0; }
+  size_t cached_count() const { return cached_.size(); }
+  size_t cover_count() const { return cover_ids_.size(); }
+
+  Tcam& tcam() { return *tcam_; }
+  const Tcam& tcam() const { return *tcam_; }
+
+  std::vector<flowspace::RuleId> cached_rules() const;
+
+  /// Semantic check: for `packet`, the TCAM either returns the same decision
+  /// as the full table or punts to software (never a wrong fast-path hit).
+  bool lookup_consistent(const flowspace::Packet& packet) const;
+
+ private:
+  const Rule& full_rule(flowspace::RuleId id) const { return rules_.at(id); }
+
+  /// Ensures a cover for `dep` exists (or that `dep` is cached); bumps the
+  /// reference count held by `dependent`.
+  bool ensure_cover(flowspace::RuleId dep);
+  void release_cover(flowspace::RuleId dep);
+
+  bool firmware_insert(const Rule& rule,
+                       const std::vector<flowspace::RuleId>& above_ids,
+                       const std::vector<flowspace::RuleId>& below_ids);
+  void firmware_remove(flowspace::RuleId id);
+
+  std::unordered_map<flowspace::RuleId, Rule> rules_;  // the full table
+  dag::DependencyGraph full_graph_;
+  Mode mode_;
+
+  std::unique_ptr<Tcam> tcam_;
+  std::unique_ptr<DagScheduler> dag_firmware_;
+  std::unique_ptr<PriorityFirmware> priority_firmware_;
+
+  std::unordered_set<flowspace::RuleId> cached_;             // real rules in TCAM
+  std::unordered_map<flowspace::RuleId, flowspace::RuleId> cover_ids_;  // dep -> cover id
+  std::unordered_map<flowspace::RuleId, size_t> cover_refs_;            // dep -> refcount
+};
+
+}  // namespace ruletris::tcam

@@ -1,0 +1,329 @@
+#include "tcam/dag_scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ruletris::tcam {
+
+using flowspace::RuleId;
+
+DagScheduler::DagScheduler(Tcam& tcam, Placement placement)
+    : tcam_(tcam), occupancy_(tcam.capacity()), placement_(placement) {
+  for (size_t a = 0; a < tcam.capacity(); ++a) {
+    if (!tcam.is_free(a)) occupancy_.set_occupied(a, true);
+  }
+}
+
+std::pair<long long, long long> DagScheduler::insert_bounds(RuleId id) const {
+  long long lo = -1;
+  long long hi = static_cast<long long>(tcam_.capacity());
+  for (RuleId pred : graph_.predecessors(id)) {
+    if (!tcam_.contains(pred)) continue;
+    lo = std::max(lo, static_cast<long long>(tcam_.address_of(pred)));
+  }
+  for (RuleId succ : graph_.successors(id)) {
+    if (!tcam_.contains(succ)) continue;
+    hi = std::min(hi, static_cast<long long>(tcam_.address_of(succ)));
+  }
+  return {lo, hi};
+}
+
+long long DagScheduler::lowest_successor_addr(size_t addr) const {
+  const RuleId id = *tcam_.at(addr);
+  long long out = static_cast<long long>(tcam_.capacity());
+  for (RuleId succ : graph_.successors(id)) {
+    if (!tcam_.contains(succ)) continue;
+    out = std::min(out, static_cast<long long>(tcam_.address_of(succ)));
+  }
+  return out;
+}
+
+long long DagScheduler::highest_predecessor_addr(size_t addr) const {
+  const RuleId id = *tcam_.at(addr);
+  long long out = -1;
+  for (RuleId pred : graph_.predecessors(id)) {
+    if (!tcam_.contains(pred)) continue;
+    out = std::max(out, static_cast<long long>(tcam_.address_of(pred)));
+  }
+  return out;
+}
+
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_up(long long lo_bound,
+                                                               long long hi_bound) const {
+  // Nearest free slot above the (full) insert range.
+  auto d_opt = occupancy_.nearest_free_at_or_above(static_cast<size_t>(lo_bound + 1));
+  if (!d_opt) return std::nullopt;
+  const long long d = static_cast<long long>(*d_opt);
+  // The chain may start by displacing any entry in the range, *including*
+  // the lowest successor itself (Algorithm 1's base cases span
+  // [r_pre.addr, r_succ.addr]).
+  const long long start_hi = std::min(hi_bound, d - 1);
+  if (start_hi <= lo_bound) return std::nullopt;
+
+  // Layered jump-BFS: the entry at address a may land on any slot in
+  // (a, lowest_successor_addr(a)). The high-water mark keeps this O(span).
+  std::unordered_map<long long, long long> parent;  // addr -> previous hop
+  std::deque<long long> queue;
+  for (long long a = lo_bound + 1; a <= start_hi; ++a) {
+    parent[a] = -1;  // chain start: displaced directly by the new rule
+    queue.push_back(a);
+  }
+  long long hwm = start_hi;
+  while (!queue.empty()) {
+    const long long a = queue.front();
+    queue.pop_front();
+    // The entry may land on any slot up to and *including* its lowest
+    // successor's (Algorithm 1 line 15 is inclusive): landing there
+    // displaces the successor, which then continues the chain upward.
+    const long long cap = std::min(lowest_successor_addr(static_cast<size_t>(a)), d);
+    if (cap >= d) {
+      // This entry can land on the free slot: chain complete.
+      Chain chain;
+      for (long long cur = a; cur != -1; cur = parent.at(cur)) {
+        chain.hops.push_back(static_cast<size_t>(cur));
+      }
+      std::reverse(chain.hops.begin(), chain.hops.end());
+      chain.free_slot = static_cast<size_t>(d);
+      return chain;
+    }
+    for (long long j = hwm + 1; j <= cap; ++j) {
+      parent[j] = a;
+      queue.push_back(j);
+    }
+    hwm = std::max(hwm, cap);
+  }
+  return std::nullopt;
+}
+
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_down(long long lo_bound,
+                                                                 long long hi_bound) const {
+  if (hi_bound <= 0) return std::nullopt;
+  auto d_opt = occupancy_.nearest_free_at_or_below(static_cast<size_t>(hi_bound - 1));
+  if (!d_opt) return std::nullopt;
+  const long long d = static_cast<long long>(*d_opt);
+  const long long start_lo = std::max(lo_bound, d + 1);
+  if (start_lo >= hi_bound) return std::nullopt;
+
+  std::unordered_map<long long, long long> parent;
+  std::deque<long long> queue;
+  for (long long a = hi_bound - 1; a >= start_lo; --a) {
+    parent[a] = -2;  // chain start sentinel (−1 is a valid address bound here)
+    queue.push_back(a);
+  }
+  long long lwm = start_lo;
+  while (!queue.empty()) {
+    const long long a = queue.front();
+    queue.pop_front();
+    // Inclusive of the highest predecessor's slot (Algorithm 1 line 23):
+    // landing there displaces the predecessor further down the chain.
+    const long long cap =
+        std::max(highest_predecessor_addr(static_cast<size_t>(a)), d);
+    if (cap <= d) {
+      Chain chain;
+      for (long long cur = a; cur != -2; cur = parent.at(cur)) {
+        chain.hops.push_back(static_cast<size_t>(cur));
+      }
+      std::reverse(chain.hops.begin(), chain.hops.end());
+      chain.free_slot = static_cast<size_t>(d);
+      return chain;
+    }
+    for (long long j = lwm - 1; j >= cap; --j) {
+      parent[j] = a;
+      queue.push_back(j);
+    }
+    lwm = std::min(lwm, cap);
+  }
+  return std::nullopt;
+}
+
+void DagScheduler::execute_up(const Chain& chain, const Rule& rule) {
+  size_t target = chain.free_slot;
+  for (size_t i = chain.hops.size(); i-- > 0;) {
+    tcam_.move(chain.hops[i], target);
+    occupancy_.set_occupied(chain.hops[i], false);
+    occupancy_.set_occupied(target, true);
+    target = chain.hops[i];
+  }
+  tcam_.write(target, rule);
+  occupancy_.set_occupied(target, true);
+  last_chain_moves_ = chain.hops.size();
+}
+
+void DagScheduler::execute_down(const Chain& chain, const Rule& rule) {
+  // Identical mechanics; the hop addresses simply descend.
+  execute_up(chain, rule);
+}
+
+bool DagScheduler::insert(const Rule& rule) { return insert_impl(rule, 0); }
+
+bool DagScheduler::insert_impl(const Rule& rule, int depth) {
+  graph_.add_vertex(rule.id);
+  const auto [lo, hi] = insert_bounds(rule.id);
+  last_chain_moves_ = 0;
+
+  if (lo >= hi) {
+    // Inverted range: some predecessor sits at or above the lowest
+    // successor. The two are mutually unconstrained, so the layout is
+    // legal, but Algorithm 1 has no chain for it (it assumes
+    // r_pre.addr < r_succ.addr). Repair by displacing the offending
+    // predecessors and re-inserting them below the new rule.
+    if (depth > 32) {
+      util::log_error("DagScheduler: displacement recursion limit hit");
+      return false;
+    }
+    std::vector<Rule> displaced;
+    for (RuleId pred : graph_.predecessors(rule.id)) {
+      if (!tcam_.contains(pred)) continue;
+      if (static_cast<long long>(tcam_.address_of(pred)) >= hi) {
+        displaced.push_back(tcam_.rule(pred));
+      }
+    }
+    for (const Rule& d : displaced) {
+      const size_t addr = tcam_.address_of(d.id);
+      tcam_.erase(addr);
+      occupancy_.set_occupied(addr, false);
+    }
+    if (!insert_impl(rule, depth + 1)) return false;
+    // Re-insert in dependency order among the displaced rules: a rule whose
+    // dependencies (successors) are all already placed goes first.
+    std::unordered_set<RuleId> remaining;
+    for (const Rule& d : displaced) remaining.insert(d.id);
+    while (!remaining.empty()) {
+      bool progressed = false;
+      for (const Rule& d : displaced) {
+        if (!remaining.count(d.id)) continue;
+        bool blocked = false;
+        for (RuleId succ : graph_.successors(d.id)) {
+          if (remaining.count(succ)) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+        if (!insert_impl(d, depth + 1)) return false;
+        remaining.erase(d.id);
+        progressed = true;
+      }
+      if (!progressed) {
+        util::log_error("DagScheduler: cyclic displacement set");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Fast path: a free slot inside the open interval (lo, hi). Prefer the
+  // slot nearest the interval midpoint so remaining slack stays balanced for
+  // future inserts.
+  if (hi - lo > 1) {
+    const long long mid = (lo + hi) / 2;
+    std::optional<size_t> best;
+    auto above = occupancy_.nearest_free_at_or_above(static_cast<size_t>(std::max(lo + 1, 0LL)));
+    if (above && static_cast<long long>(*above) < hi) best = *above;
+    if (placement_ == Placement::kBalanced && mid >= 0) {
+      auto below = occupancy_.nearest_free_at_or_below(static_cast<size_t>(mid));
+      if (below && static_cast<long long>(*below) > lo &&
+          static_cast<long long>(*below) < hi) {
+        if (!best || std::llabs(static_cast<long long>(*below) - mid) <
+                         std::llabs(static_cast<long long>(*best) - mid)) {
+          best = *below;
+        }
+      }
+      auto above_mid = occupancy_.nearest_free_at_or_above(static_cast<size_t>(mid));
+      if (above_mid && static_cast<long long>(*above_mid) < hi &&
+          static_cast<long long>(*above_mid) > lo) {
+        if (!best || std::llabs(static_cast<long long>(*above_mid) - mid) <
+                         std::llabs(static_cast<long long>(*best) - mid)) {
+          best = *above_mid;
+        }
+      }
+    }
+    if (best) {
+      tcam_.write(*best, rule);
+      occupancy_.set_occupied(*best, true);
+      return true;
+    }
+  }
+
+  auto up = find_chain_up(lo, hi);
+  auto down = find_chain_down(lo, hi);
+  if (!up && !down) {
+    util::log_warn("DagScheduler: TCAM full or no feasible chain for insert");
+    return false;
+  }
+  if (up && (!down || up->hops.size() <= down->hops.size())) {
+    execute_up(*up, rule);
+  } else {
+    execute_down(*down, rule);
+  }
+  return true;
+}
+
+void DagScheduler::remove(RuleId id) {
+  if (tcam_.contains(id)) {
+    const size_t addr = tcam_.address_of(id);
+    tcam_.erase(addr);
+    occupancy_.set_occupied(addr, false);
+  }
+  graph_.remove_vertex(id);
+}
+
+bool DagScheduler::apply(const BackendUpdate& update) {
+  for (const auto& [u, v] : update.dag.removed_edges) graph_.remove_edge(u, v);
+  for (RuleId id : update.removed) remove(id);
+  for (RuleId v : update.dag.added_vertices) graph_.add_vertex(v);
+  for (const auto& [u, v] : update.dag.added_edges) graph_.add_edge(u, v);
+
+  if (update.added.size() <= 1) {
+    for (const Rule& r : update.added) {
+      if (!insert(r)) return false;
+    }
+    return true;
+  }
+
+  // Install in dependency order: if a -> b among the new rules, b must be
+  // matched first and therefore installed first (local Kahn over the batch).
+  std::unordered_map<RuleId, const Rule*> pending;
+  for (const Rule& r : update.added) pending[r.id] = &r;
+  std::unordered_map<RuleId, size_t> deps;  // # uninstalled successors in batch
+  std::deque<RuleId> ready;
+  for (const Rule& r : update.added) {
+    size_t n = 0;
+    for (RuleId succ : graph_.successors(r.id)) {
+      if (pending.count(succ)) ++n;
+    }
+    deps[r.id] = n;
+    if (n == 0) ready.push_back(r.id);
+  }
+  size_t installed = 0;
+  while (!ready.empty()) {
+    const RuleId id = ready.front();
+    ready.pop_front();
+    if (!insert(*pending.at(id))) return false;
+    ++installed;
+    for (RuleId pred : graph_.predecessors(id)) {
+      auto it = deps.find(pred);
+      if (it != deps.end() && --it->second == 0) ready.push_back(pred);
+    }
+  }
+  if (installed != update.added.size()) {
+    util::log_error("DagScheduler: cyclic dependency among inserted rules");
+    return false;
+  }
+  return true;
+}
+
+bool DagScheduler::layout_valid() const {
+  for (const auto& [u, v] : graph_.edges()) {
+    // Constraints only bind once both rules are installed (the graph may
+    // already know rules that a pending batch will insert later).
+    if (!tcam_.contains(u) || !tcam_.contains(v)) continue;
+    if (tcam_.address_of(v) <= tcam_.address_of(u)) return false;
+  }
+  return true;
+}
+
+}  // namespace ruletris::tcam

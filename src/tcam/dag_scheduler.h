@@ -1,0 +1,94 @@
+// DAG-guided TCAM update scheduler — Algorithm 1 (Sec. V-A, Claim 1).
+//
+// Keeps the firmware-side copy of the minimum DAG and maps each rule insert
+// to the provably shortest chain of entry moves:
+//   1. The insert range is bounded by the rule's highest-addressed
+//      predecessor (must stay below the rule) and lowest-addressed successor
+//      (must stay above it).
+//   2. A free slot inside the range costs a single entry write.
+//   3. Otherwise the scheduler runs the shortest-moving-chain search in both
+//      directions — a BFS where an entry at address a may hop to any slot
+//      strictly below its own lowest successor (upward) or strictly above
+//      its highest predecessor (downward) — and executes the shorter chain.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "tcam/backend_update.h"
+#include "tcam/occupancy.h"
+#include "tcam/tcam.h"
+
+namespace ruletris::tcam {
+
+using dag::DependencyGraph;
+
+class DagScheduler {
+ public:
+  /// Free-slot placement policy for inserts whose range holds several free
+  /// slots. kBalanced (default) picks the slot nearest the range midpoint,
+  /// preserving slack for future chains; kFirstFree takes the lowest slot
+  /// (naive firmware behaviour, kept for the ablation bench).
+  enum class Placement { kBalanced, kFirstFree };
+
+  explicit DagScheduler(Tcam& tcam, Placement placement = Placement::kBalanced);
+
+  /// Applies one incremental update: edge removals, rule deletions, DAG
+  /// additions, then rule inserts in dependency order. Returns false (and
+  /// stops) if the TCAM cannot fit an insert.
+  bool apply(const BackendUpdate& update);
+
+  /// Inserts one rule whose vertex/edges are already in the graph.
+  bool insert(const Rule& rule);
+
+
+
+  void remove(flowspace::RuleId id);
+
+  const DependencyGraph& graph() const { return graph_; }
+  DependencyGraph& graph() { return graph_; }
+
+  /// Length (number of entry moves, excluding the final new-entry write) of
+  /// the chain the last insert executed. For diagnostics and optimality
+  /// tests.
+  size_t last_chain_moves() const { return last_chain_moves_; }
+
+  /// Verifies that the current layout satisfies every DAG constraint
+  /// (every edge u->v has addr(v) > addr(u)). For tests.
+  bool layout_valid() const;
+
+ private:
+  struct Chain {
+    // Addresses whose entries move one hop along the chain, ordered from
+    // the insert-range slot outward; `free_slot` terminates it.
+    std::vector<size_t> hops;
+    size_t free_slot = 0;
+  };
+
+  /// Bounds (exclusive) for where `id` may sit, from its graph neighbours.
+  std::pair<long long, long long> insert_bounds(flowspace::RuleId id) const;
+
+  /// insert() body; `depth` bounds the displace-and-reinsert repair used
+  /// when the insert range is inverted (predecessor above successor).
+  bool insert_impl(const Rule& rule, int depth);
+
+  std::optional<Chain> find_chain_up(long long lo_bound, long long hi_bound) const;
+  std::optional<Chain> find_chain_down(long long lo_bound, long long hi_bound) const;
+
+  /// Lowest successor address of the entry at `addr` (upward landing cap).
+  long long lowest_successor_addr(size_t addr) const;
+  /// Highest predecessor address of the entry at `addr` (downward cap).
+  long long highest_predecessor_addr(size_t addr) const;
+
+  void execute_up(const Chain& chain, const Rule& rule);
+  void execute_down(const Chain& chain, const Rule& rule);
+
+  Tcam& tcam_;
+  OccupancyIndex occupancy_;
+  DependencyGraph graph_;
+  Placement placement_ = Placement::kBalanced;
+  size_t last_chain_moves_ = 0;
+};
+
+}  // namespace ruletris::tcam

@@ -1,0 +1,34 @@
+// Redundancy eliminator (Sec. V-B, Claim 2).
+//
+// One topological scan over the DAG, in matched-first order, removes the two
+// redundancy classes modular composition produces:
+//  * obscured rules — entirely covered by the union of rules matched before
+//    them (no packet can ever reach them);
+//  * floating rules — a rule whose DAG-adjacent lower-priority neighbour has
+//    the same actions and a more general match (removing the higher one
+//    leaves behaviour unchanged).
+#pragma once
+
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "flowspace/rule.h"
+
+namespace ruletris::tcam {
+
+struct EliminationResult {
+  std::vector<flowspace::Rule> kept;  // matched-first order
+  std::vector<flowspace::RuleId> obscured;
+  std::vector<flowspace::RuleId> floating;
+  /// DAG over the kept rules: edges of the input graph restricted to
+  /// survivors, patched through removed vertices where the endpoints still
+  /// overlap.
+  dag::DependencyGraph graph;
+};
+
+/// `rules` may be in any order; the scan uses the DAG's topological order
+/// (ties broken by the given order).
+EliminationResult eliminate_redundancy(const std::vector<flowspace::Rule>& rules,
+                                       const dag::DependencyGraph& graph);
+
+}  // namespace ruletris::tcam

@@ -1,0 +1,100 @@
+// TCAM device model.
+//
+// The TCAM is an addressed array of rule entries where, on a lookup that
+// matches several entries, the entry at the HIGHEST physical address wins —
+// the physical-location priority encoding used by commodity switching ASICs
+// (Sec. II-a). Entry writes are serialized and each costs a fairly constant
+// time; the paper's emulation estimates TCAM update time as
+// (#entry writes) x 0.6 ms, which this model reproduces. A delete is a mask
+// invalidation and is treated as free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flowspace/rule.h"
+
+namespace ruletris::tcam {
+
+using flowspace::Packet;
+using flowspace::Rule;
+using flowspace::RuleId;
+
+/// Average latency of one TCAM entry write/move (paper Sec. VII-A(c)).
+inline constexpr double kEntryWriteMs = 0.6;
+
+class Tcam {
+ public:
+  explicit Tcam(size_t capacity);
+
+  size_t capacity() const { return slots_.size(); }
+  size_t occupied() const { return by_id_.size(); }
+  size_t free_slots() const { return capacity() - occupied(); }
+
+  bool is_free(size_t addr) const;
+  /// Rule id stored at `addr`, or nullopt for a free slot.
+  std::optional<RuleId> at(size_t addr) const;
+  bool contains(RuleId id) const { return by_id_.count(id) != 0; }
+  size_t address_of(RuleId id) const;
+  const Rule& rule(RuleId id) const;
+
+  /// Installs a new entry into a free slot (1 entry write).
+  void write(size_t addr, Rule rule);
+
+  /// Moves the entry at `from` to the free slot `to` (1 entry write; the old
+  /// slot is invalidated for free).
+  void move(size_t from, size_t to);
+
+  /// Invalidates the entry at `addr` (free).
+  void erase(size_t addr);
+
+  /// Rewrites the actions of an installed entry in place (1 entry write).
+  void modify_actions(RuleId id, flowspace::ActionList actions);
+
+  /// Highest-address match wins (hardware lookup semantics).
+  const Rule* lookup(const Packet& p) const;
+
+  /// Entries from highest address (matched first) to lowest.
+  std::vector<Rule> entries_high_to_low() const;
+
+  struct Stats {
+    size_t entry_writes = 0;  // moves + new installs + in-place modifies
+    size_t moves = 0;         // subset of entry_writes caused by relocation
+    size_t erases = 0;
+
+    double update_time_ms() const {
+      return static_cast<double>(entry_writes) * kEntryWriteMs;
+    }
+  };
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  /// Primitive-operation kinds reported to the observer.
+  enum class Op { kWrite, kMove, kErase, kModify };
+
+  /// Observer invoked after every primitive completes, with the device in
+  /// its new state. Lets tests verify per-operation atomicity: lookups stay
+  /// semantically correct at *every* intermediate step of an update
+  /// schedule, which is what makes the paper's move chains hitless.
+  using OpObserver = std::function<void(Op op, size_t addr)>;
+  void set_op_observer(OpObserver observer) { observer_ = std::move(observer); }
+
+  std::string to_string() const;
+
+ private:
+  void notify(Op op, size_t addr) {
+    if (observer_) observer_(op, addr);
+  }
+
+  std::vector<std::optional<Rule>> slots_;  // index == physical address
+  std::unordered_map<RuleId, size_t> by_id_;
+  Stats stats_;
+  OpObserver observer_;
+};
+
+}  // namespace ruletris::tcam

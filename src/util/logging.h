@@ -1,0 +1,26 @@
+// Lightweight leveled logger.
+//
+// The library itself logs sparingly (warnings for unusual states such as a
+// full TCAM); benches and examples use INFO for progress lines. The level is
+// a process-global so test binaries can silence output.
+#pragma once
+
+#include <string>
+
+namespace ruletris::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr as "[LEVEL] message" if `level` passes the filter.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace ruletris::util

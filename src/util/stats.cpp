@@ -1,0 +1,47 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/strfmt.h"
+
+namespace ruletris::util {
+
+double Samples::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Samples::mean() const {
+  if (values_.empty()) throw std::logic_error("Samples::mean on empty set");
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  if (values_.empty()) throw std::logic_error("Samples::min on empty set");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) throw std::logic_error("Samples::max on empty set");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double q) const {
+  if (values_.empty()) throw std::logic_error("Samples::percentile on empty set");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string Samples::summary(const char* unit) const {
+  if (values_.empty()) return "n/a";
+  return strfmt("%.3f [%.3f, %.3f] %s", median(), p10(), p90(), unit);
+}
+
+}  // namespace ruletris::util

@@ -1,0 +1,41 @@
+// Sample accumulator with percentile reporting.
+//
+// The paper reports median with 10th/90th-percentile error bars for every
+// figure; this accumulator produces exactly that summary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ruletris::util {
+
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  void clear() { values_.clear(); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated percentile, `q` in [0, 100].
+  double percentile(double q) const;
+
+  double median() const { return percentile(50.0); }
+  double p10() const { return percentile(10.0); }
+  double p90() const { return percentile(90.0); }
+
+  /// "median [p10, p90]" with the given unit suffix, e.g. "1.20 [0.60, 2.40] ms".
+  std::string summary(const char* unit) const;
+
+ private:
+  // Kept unsorted until queried; queries sort a copy so add() stays O(1).
+  std::vector<double> values_;
+};
+
+}  // namespace ruletris::util

@@ -1,0 +1,39 @@
+// Minimal printf-style string formatting helper.
+//
+// GCC 12 does not ship std::format, so the project uses this thin,
+// type-checked (via -Wformat through the attribute) snprintf wrapper for the
+// few places that need formatted strings (logging, bench report rows).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace ruletris::util {
+
+#if defined(__GNUC__)
+#define RULETRIS_PRINTF_LIKE(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define RULETRIS_PRINTF_LIKE(fmt_idx, arg_idx)
+#endif
+
+/// Formats like printf and returns a std::string.
+RULETRIS_PRINTF_LIKE(1, 2)
+inline std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace ruletris::util

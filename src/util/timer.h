@@ -1,0 +1,29 @@
+// Wall-clock timers for the paper's "compilation time" and "firmware time"
+// metrics, which are measured computation times.
+#pragma once
+
+#include <chrono>
+
+namespace ruletris::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ruletris::util

@@ -1,0 +1,211 @@
+// Baseline and CoVisor compilers: semantic equivalence with the reference
+// composition, incremental behaviour, and the update-stream shapes the paper
+// relies on (baseline reprioritizes; CoVisor never does).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "compiler/baseline.h"
+#include "compiler/covisor.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using compiler::BaselineCompiler;
+using compiler::compose_from_scratch;
+using compiler::CovisorCompiler;
+using compiler::PolicySpec;
+using compiler::PrioritizedOp;
+using compiler::PrioritizedUpdate;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+using testutil::random_rule;
+using testutil::semantically_equal;
+using util::Rng;
+
+
+/// CoVisor's priority algebra (like the real system) assumes overlapping
+/// rules within one member table carry distinct priorities; draw without
+/// replacement.
+struct DistinctPriorities {
+  std::unordered_set<int32_t> used;
+  int32_t draw(Rng& rng) {
+    for (;;) {
+      const int32_t p = 1 + static_cast<int32_t>(rng.next_below(4096));
+      if (used.insert(p).second) return p;
+    }
+  }
+};
+
+std::vector<Rule> random_table_rules(Rng& rng, int n, DistinctPriorities& prios) {
+  std::vector<Rule> rules;
+  for (int i = 0; i < n; ++i) {
+    rules.push_back(random_rule(rng, prios.draw(rng)));
+  }
+  return rules;
+}
+
+struct Scenario {
+  PolicySpec spec;
+  std::map<std::string, FlowTable> tables;
+  DistinctPriorities prios;
+};
+
+Scenario make_scenario(int op, Rng& rng) {
+  Scenario s{PolicySpec::combine(op, PolicySpec::leaf("a"), PolicySpec::leaf("b")), {}, {}};
+  s.tables.emplace("a", FlowTable{random_table_rules(rng, 5, s.prios)});
+  s.tables.emplace("b", FlowTable{random_table_rules(rng, 5, s.prios)});
+  return s;
+}
+
+class BaselineOpTest : public ::testing::TestWithParam<int> {};
+class CovisorOpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineOpTest, CompiledMatchesReference) {
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    Scenario s = make_scenario(GetParam(), rng);
+    BaselineCompiler compiler(s.spec, s.tables);
+    EXPECT_TRUE(semantically_equal(compiler.compiled(),
+                                   compose_from_scratch(s.spec, s.tables), rng));
+  }
+}
+
+TEST_P(BaselineOpTest, UpdatesTrackReference) {
+  Rng rng(200 + GetParam());
+  Scenario s = make_scenario(GetParam(), rng);
+  BaselineCompiler compiler(s.spec, s.tables);
+  std::vector<RuleId> live;
+  for (const Rule& r : s.tables.at("a").rules()) live.push_back(r.id);
+
+  for (int step = 0; step < 15; ++step) {
+    if (!live.empty() && rng.next_bool(0.4)) {
+      const size_t pick = rng.next_below(live.size());
+      compiler.remove("a", live[pick]);
+      s.tables.at("a").erase(live[pick]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      Rule r = random_rule(rng, s.prios.draw(rng));
+      live.push_back(r.id);
+      s.tables.at("a").insert(r);
+      compiler.insert("a", std::move(r));
+    }
+    EXPECT_TRUE(semantically_equal(compiler.compiled(),
+                                   compose_from_scratch(s.spec, s.tables), rng, 300));
+  }
+}
+
+TEST(BaselineCompiler, EmitsReprioritizationModifies) {
+  // The defining pathology (Sec. VII-B): priorities are sequential, so an
+  // insert into one member renumbers a swath of unrelated result rules.
+  Rng rng(42);
+  DistinctPriorities prios;
+  std::map<std::string, FlowTable> tables;
+  tables.emplace("a", FlowTable{random_table_rules(rng, 8, prios)});
+  tables.emplace("b", FlowTable{random_table_rules(rng, 8, prios)});
+  const PolicySpec spec = PolicySpec::parallel(PolicySpec::leaf("a"), PolicySpec::leaf("b"));
+  BaselineCompiler compiler(spec, tables);
+
+  size_t modifies = 0;
+  for (int step = 0; step < 10; ++step) {
+    Rule r = random_rule(rng, 1 + static_cast<int>(rng.next_below(30)));
+    const PrioritizedUpdate update = compiler.insert("a", std::move(r));
+    for (const PrioritizedOp& op : update) {
+      if (op.kind == PrioritizedOp::Kind::kModify) ++modifies;
+    }
+  }
+  EXPECT_GT(modifies, 0u) << "baseline must reprioritize existing rules";
+}
+
+TEST_P(CovisorOpTest, CompiledMatchesReference) {
+  Rng rng(300 + GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    Scenario s = make_scenario(GetParam(), rng);
+    CovisorCompiler compiler(s.spec, s.tables);
+    EXPECT_TRUE(semantically_equal(compiler.compiled(),
+                                   compose_from_scratch(s.spec, s.tables), rng));
+  }
+}
+
+TEST_P(CovisorOpTest, IncrementalTracksReference) {
+  Rng rng(400 + GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    Scenario s = make_scenario(GetParam(), rng);
+    CovisorCompiler compiler(s.spec, s.tables);
+    std::vector<RuleId> live_a, live_b;
+    for (const Rule& r : s.tables.at("a").rules()) live_a.push_back(r.id);
+    for (const Rule& r : s.tables.at("b").rules()) live_b.push_back(r.id);
+
+    for (int step = 0; step < 20; ++step) {
+      const bool use_a = rng.next_bool(0.5);
+      auto& live = use_a ? live_a : live_b;
+      const char* leaf = use_a ? "a" : "b";
+      if (!live.empty() && rng.next_bool(0.45)) {
+        const size_t pick = rng.next_below(live.size());
+        compiler.remove(leaf, live[pick]);
+        s.tables.at(leaf).erase(live[pick]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      } else {
+        Rule r = random_rule(rng, s.prios.draw(rng));
+        live.push_back(r.id);
+        s.tables.at(leaf).insert(r);
+        compiler.insert(leaf, std::move(r));
+      }
+      EXPECT_TRUE(semantically_equal(compiler.compiled(),
+                                     compose_from_scratch(s.spec, s.tables), rng, 300))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(CovisorCompiler, NeverReprioritizes) {
+  Rng rng(7);
+  DistinctPriorities prios;
+  std::map<std::string, FlowTable> tables;
+  tables.emplace("a", FlowTable{random_table_rules(rng, 6, prios)});
+  tables.emplace("b", FlowTable{random_table_rules(rng, 6, prios)});
+  const PolicySpec spec = PolicySpec::parallel(PolicySpec::leaf("a"), PolicySpec::leaf("b"));
+  CovisorCompiler compiler(spec, tables);
+  for (int step = 0; step < 10; ++step) {
+    Rule r = random_rule(rng, 1 + static_cast<int>(rng.next_below(30)));
+    const PrioritizedUpdate update = compiler.insert("a", std::move(r));
+    for (const PrioritizedOp& op : update) {
+      EXPECT_NE(op.kind, PrioritizedOp::Kind::kModify)
+          << "CoVisor's algebra must not touch existing rules";
+    }
+  }
+}
+
+TEST(CovisorCompiler, SequentialPriorityOverflowGuard) {
+  Rng seed_rng(1);
+  std::map<std::string, FlowTable> tables;
+  std::vector<Rule> big;
+  big.push_back(random_rule(seed_rng, compiler::kCovisorSeqWidth + 1));
+  big.back().match = flowspace::TernaryMatch::wildcard();
+  tables.emplace("a", FlowTable{});
+  tables.emplace("b", FlowTable{big});
+  const PolicySpec spec =
+      PolicySpec::sequential(PolicySpec::leaf("a"), PolicySpec::leaf("b"));
+  CovisorCompiler compiler(spec, tables);
+  Rng rng(2);
+  Rule l = random_rule(rng, 5);
+  l.match = flowspace::TernaryMatch::wildcard();
+  l.actions = flowspace::ActionList{};
+  EXPECT_THROW(compiler.insert("a", std::move(l)), std::overflow_error);
+}
+
+std::string op_test_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"parallel", "sequential", "priority"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, BaselineOpTest, ::testing::Values(0, 1, 2),
+                         op_test_name);
+INSTANTIATE_TEST_SUITE_P(AllOps, CovisorOpTest, ::testing::Values(0, 1, 2),
+                         op_test_name);
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,204 @@
+// CacheFlow manager (Sec. V-C): cover-set correctness — the fast path never
+// returns a wrong answer, punts are installed exactly where dependencies
+// demand them, and swaps keep everything consistent under both firmwares.
+#include <gtest/gtest.h>
+
+#include "classbench/generator.h"
+#include "dag/builder.h"
+#include "tcam/cacheflow.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using classbench::generate_router;
+using dag::build_min_dag;
+using flowspace::FlowTable;
+using flowspace::Packet;
+using flowspace::Rule;
+using flowspace::RuleId;
+using tcam::CacheFlowManager;
+using util::Rng;
+
+class CacheFlowModeTest : public ::testing::TestWithParam<CacheFlowManager::Mode> {};
+
+Packet router_packet(Rng& rng) {
+  Packet p;
+  p.set(flowspace::FieldId::kDstIp, rng.next_u32());
+  return p;
+}
+
+TEST_P(CacheFlowModeTest, InstallBringsCoverSet) {
+  Rng rng(3);
+  const auto rules = generate_router(60, rng);
+  FlowTable table{rules};
+  const auto graph = build_min_dag(table);
+  CacheFlowManager mgr(table.rules(), graph, GetParam(), 64);
+
+  // Pick a rule with at least one dependency; installing it must create a
+  // cover (or co-install nothing if it has none).
+  RuleId dependent = 0;
+  for (const Rule& r : table.rules()) {
+    if (!graph.successors(r.id).empty()) {
+      dependent = r.id;
+      break;
+    }
+  }
+  ASSERT_NE(dependent, 0u);
+  ASSERT_TRUE(mgr.install(dependent));
+  EXPECT_TRUE(mgr.is_cached(dependent));
+  EXPECT_EQ(mgr.cover_count(), graph.successors(dependent).size());
+  // TCAM holds the rule plus its covers.
+  EXPECT_EQ(mgr.tcam().occupied(), 1 + mgr.cover_count());
+}
+
+TEST_P(CacheFlowModeTest, RealRuleSupersedesCover) {
+  Rng rng(4);
+  const auto rules = generate_router(60, rng);
+  FlowTable table{rules};
+  const auto graph = build_min_dag(table);
+  CacheFlowManager mgr(table.rules(), graph, GetParam(), 64);
+
+  RuleId dependent = 0, dep = 0;
+  for (const Rule& r : table.rules()) {
+    if (!graph.successors(r.id).empty()) {
+      dependent = r.id;
+      dep = *graph.successors(r.id).begin();
+      break;
+    }
+  }
+  ASSERT_NE(dependent, 0u);
+  ASSERT_TRUE(mgr.install(dependent));
+  const size_t covers_before = mgr.cover_count();
+  ASSERT_TRUE(mgr.install(dep));
+  // The cover standing in for `dep` is gone; dep's own covers may appear.
+  EXPECT_TRUE(mgr.is_cached(dep));
+  EXPECT_LE(mgr.cover_count(),
+            covers_before - 1 + graph.successors(dep).size());
+}
+
+TEST_P(CacheFlowModeTest, EvictionDemotesToCover) {
+  Rng rng(5);
+  const auto rules = generate_router(60, rng);
+  FlowTable table{rules};
+  const auto graph = build_min_dag(table);
+  CacheFlowManager mgr(table.rules(), graph, GetParam(), 64);
+
+  RuleId dependent = 0, dep = 0;
+  for (const Rule& r : table.rules()) {
+    if (!graph.successors(r.id).empty()) {
+      dependent = r.id;
+      dep = *graph.successors(r.id).begin();
+      break;
+    }
+  }
+  ASSERT_NE(dependent, 0u);
+  ASSERT_TRUE(mgr.install(dependent));
+  ASSERT_TRUE(mgr.install(dep));
+  mgr.evict(dep);
+  EXPECT_FALSE(mgr.is_cached(dep));
+  // A punt rule must have replaced it because `dependent` still needs it.
+  EXPECT_GE(mgr.cover_count(), 1u);
+  Rng prng(6);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(mgr.lookup_consistent(router_packet(prng)));
+  }
+}
+
+TEST_P(CacheFlowModeTest, RandomSwapsStayConsistent) {
+  Rng rng(7);
+  const auto rules = generate_router(120, rng);
+  FlowTable table{rules};
+  CacheFlowManager mgr(table.rules(), build_min_dag(table), GetParam(), 64);
+
+  std::vector<RuleId> all;
+  for (const Rule& r : table.rules()) all.push_back(r.id);
+
+  // Fill to ~70% with random rules.
+  std::vector<RuleId> cached;
+  while (mgr.tcam().occupied() < 44) {
+    const RuleId pick = all[rng.next_below(all.size())];
+    if (mgr.is_cached(pick)) continue;
+    ASSERT_TRUE(mgr.install(pick));
+    cached.push_back(pick);
+  }
+
+  for (int swap = 0; swap < 150; ++swap) {
+    const size_t out_idx = rng.next_below(cached.size());
+    const RuleId out = cached[out_idx];
+    RuleId in = all[rng.next_below(all.size())];
+    int guard = 0;
+    while ((mgr.is_cached(in) || in == out) && guard++ < 200) {
+      in = all[rng.next_below(all.size())];
+    }
+    if (mgr.is_cached(in) || in == out) continue;
+    if (!mgr.swap(out, in)) {
+      // Full TCAM (covers included): the manager rolled the install back;
+      // restore the evicted rule and skip this swap, as a real cache would.
+      ASSERT_TRUE(mgr.install(out));
+      continue;
+    }
+    cached[out_idx] = in;
+
+    for (int k = 0; k < 20; ++k) {
+      ASSERT_TRUE(mgr.lookup_consistent(router_packet(rng)))
+          << "fast path returned a wrong decision after swap " << swap;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFirmwares, CacheFlowModeTest,
+                         ::testing::Values(CacheFlowManager::Mode::kDagFirmware,
+                                           CacheFlowManager::Mode::kPriorityFirmware),
+                         [](const auto& info) {
+                           return info.param == CacheFlowManager::Mode::kDagFirmware
+                                      ? "dag"
+                                      : "priority";
+                         });
+
+TEST(CacheFlow, DagModeIsCheaperThanPriorityModeOnSwaps) {
+  // The headline of Fig. 11, as a coarse invariant: total TCAM writes for
+  // the same swap sequence must be lower with the DAG firmware.
+  Rng gen(11);
+  const auto rules = generate_router(200, gen);
+  FlowTable table{rules};
+  const auto graph = build_min_dag(table);
+
+  size_t writes[2] = {0, 0};
+  int mode_idx = 0;
+  for (auto mode : {CacheFlowManager::Mode::kDagFirmware,
+                    CacheFlowManager::Mode::kPriorityFirmware}) {
+    CacheFlowManager mgr(table.rules(), graph, mode, 64);
+    Rng rng(12);  // identical sequence for both modes
+    std::vector<RuleId> all;
+    for (const Rule& r : table.rules()) all.push_back(r.id);
+    std::vector<RuleId> cached;
+    while (mgr.tcam().occupied() < 52) {  // ~0.8 load
+      const RuleId pick = all[rng.next_below(all.size())];
+      if (mgr.is_cached(pick)) continue;
+      ASSERT_TRUE(mgr.install(pick));
+      cached.push_back(pick);
+    }
+    const size_t baseline_writes = mgr.tcam().stats().entry_writes;
+    for (int swap = 0; swap < 100; ++swap) {
+      const size_t out_idx = rng.next_below(cached.size());
+      RuleId in = all[rng.next_below(all.size())];
+      int guard = 0;
+      while ((mgr.is_cached(in) || in == cached[out_idx]) && guard++ < 300) {
+        in = all[rng.next_below(all.size())];
+      }
+      if (mgr.is_cached(in)) continue;
+      if (!mgr.swap(cached[out_idx], in)) {
+        ASSERT_TRUE(mgr.install(cached[out_idx]));
+        continue;
+      }
+      cached[out_idx] = in;
+    }
+    writes[mode_idx++] = mgr.tcam().stats().entry_writes - baseline_writes;
+  }
+  EXPECT_LT(writes[0], writes[1])
+      << "DAG-guided swaps must use fewer entry writes than priority-based";
+}
+
+}  // namespace
+}  // namespace ruletris

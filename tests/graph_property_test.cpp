@@ -1,0 +1,131 @@
+// DependencyGraph under randomized op streams, cross-checked against a
+// naive shadow implementation (adjacency sets, recomputed queries).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dag/dependency_graph.h"
+#include "util/rng.h"
+
+namespace ruletris {
+namespace {
+
+using dag::DependencyGraph;
+using flowspace::RuleId;
+using util::Rng;
+
+struct ShadowGraph {
+  std::set<RuleId> vertices;
+  std::set<std::pair<RuleId, RuleId>> edges;
+
+  void add_vertex(RuleId v) { vertices.insert(v); }
+  void remove_vertex(RuleId v) {
+    vertices.erase(v);
+    for (auto it = edges.begin(); it != edges.end();) {
+      it = (it->first == v || it->second == v) ? edges.erase(it) : std::next(it);
+    }
+  }
+  void add_edge(RuleId u, RuleId v) {
+    vertices.insert(u);
+    vertices.insert(v);
+    edges.insert({u, v});
+  }
+  void remove_edge(RuleId u, RuleId v) { edges.erase({u, v}); }
+
+  bool reaches(RuleId from, RuleId to) const {
+    if (!vertices.count(from) || !vertices.count(to)) return false;
+    std::set<RuleId> seen{from};
+    std::vector<RuleId> stack{from};
+    while (!stack.empty()) {
+      const RuleId cur = stack.back();
+      stack.pop_back();
+      if (cur == to) return true;
+      for (const auto& [u, v] : edges) {
+        if (u == cur && seen.insert(v).second) stack.push_back(v);
+      }
+    }
+    return false;
+  }
+};
+
+TEST(GraphProperty, RandomOpStreamMatchesShadow) {
+  Rng rng(19);
+  for (int trial = 0; trial < 5; ++trial) {
+    DependencyGraph graph;
+    ShadowGraph shadow;
+    constexpr RuleId kUniverse = 12;
+
+    for (int step = 0; step < 400; ++step) {
+      const RuleId u = 1 + rng.next_below(kUniverse);
+      const RuleId v = 1 + rng.next_below(kUniverse);
+      switch (rng.next_below(5)) {
+        case 0:
+          graph.add_vertex(u);
+          shadow.add_vertex(u);
+          break;
+        case 1:
+          graph.remove_vertex(u);
+          shadow.remove_vertex(u);
+          break;
+        case 2:
+          if (u != v && !shadow.reaches(v, u)) {  // keep it a DAG
+            graph.add_edge(u, v);
+            shadow.add_edge(u, v);
+          }
+          break;
+        case 3:
+          graph.remove_edge(u, v);
+          shadow.remove_edge(u, v);
+          break;
+        case 4: {
+          // Full-state audit.
+          ASSERT_EQ(graph.vertex_count(), shadow.vertices.size());
+          ASSERT_EQ(graph.edge_count(), shadow.edges.size());
+          auto edges = graph.edges();
+          using EdgeSet = std::set<std::pair<RuleId, RuleId>>;
+          const EdgeSet actual(edges.begin(), edges.end());
+          ASSERT_EQ(actual, shadow.edges);
+          break;
+        }
+      }
+      // Spot queries every step.
+      ASSERT_EQ(graph.has_edge(u, v), shadow.edges.count({u, v}) != 0);
+      ASSERT_EQ(graph.reaches(u, v), shadow.reaches(u, v));
+      if (shadow.vertices.count(u)) {
+        size_t out = 0, in = 0;
+        for (const auto& [a, b] : shadow.edges) {
+          out += a == u;
+          in += b == u;
+        }
+        ASSERT_EQ(graph.successors(u).size(), out);
+        ASSERT_EQ(graph.predecessors(u).size(), in);
+      }
+    }
+
+    // The stream kept the graph acyclic, so a topological order must exist
+    // and respect every edge.
+    const auto order = graph.topo_order_high_to_low();
+    ASSERT_EQ(order.size(), graph.vertex_count());
+    std::map<RuleId, size_t> pos;
+    for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    for (const auto& [u, v] : graph.edges()) {
+      EXPECT_LT(pos.at(v), pos.at(u)) << "dependency must be matched first";
+    }
+  }
+}
+
+TEST(GraphProperty, SourcesAndSinksPartitionCorrectly) {
+  Rng rng(23);
+  DependencyGraph graph;
+  for (int i = 0; i < 60; ++i) {
+    const RuleId u = 1 + rng.next_below(20);
+    const RuleId v = 1 + rng.next_below(20);
+    if (u != v && !graph.reaches(v, u)) graph.add_edge(u, v);
+  }
+  for (RuleId s : graph.sources()) EXPECT_TRUE(graph.successors(s).empty());
+  for (RuleId s : graph.sinks()) EXPECT_TRUE(graph.predecessors(s).empty());
+}
+
+}  // namespace
+}  // namespace ruletris

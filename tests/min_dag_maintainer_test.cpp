@@ -1,0 +1,169 @@
+// MinDagMaintainer: exactness against the brute-force oracle under random
+// update streams, plus rank-renumbering and bulk-load paths.
+#include <gtest/gtest.h>
+
+#include "dag/builder.h"
+#include "dag/min_dag_maintainer.h"
+#include "flowspace/rule.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using dag::build_min_dag;
+using dag::MinDagMaintainer;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::TernaryMatch;
+using util::Rng;
+
+/// Test fixture keeping a priority-ordered shadow table; the maintainer's
+/// comparator follows the shadow's priorities (ties: existing first).
+struct Shadow {
+  std::vector<Rule> rules;  // unsorted; FlowTable orders them
+
+  FlowTable table() const { return FlowTable{rules}; }
+
+  int32_t priority_of(RuleId id) const {
+    for (const Rule& r : rules) {
+      if (r.id == id) return r.priority;
+    }
+    throw std::out_of_range("shadow: unknown id");
+  }
+};
+
+TEST(MinDagMaintainer, InsertStreamMatchesOracle) {
+  Rng rng(31);
+  for (int trial = 0; trial < 12; ++trial) {
+    Shadow shadow;
+    MinDagMaintainer dag([&shadow](RuleId existing, RuleId incoming) {
+      return shadow.priority_of(existing) >= shadow.priority_of(incoming);
+    });
+    for (int step = 0; step < 30; ++step) {
+      Rule r = testutil::random_rule(rng, 1 + static_cast<int>(rng.next_below(20)));
+      shadow.rules.push_back(r);
+      dag.insert(r.id, r.match);
+      ASSERT_EQ(dag.graph(), build_min_dag(shadow.table()))
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(MinDagMaintainer, MixedStreamMatchesOracle) {
+  Rng rng(32);
+  for (int trial = 0; trial < 8; ++trial) {
+    Shadow shadow;
+    MinDagMaintainer dag([&shadow](RuleId existing, RuleId incoming) {
+      return shadow.priority_of(existing) >= shadow.priority_of(incoming);
+    });
+    for (int step = 0; step < 50; ++step) {
+      if (!shadow.rules.empty() && rng.next_bool(0.4)) {
+        const size_t pick = rng.next_below(shadow.rules.size());
+        const RuleId id = shadow.rules[pick].id;
+        dag.remove(id);
+        shadow.rules.erase(shadow.rules.begin() + static_cast<ptrdiff_t>(pick));
+      } else {
+        Rule r = testutil::random_rule(rng, 1 + static_cast<int>(rng.next_below(20)));
+        shadow.rules.push_back(r);
+        dag.insert(r.id, r.match);
+      }
+      ASSERT_EQ(dag.graph(), build_min_dag(shadow.table()))
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(MinDagMaintainer, DeltasReplayConsistently) {
+  Rng rng(33);
+  Shadow shadow;
+  MinDagMaintainer dag([&shadow](RuleId existing, RuleId incoming) {
+    return shadow.priority_of(existing) >= shadow.priority_of(incoming);
+  });
+  dag::DependencyGraph replay;
+  for (int step = 0; step < 60; ++step) {
+    dag::DagDelta delta;
+    if (!shadow.rules.empty() && rng.next_bool(0.4)) {
+      const size_t pick = rng.next_below(shadow.rules.size());
+      delta = dag.remove(shadow.rules[pick].id);
+      shadow.rules.erase(shadow.rules.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      Rule r = testutil::random_rule(rng, 1 + static_cast<int>(rng.next_below(20)));
+      shadow.rules.push_back(r);
+      delta = dag.insert(r.id, r.match);
+    }
+    replay.apply(delta);
+    ASSERT_EQ(replay, dag.graph()) << "delta replay diverged at step " << step;
+  }
+}
+
+TEST(MinDagMaintainer, BulkLoadEqualsIncremental) {
+  Rng rng(34);
+  for (int trial = 0; trial < 10; ++trial) {
+    Shadow shadow;
+    for (int i = 0; i < 25; ++i) {
+      shadow.rules.push_back(
+          testutil::random_rule(rng, 1 + static_cast<int>(rng.next_below(20))));
+    }
+    const FlowTable table = shadow.table();
+
+    MinDagMaintainer bulk([](RuleId, RuleId) { return true; });
+    std::vector<std::pair<RuleId, TernaryMatch>> ordered;
+    for (const Rule& r : table.rules()) ordered.emplace_back(r.id, r.match);
+    bulk.bulk_load(ordered);
+
+    ASSERT_EQ(bulk.graph(), build_min_dag(table));
+    ASSERT_EQ(bulk.order().size(), table.size());
+  }
+}
+
+TEST(MinDagMaintainer, OrderIsMaintained) {
+  Shadow shadow;
+  MinDagMaintainer dag([&shadow](RuleId existing, RuleId incoming) {
+    return shadow.priority_of(existing) >= shadow.priority_of(incoming);
+  });
+  Rng rng(35);
+  for (int i = 0; i < 40; ++i) {
+    Rule r = testutil::random_rule(rng, 1 + static_cast<int>(rng.next_below(10)));
+    shadow.rules.push_back(r);
+    dag.insert(r.id, r.match);
+  }
+  const auto& order = dag.order();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(shadow.priority_of(order[i - 1]), shadow.priority_of(order[i]));
+  }
+}
+
+TEST(MinDagMaintainer, RenumberUnderAdversarialInsertions) {
+  // Repeatedly insert at the very front to exhaust rank gaps and force the
+  // renumber path.
+  std::vector<RuleId> ids;
+  MinDagMaintainer dag([&ids](RuleId, RuleId) { return false; });  // always front
+  TernaryMatch m;  // all rules overlap (wildcard) -> chain DAG
+  for (int i = 0; i < 64; ++i) {
+    const RuleId id = flowspace::next_rule_id();
+    ids.push_back(id);
+    dag.insert(id, m);
+  }
+  // Every later-inserted rule sits earlier; the DAG must be the chain
+  // last-inserted <- ... <- first-inserted.
+  ASSERT_EQ(dag.graph().edge_count(), ids.size() - 1);
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_TRUE(dag.graph().has_edge(ids[i], ids[i + 1]))
+        << "identical matches must form a front-insertion chain";
+  }
+}
+
+TEST(MinDagMaintainer, DuplicateInsertThrows) {
+  MinDagMaintainer dag([](RuleId, RuleId) { return true; });
+  dag.insert(7, TernaryMatch::wildcard());
+  EXPECT_THROW(dag.insert(7, TernaryMatch::wildcard()), std::invalid_argument);
+}
+
+TEST(MinDagMaintainer, RemoveMissingIsNoop) {
+  MinDagMaintainer dag([](RuleId, RuleId) { return true; });
+  EXPECT_TRUE(dag.remove(42).empty());
+}
+
+}  // namespace
+}  // namespace ruletris

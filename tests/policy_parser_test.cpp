@@ -1,0 +1,72 @@
+// Policy expression parser.
+#include <gtest/gtest.h>
+
+#include "compiler/policy_parser.h"
+
+namespace ruletris {
+namespace {
+
+using compiler::parse_policy;
+using compiler::policy_to_string;
+using compiler::PolicyParseError;
+using compiler::PolicySpec;
+
+TEST(PolicyParser, SingleLeaf) {
+  const PolicySpec spec = parse_policy("router");
+  EXPECT_TRUE(spec.is_leaf);
+  EXPECT_EQ(spec.leaf_name, "router");
+}
+
+TEST(PolicyParser, Operators) {
+  EXPECT_EQ(policy_to_string(parse_policy("a + b")), "(a + b)");
+  EXPECT_EQ(policy_to_string(parse_policy("a > b")), "(a > b)");
+  EXPECT_EQ(policy_to_string(parse_policy("a $ b")), "(a $ b)");
+}
+
+TEST(PolicyParser, SequentialBindsTighter) {
+  EXPECT_EQ(policy_to_string(parse_policy("a + b > c")), "(a + (b > c))");
+  EXPECT_EQ(policy_to_string(parse_policy("a > b $ c")), "((a > b) $ c)");
+}
+
+TEST(PolicyParser, LeftAssociativity) {
+  EXPECT_EQ(policy_to_string(parse_policy("a + b + c")), "((a + b) + c)");
+  EXPECT_EQ(policy_to_string(parse_policy("a > b > c")), "((a > b) > c)");
+  EXPECT_EQ(policy_to_string(parse_policy("a + b $ c")), "((a + b) $ c)");
+}
+
+TEST(PolicyParser, ParenthesesOverride) {
+  EXPECT_EQ(policy_to_string(parse_policy("(a + b) > c")), "((a + b) > c)");
+  EXPECT_EQ(policy_to_string(parse_policy("((a))")), "a");
+}
+
+TEST(PolicyParser, WhitespaceAndIdentifiers) {
+  const PolicySpec spec = parse_policy("  monitor_v2+router-east  ");
+  ASSERT_FALSE(spec.is_leaf);
+  EXPECT_EQ(spec.left->leaf_name, "monitor_v2");
+  EXPECT_EQ(spec.right->leaf_name, "router-east");
+}
+
+TEST(PolicyParser, LeafNamesCollected) {
+  const auto names = parse_policy("(a + b) $ (c > d)").leaf_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[3], "d");
+}
+
+TEST(PolicyParser, Errors) {
+  EXPECT_THROW(parse_policy(""), PolicyParseError);
+  EXPECT_THROW(parse_policy("a +"), PolicyParseError);
+  EXPECT_THROW(parse_policy("(a + b"), PolicyParseError);
+  EXPECT_THROW(parse_policy("a b"), PolicyParseError);
+  EXPECT_THROW(parse_policy("+ a"), PolicyParseError);
+  EXPECT_THROW(parse_policy("a * b"), PolicyParseError);
+  try {
+    parse_policy("(a + ");
+    FAIL() << "expected PolicyParseError";
+  } catch (const PolicyParseError& e) {
+    EXPECT_GT(e.position(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ruletris

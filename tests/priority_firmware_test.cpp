@@ -1,0 +1,153 @@
+// Priority-based firmware: sorted-layout invariant, shifting cost model,
+// and semantic agreement with a reference priority table.
+#include <gtest/gtest.h>
+
+#include "tcam/priority_firmware.h"
+#include "test_util.h"
+#include "util/logging.h"
+
+namespace ruletris {
+namespace {
+
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::TernaryMatch;
+using tcam::PriorityFirmware;
+using tcam::Tcam;
+using util::Rng;
+
+Rule prioritized_rule(uint32_t tag, int32_t priority) {
+  TernaryMatch m;
+  m.set_exact(FieldId::kDstPort, tag);
+  return Rule::make(m, ActionList{Action::forward(1)}, priority);
+}
+
+TEST(PriorityFirmware, KeepsSortedLayout) {
+  Tcam tcam(16);
+  PriorityFirmware fw(tcam);
+  Rng rng(1);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(fw.insert(prioritized_rule(static_cast<uint32_t>(i),
+                                           static_cast<int32_t>(rng.next_below(100)))));
+    ASSERT_TRUE(fw.layout_sorted());
+  }
+}
+
+TEST(PriorityFirmware, InsertReusesHoleInsideBand) {
+  // A delete leaves a hole; a later insert whose priority band contains the
+  // hole costs a single write.
+  Tcam tcam(8);
+  PriorityFirmware fw(tcam);
+  ASSERT_TRUE(fw.insert(prioritized_rule(1, 10)));
+  Rule middle = prioritized_rule(2, 20);
+  ASSERT_TRUE(fw.insert(middle));
+  ASSERT_TRUE(fw.insert(prioritized_rule(3, 30)));
+  fw.remove(middle.id);
+  const auto before = tcam.stats();
+  ASSERT_TRUE(fw.insert(prioritized_rule(4, 15)));
+  EXPECT_EQ(tcam.stats().entry_writes - before.entry_writes, 1u);
+  EXPECT_EQ(tcam.stats().moves - before.moves, 0u);
+  EXPECT_TRUE(fw.layout_sorted());
+}
+
+TEST(PriorityFirmware, FullBlockShiftsToReachTheFreeSlot) {
+  // Naive firmware packs entries; inserting *below* the packed block must
+  // shift every entry by one toward the free region — the Fig. 2(b)
+  // behaviour that makes priority-based updates expensive.
+  const size_t cap = 6;
+  Tcam tcam(cap);
+  PriorityFirmware fw(tcam);
+  for (size_t i = 0; i + 1 < cap; ++i) {
+    ASSERT_TRUE(fw.insert(prioritized_rule(static_cast<uint32_t>(i),
+                                           static_cast<int32_t>(10 * (i + 1)))));
+  }
+  ASSERT_EQ(tcam.free_slots(), 1u);
+  const auto before = tcam.stats();
+  ASSERT_TRUE(fw.insert(prioritized_rule(99, 1)));  // below everything
+  const size_t writes = tcam.stats().entry_writes - before.entry_writes;
+  // All five existing entries move up one slot, plus the new write.
+  EXPECT_EQ(tcam.stats().moves - before.moves, cap - 1);
+  EXPECT_EQ(writes, cap);
+  EXPECT_TRUE(fw.layout_sorted());
+}
+
+TEST(PriorityFirmware, FullTcamRejects) {
+  Tcam tcam(2);
+  PriorityFirmware fw(tcam);
+  ASSERT_TRUE(fw.insert(prioritized_rule(1, 1)));
+  ASSERT_TRUE(fw.insert(prioritized_rule(2, 2)));
+  util::set_log_level(util::LogLevel::kOff);
+  EXPECT_FALSE(fw.insert(prioritized_rule(3, 3)));
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
+TEST(PriorityFirmware, ModifySamePriorityInPlace) {
+  Tcam tcam(4);
+  PriorityFirmware fw(tcam);
+  Rule r = prioritized_rule(1, 10);
+  ASSERT_TRUE(fw.insert(r));
+  Rule changed = r;
+  changed.actions = ActionList{Action::drop()};
+  const auto before = tcam.stats();
+  ASSERT_TRUE(fw.modify(changed));
+  EXPECT_EQ(tcam.stats().entry_writes - before.entry_writes, 1u);
+  EXPECT_EQ(tcam.stats().moves - before.moves, 0u);
+  EXPECT_TRUE(tcam.rule(r.id).actions.contains(flowspace::ActionType::kDrop));
+}
+
+TEST(PriorityFirmware, ModifyPriorityReinserts) {
+  Tcam tcam(8);
+  PriorityFirmware fw(tcam);
+  Rule a = prioritized_rule(1, 10);
+  Rule b = prioritized_rule(2, 20);
+  ASSERT_TRUE(fw.insert(a));
+  ASSERT_TRUE(fw.insert(b));
+  Rule moved = a;
+  moved.priority = 30;  // now above b
+  ASSERT_TRUE(fw.modify(moved));
+  EXPECT_TRUE(fw.layout_sorted());
+  EXPECT_GT(tcam.address_of(a.id), tcam.address_of(b.id));
+}
+
+/// Semantic property: after a random prioritized update stream the TCAM
+/// classifies exactly like the shadow priority table.
+TEST(PriorityFirmware, RandomStreamMatchesPriorityTable) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    Tcam tcam(48);
+    PriorityFirmware fw(tcam);
+    FlowTable shadow;
+    std::vector<RuleId> live;
+    for (int step = 0; step < 80; ++step) {
+      if (!live.empty() && rng.next_bool(0.4)) {
+        const size_t pick = rng.next_below(live.size());
+        fw.remove(live[pick]);
+        shadow.erase(live[pick]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      } else {
+        // Distinct priorities keep the shadow's tie behaviour irrelevant.
+        Rule r = testutil::random_rule(rng, step + 1);
+        live.push_back(r.id);
+        shadow.insert(r);
+        ASSERT_TRUE(fw.insert(r));
+      }
+      ASSERT_TRUE(fw.layout_sorted());
+    }
+    for (int k = 0; k < 300; ++k) {
+      const auto p = testutil::random_packet(rng);
+      const Rule* expect = shadow.lookup(p);
+      const Rule* got = tcam.lookup(p);
+      ASSERT_EQ(expect == nullptr, got == nullptr);
+      if (expect != nullptr) {
+        EXPECT_EQ(expect->id, got->id);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruletris

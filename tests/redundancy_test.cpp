@@ -1,0 +1,144 @@
+// Redundancy eliminator (Sec. V-B, Claim 2): obscured and floating rule
+// removal with semantic preservation.
+#include <gtest/gtest.h>
+
+#include "dag/builder.h"
+#include "tcam/redundancy.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using dag::build_min_dag;
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+using tcam::eliminate_redundancy;
+using testutil::lookup_ordered;
+using util::Rng;
+
+TEST(RedundancyEliminator, RemovesObscuredRule) {
+  // A narrow rule hidden beneath an identical-space higher rule.
+  TernaryMatch wide, narrow;
+  wide.set_prefix(FieldId::kDstIp, 0x0a000000, 8);
+  narrow.set_prefix(FieldId::kDstIp, 0x0a0a0000, 16);
+  std::vector<Rule> rules;
+  rules.push_back(Rule::make(wide, ActionList{Action::forward(1)}, 20));
+  rules.push_back(Rule::make(narrow, ActionList{Action::drop()}, 10));  // obscured
+  FlowTable table{rules};
+  const auto result = eliminate_redundancy(table.rules(), build_min_dag(table));
+  ASSERT_EQ(result.obscured.size(), 1u);
+  EXPECT_EQ(result.obscured[0], rules[1].id);
+  EXPECT_EQ(result.kept.size(), 1u);
+}
+
+TEST(RedundancyEliminator, RemovesFloatingRule) {
+  // Narrow high-priority rule with the same action as the general rule
+  // right below it: the narrow one adds nothing (paper's floating rule).
+  TernaryMatch wide, narrow;
+  wide.set_prefix(FieldId::kDstIp, 0x0a000000, 8);
+  narrow.set_prefix(FieldId::kDstIp, 0x0a0a0000, 16);
+  std::vector<Rule> rules;
+  rules.push_back(Rule::make(narrow, ActionList{Action::forward(1)}, 20));  // floating
+  rules.push_back(Rule::make(wide, ActionList{Action::forward(1)}, 10));
+  FlowTable table{rules};
+  const auto result = eliminate_redundancy(table.rules(), build_min_dag(table));
+  ASSERT_EQ(result.floating.size(), 1u);
+  EXPECT_EQ(result.floating[0], rules[0].id);
+  EXPECT_EQ(result.kept.size(), 1u);
+  EXPECT_EQ(result.kept[0].id, rules[1].id);
+}
+
+TEST(RedundancyEliminator, KeepsFloatingCandidateWhoseFallthroughDiffers) {
+  // narrow would be floating w.r.t. wide (same action, more general), but
+  // its direct fall-through is the different-action `mid` rule in between:
+  // removing narrow would drop packets that should be forwarded.
+  TernaryMatch wide, narrow, mid;
+  narrow.set_prefix(FieldId::kDstIp, 0x0a000000, 8).set_exact(FieldId::kDstPort, 80);
+  mid.set_exact(FieldId::kDstPort, 80);             // covers narrow, drops
+  wide.set_prefix(FieldId::kDstIp, 0x0a000000, 8);  // same action as narrow
+  std::vector<Rule> rules;
+  rules.push_back(Rule::make(narrow, ActionList{Action::forward(1)}, 30));
+  rules.push_back(Rule::make(mid, ActionList{Action::drop()}, 20));
+  rules.push_back(Rule::make(wide, ActionList{Action::forward(1)}, 10));
+  FlowTable table{rules};
+  const auto result = eliminate_redundancy(table.rules(), build_min_dag(table));
+  EXPECT_TRUE(result.floating.empty());
+  EXPECT_TRUE(result.obscured.empty());
+  EXPECT_EQ(result.kept.size(), 3u);
+}
+
+TEST(RedundancyEliminator, NoFalsePositivesOnCleanTable) {
+  TernaryMatch a, b;
+  a.set_prefix(FieldId::kDstIp, 0x0a000000, 8);
+  b.set_prefix(FieldId::kDstIp, 0x0b000000, 8);
+  std::vector<Rule> rules;
+  rules.push_back(Rule::make(a, ActionList{Action::forward(1)}, 2));
+  rules.push_back(Rule::make(b, ActionList{Action::forward(2)}, 1));
+  FlowTable table{rules};
+  const auto result = eliminate_redundancy(table.rules(), build_min_dag(table));
+  EXPECT_TRUE(result.obscured.empty());
+  EXPECT_TRUE(result.floating.empty());
+  EXPECT_EQ(result.kept.size(), 2u);
+}
+
+/// Property (Claim 2): elimination never changes classification, the output
+/// contains no obscured rule, and the patched DAG stays sufficient.
+TEST(RedundancyEliminator, SemanticsPreservedOnRandomTables) {
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Rule> rules;
+    const int n = 6 + static_cast<int>(rng.next_below(10));
+    for (int i = 0; i < n; ++i) {
+      rules.push_back(testutil::random_rule(rng, n - i));
+    }
+    FlowTable table{rules};
+    const auto graph = build_min_dag(table);
+    const auto result = eliminate_redundancy(table.rules(), graph);
+
+    EXPECT_EQ(result.kept.size() + result.obscured.size() + result.floating.size(),
+              table.size());
+
+    // Classification unchanged (by action, since floating removal may hand
+    // packets to an equal-action rule).
+    for (int k = 0; k < 300; ++k) {
+      const auto p = testutil::random_packet(rng);
+      const Rule* expect = table.lookup(p);
+      const Rule* got = lookup_ordered(result.kept, p);
+      ASSERT_EQ(expect == nullptr, got == nullptr);
+      if (expect != nullptr) {
+        EXPECT_EQ(expect->actions, got->actions);
+      }
+    }
+
+    // No rule in the output is obscured by the ones before it.
+    std::vector<TernaryMatch> above;
+    for (const Rule& r : result.kept) {
+      EXPECT_FALSE(flowspace::is_covered_by(r.match, above))
+          << "output still contains an obscured rule";
+      above.push_back(r.match);
+    }
+
+    // The patched DAG still orders the kept rules correctly.
+    for (int reorder = 0; reorder < 3; ++reorder) {
+      const auto layout =
+          testutil::random_dag_linearization(result.kept, result.graph, rng);
+      ASSERT_EQ(layout.size(), result.kept.size());
+      for (int k = 0; k < 150; ++k) {
+        const auto p = testutil::random_packet(rng);
+        const Rule* expect = lookup_ordered(result.kept, p);
+        const Rule* got = lookup_ordered(layout, p);
+        ASSERT_EQ(expect == nullptr, got == nullptr);
+        if (expect != nullptr) {
+          EXPECT_EQ(expect->actions, got->actions);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruletris

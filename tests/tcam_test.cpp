@@ -1,0 +1,174 @@
+// Tcam device model and the Fenwick occupancy index.
+#include <gtest/gtest.h>
+
+#include "tcam/occupancy.h"
+#include "tcam/tcam.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::Packet;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+using tcam::OccupancyIndex;
+using tcam::Tcam;
+using util::Rng;
+
+Rule rule_with_port(uint32_t port, uint32_t out_port) {
+  TernaryMatch m;
+  m.set_exact(FieldId::kDstPort, port);
+  return Rule::make(m, ActionList{Action::forward(out_port)}, 0);
+}
+
+TEST(Tcam, WriteMoveEraseLifecycle) {
+  Tcam tcam(8);
+  Rule r = rule_with_port(80, 1);
+  tcam.write(3, r);
+  EXPECT_TRUE(tcam.contains(r.id));
+  EXPECT_EQ(tcam.address_of(r.id), 3u);
+  EXPECT_EQ(tcam.stats().entry_writes, 1u);
+
+  tcam.move(3, 6);
+  EXPECT_EQ(tcam.address_of(r.id), 6u);
+  EXPECT_TRUE(tcam.is_free(3));
+  EXPECT_EQ(tcam.stats().entry_writes, 2u);
+  EXPECT_EQ(tcam.stats().moves, 1u);
+
+  tcam.erase(6);
+  EXPECT_FALSE(tcam.contains(r.id));
+  EXPECT_EQ(tcam.stats().erases, 1u);
+  // Deletes are mask invalidations: no entry write.
+  EXPECT_EQ(tcam.stats().entry_writes, 2u);
+}
+
+TEST(Tcam, HighestAddressWins) {
+  Tcam tcam(4);
+  Rule low = rule_with_port(80, 1);
+  Rule high = rule_with_port(80, 2);
+  tcam.write(0, low);
+  tcam.write(3, high);
+  Packet p;
+  p.set(FieldId::kDstPort, 80);
+  ASSERT_NE(tcam.lookup(p), nullptr);
+  EXPECT_EQ(tcam.lookup(p)->id, high.id);
+}
+
+TEST(Tcam, LookupMiss) {
+  Tcam tcam(4);
+  tcam.write(0, rule_with_port(80, 1));
+  Packet p;
+  p.set(FieldId::kDstPort, 81);
+  EXPECT_EQ(tcam.lookup(p), nullptr);
+}
+
+TEST(Tcam, InvalidOperationsThrow) {
+  Tcam tcam(4);
+  Rule r = rule_with_port(80, 1);
+  tcam.write(1, r);
+  EXPECT_THROW(tcam.write(1, rule_with_port(81, 1)), std::logic_error);
+  EXPECT_THROW(tcam.write(2, r), std::logic_error);  // duplicate id
+  EXPECT_THROW(tcam.move(0, 2), std::logic_error);   // source free
+  EXPECT_THROW(tcam.move(1, 1), std::logic_error);   // target occupied
+  EXPECT_THROW(tcam.at(9), std::out_of_range);
+  EXPECT_THROW((Tcam{0}), std::invalid_argument);
+}
+
+TEST(Tcam, UpdateTimeModel) {
+  Tcam tcam(8);
+  tcam.write(0, rule_with_port(1, 1));
+  tcam.move(0, 1);
+  EXPECT_DOUBLE_EQ(tcam.stats().update_time_ms(), 2 * tcam::kEntryWriteMs);
+}
+
+TEST(Tcam, ModifyActionsInPlace) {
+  Tcam tcam(4);
+  Rule r = rule_with_port(80, 1);
+  tcam.write(2, r);
+  tcam.modify_actions(r.id, ActionList{Action::drop()});
+  EXPECT_TRUE(tcam.rule(r.id).actions.contains(flowspace::ActionType::kDrop));
+  EXPECT_EQ(tcam.stats().entry_writes, 2u);
+  EXPECT_EQ(tcam.stats().moves, 0u);
+}
+
+TEST(Tcam, EntriesHighToLow) {
+  Tcam tcam(4);
+  Rule a = rule_with_port(1, 1);
+  Rule b = rule_with_port(2, 2);
+  tcam.write(0, a);
+  tcam.write(3, b);
+  auto entries = tcam.entries_high_to_low();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, b.id);
+  EXPECT_EQ(entries[1].id, a.id);
+}
+
+// --- occupancy index ---------------------------------------------------------
+
+TEST(OccupancyIndex, CountsAndRanks) {
+  OccupancyIndex occ(10);
+  occ.set_occupied(2, true);
+  occ.set_occupied(5, true);
+  occ.set_occupied(9, true);
+  EXPECT_EQ(occ.occupied_count(), 3u);
+  EXPECT_EQ(occ.occupied_below(5), 1u);
+  EXPECT_EQ(occ.occupied_in(2, 5), 2u);
+  EXPECT_EQ(*occ.kth_occupied(0), 2u);
+  EXPECT_EQ(*occ.kth_occupied(1), 5u);
+  EXPECT_EQ(*occ.kth_occupied(2), 9u);
+  EXPECT_FALSE(occ.kth_occupied(3).has_value());
+}
+
+TEST(OccupancyIndex, NearestFreeQueries) {
+  OccupancyIndex occ(8);
+  for (size_t a : {1u, 2u, 3u, 6u}) occ.set_occupied(a, true);
+  EXPECT_EQ(*occ.nearest_free_at_or_above(1), 4u);
+  EXPECT_EQ(*occ.nearest_free_at_or_above(4), 4u);
+  EXPECT_EQ(*occ.nearest_free_at_or_above(6), 7u);
+  EXPECT_EQ(*occ.nearest_free_at_or_below(6), 5u);
+  EXPECT_EQ(*occ.nearest_free_at_or_below(3), 0u);
+  occ.set_occupied(0, true);
+  EXPECT_FALSE(occ.nearest_free_at_or_below(3).has_value());
+}
+
+TEST(OccupancyIndex, RandomizedAgainstLinearScan) {
+  Rng rng(77);
+  OccupancyIndex occ(64);
+  std::vector<bool> shadow(64, false);
+  for (int step = 0; step < 2000; ++step) {
+    const size_t addr = rng.next_below(64);
+    const bool value = rng.next_bool(0.5);
+    occ.set_occupied(addr, value);
+    shadow[addr] = value;
+
+    const size_t probe = rng.next_below(64);
+    // nearest free above
+    std::optional<size_t> expect_above;
+    for (size_t a = probe; a < 64; ++a) {
+      if (!shadow[a]) {
+        expect_above = a;
+        break;
+      }
+    }
+    EXPECT_EQ(occ.nearest_free_at_or_above(probe), expect_above);
+    // nearest free below
+    std::optional<size_t> expect_below;
+    for (size_t a = probe + 1; a-- > 0;) {
+      if (!shadow[a]) {
+        expect_below = a;
+        break;
+      }
+    }
+    EXPECT_EQ(occ.nearest_free_at_or_below(probe), expect_below);
+    // counts
+    size_t count = 0;
+    for (size_t a = 0; a < probe; ++a) count += shadow[a] ? 1 : 0;
+    EXPECT_EQ(occ.occupied_below(probe), count);
+  }
+}
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,117 @@
+// Update-trace format: parse/serialize round trips and replay semantics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "classbench/trace.h"
+#include "compiler/leaf.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using classbench::parse_trace;
+using classbench::synthesize_churn_trace;
+using classbench::TraceStep;
+using classbench::UpdateTrace;
+using classbench::write_trace;
+using compiler::LeafNode;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+using util::Rng;
+
+TEST(Trace, ParseBasics) {
+  std::istringstream in(
+      "# header comment\n"
+      "del -3\n"
+      "add 40 @1.0.0.0/8 2.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF\n"
+      "del 1\n");
+  const UpdateTrace trace = parse_trace(in);
+  ASSERT_EQ(trace.steps.size(), 3u);
+  EXPECT_EQ(trace.steps[0].kind, TraceStep::Kind::kDelete);
+  EXPECT_EQ(trace.steps[0].ref, -3);
+  EXPECT_EQ(trace.steps[1].kind, TraceStep::Kind::kAdd);
+  ASSERT_EQ(trace.steps[1].rules.size(), 1u);
+  EXPECT_EQ(trace.steps[1].rules[0].priority, 40);
+  EXPECT_EQ(trace.steps[2].ref, 1);
+}
+
+TEST(Trace, RangeExpandedAddReplaysAsGroup) {
+  std::istringstream in("add 10 @0.0.0.0/0 0.0.0.0/0 0 : 65535 1024 : 65535 0x00/0x00\n");
+  const UpdateTrace trace = parse_trace(in);
+  ASSERT_EQ(trace.steps.size(), 1u);
+  EXPECT_EQ(trace.steps[0].rules.size(), 6u);
+  for (const Rule& r : trace.steps[0].rules) EXPECT_EQ(r.priority, 10);
+}
+
+TEST(Trace, MalformedInputsThrow) {
+  for (const char* bad : {"del\n", "add\n", "add 5\n", "frobnicate 1\n",
+                          "add 5 @bogus\n"}) {
+    std::istringstream in(bad);
+    EXPECT_THROW(parse_trace(in), std::runtime_error) << bad;
+  }
+}
+
+TEST(Trace, WriteParseRoundTrip) {
+  const UpdateTrace original = synthesize_churn_trace(10, 15, 42);
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const UpdateTrace reparsed = parse_trace(in);
+  ASSERT_EQ(reparsed.steps.size(), original.steps.size());
+  for (size_t i = 0; i < original.steps.size(); ++i) {
+    EXPECT_EQ(reparsed.steps[i].kind, original.steps[i].kind);
+    if (original.steps[i].kind == TraceStep::Kind::kDelete) {
+      EXPECT_EQ(reparsed.steps[i].ref, original.steps[i].ref);
+    } else {
+      ASSERT_EQ(reparsed.steps[i].rules.size(), original.steps[i].rules.size());
+      for (size_t k = 0; k < original.steps[i].rules.size(); ++k) {
+        EXPECT_EQ(reparsed.steps[i].rules[k].match, original.steps[i].rules[k].match);
+      }
+    }
+  }
+}
+
+TEST(Trace, SynthesizedTraceIsDeterministicAndReplayable) {
+  const UpdateTrace a = synthesize_churn_trace(20, 30, 7);
+  const UpdateTrace b = synthesize_churn_trace(20, 30, 7);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  ASSERT_EQ(a.steps.size(), 60u);  // delete + add per update
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    if (a.steps[i].kind == TraceStep::Kind::kAdd) {
+      EXPECT_EQ(a.steps[i].rules[0].match, b.steps[i].rules[0].match);
+    } else {
+      EXPECT_EQ(a.steps[i].ref, b.steps[i].ref);
+    }
+  }
+
+  // Replay against a leaf table: every reference resolves, table size is
+  // conserved (one del + one add per update).
+  Rng rng(3);
+  std::vector<Rule> initial;
+  for (int i = 0; i < 20; ++i) initial.push_back(testutil::random_rule(rng, 20 - i));
+  LeafNode leaf{FlowTable{initial}};
+
+  std::vector<RuleId> by_add_index;  // 1-based
+  for (const TraceStep& step : a.steps) {
+    if (step.kind == TraceStep::Kind::kAdd) {
+      for (const Rule& r : step.rules) {
+        by_add_index.push_back(r.id);
+        leaf.insert(r);
+      }
+    } else {
+      RuleId victim;
+      if (step.ref < 0) {
+        victim = initial[static_cast<size_t>(-step.ref - 1)].id;
+      } else {
+        victim = by_add_index[static_cast<size_t>(step.ref - 1)];
+      }
+      EXPECT_FALSE(leaf.remove(victim).empty()) << "dangling trace reference";
+    }
+  }
+  EXPECT_EQ(leaf.visible_size(), 20u);
+}
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,131 @@
+// UpdateBuilder: net-effect normalization of chronological visible-state
+// mutations (the contract parents and the back-end rely on).
+#include <gtest/gtest.h>
+
+#include "compiler/update_builder.h"
+#include "flowspace/rule.h"
+
+namespace ruletris {
+namespace {
+
+using compiler::UpdateBuilder;
+using flowspace::ActionList;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+
+Rule make_rule(flowspace::RuleId id) {
+  Rule r;
+  r.id = id;
+  r.match = TernaryMatch::wildcard();
+  return r;
+}
+
+TEST(UpdateBuilder, PlainAddAndRemove) {
+  UpdateBuilder b;
+  b.add_rule(make_rule(1));
+  b.remove_rule(2);
+  const auto out = b.build();
+  ASSERT_EQ(out.added.size(), 1u);
+  EXPECT_EQ(out.added[0].id, 1u);
+  ASSERT_EQ(out.removed.size(), 1u);
+  EXPECT_EQ(out.removed[0], 2u);
+  EXPECT_EQ(out.dag.added_vertices.size(), 1u);
+  EXPECT_EQ(out.dag.removed_vertices.size(), 1u);
+}
+
+TEST(UpdateBuilder, AddThenRemoveCancels) {
+  UpdateBuilder b;
+  b.add_rule(make_rule(1));
+  b.remove_rule(1);
+  const auto out = b.build();
+  EXPECT_TRUE(out.empty()) << "transient rule must not surface";
+}
+
+TEST(UpdateBuilder, RemoveThenAddSurfacesAsRefresh) {
+  UpdateBuilder b;
+  b.remove_rule(1);
+  b.add_rule(make_rule(1));
+  const auto out = b.build();
+  ASSERT_EQ(out.removed.size(), 1u);
+  ASSERT_EQ(out.added.size(), 1u);
+  EXPECT_EQ(out.removed[0], 1u);
+  EXPECT_EQ(out.added[0].id, 1u);
+}
+
+TEST(UpdateBuilder, EdgeAddRemoveNetsToNothing) {
+  UpdateBuilder b;
+  b.add_edge(1, 2);
+  b.remove_edge(1, 2);
+  EXPECT_TRUE(b.build().empty());
+}
+
+TEST(UpdateBuilder, EdgeRemoveAddNetsToNothing) {
+  UpdateBuilder b;
+  b.remove_edge(1, 2);
+  b.add_edge(1, 2);
+  EXPECT_TRUE(b.build().empty());
+}
+
+TEST(UpdateBuilder, EdgesTouchingCancelledVertexDropped) {
+  UpdateBuilder b;
+  b.add_rule(make_rule(5));
+  b.add_edge(5, 9);
+  b.add_edge(9, 5);
+  b.remove_rule(5);  // cancels the add; its edges must vanish too
+  const auto out = b.build();
+  EXPECT_TRUE(out.dag.added_edges.empty());
+  EXPECT_TRUE(out.added.empty());
+  EXPECT_TRUE(out.removed.empty());
+}
+
+TEST(UpdateBuilder, EdgesTouchingRemovedVertexAreImplied) {
+  UpdateBuilder b;
+  b.remove_edge(1, 7);
+  b.remove_rule(7);
+  const auto out = b.build();
+  // The vertex removal implies its incident edge removals; no explicit
+  // edge entries referencing the dead vertex survive.
+  EXPECT_TRUE(out.dag.removed_edges.empty());
+  ASSERT_EQ(out.removed.size(), 1u);
+}
+
+TEST(UpdateBuilder, EdgeBetweenSurvivorsIsReported) {
+  UpdateBuilder b;
+  b.remove_edge(1, 2);
+  b.add_edge(3, 4);
+  const auto out = b.build();
+  ASSERT_EQ(out.dag.removed_edges.size(), 1u);
+  EXPECT_EQ(out.dag.removed_edges[0], (std::pair<flowspace::RuleId, flowspace::RuleId>{1, 2}));
+  ASSERT_EQ(out.dag.added_edges.size(), 1u);
+}
+
+TEST(UpdateBuilder, RepresentativeFlipFlopScenario) {
+  // add(x); demote: remove(x), add(y); y removed again: remove(y), add(x).
+  UpdateBuilder b;
+  b.add_rule(make_rule(10));
+  b.remove_rule(10);
+  b.add_rule(make_rule(11));
+  b.remove_rule(11);
+  b.add_rule(make_rule(10));
+  const auto out = b.build();
+  ASSERT_EQ(out.added.size(), 1u);
+  EXPECT_EQ(out.added[0].id, 10u);
+  EXPECT_TRUE(out.removed.empty()) << "10 was added first in this very update";
+}
+
+TEST(UpdateBuilder, LatestRuleDataWins) {
+  UpdateBuilder b;
+  Rule first = make_rule(1);
+  first.priority = 5;
+  Rule second = make_rule(1);
+  second.priority = 9;
+  b.add_rule(first);
+  b.remove_rule(1);
+  b.add_rule(second);
+  const auto out = b.build();
+  ASSERT_EQ(out.added.size(), 1u);
+  EXPECT_EQ(out.added[0].priority, 9);
+}
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,322 @@
+// ruletris_sim — command-line driver for the whole pipeline.
+//
+// Composes named member tables (ClassBench files or synthetic generators)
+// under a policy expression, replays a rule-update stream through a chosen
+// compiler and switch firmware, and reports the paper's latency metrics.
+//
+//   ruletris_sim --policy "monitor + router"
+//                --table monitor=gen:monitor:100 --table router=gen:router:1000
+//                --churn monitor --updates 500 --compiler ruletris
+//
+//   ruletris_sim --policy "acl" --table acl=file:acl1_1k.rules --updates 100
+//
+// Table sources:  gen:router:N | gen:monitor:N | gen:firewall:N |
+//                 gen:nat:N (requires a router table named "router") |
+//                 file:PATH (ClassBench format)
+// Compilers:      ruletris (DAG firmware) | covisor | baseline (priority fw)
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "classbench/format.h"
+#include "classbench/generator.h"
+#include "classbench/trace.h"
+#include "compiler/baseline.h"
+#include "compiler/covisor.h"
+#include "compiler/policy_parser.h"
+#include "compiler/ruletris_compiler.h"
+#include "switchsim/adapters.h"
+#include "switchsim/switch.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ruletris;
+using compiler::PolicySpec;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+
+struct Options {
+  std::string policy;
+  std::vector<std::pair<std::string, std::string>> tables;  // name -> source
+  std::string churn;                // leaf receiving the update stream
+  std::string compiler = "ruletris";
+  size_t updates = 200;
+  uint64_t seed = 1;
+  std::string trace_in;    // replay this trace instead of random churn
+  std::string trace_out;   // record the generated stream here
+  std::optional<size_t> capacity;   // default: sized from the composed table
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --policy EXPR --table NAME=SOURCE [--table ...]\n"
+               "          [--churn NAME] [--updates N] [--seed S]\n"
+               "          [--compiler ruletris|covisor|baseline]\n"
+               "          [--tcam-capacity N] [--verbose]\n"
+               "          [--trace FILE | --emit-trace FILE]\n"
+               "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
+               "          gen:nat:N | file:PATH\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--policy") {
+      opt.policy = need_value(i);
+    } else if (arg == "--table") {
+      const std::string spec = need_value(i);
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) usage(argv[0]);
+      opt.tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--churn") {
+      opt.churn = need_value(i);
+    } else if (arg == "--updates") {
+      opt.updates = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(need_value(i));
+    } else if (arg == "--compiler") {
+      opt.compiler = need_value(i);
+    } else if (arg == "--tcam-capacity") {
+      opt.capacity = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--trace") {
+      opt.trace_in = need_value(i);
+    } else if (arg == "--emit-trace") {
+      opt.trace_out = need_value(i);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (opt.policy.empty() || opt.tables.empty()) usage(argv[0]);
+  return opt;
+}
+
+std::vector<Rule> make_table(const std::string& source,
+                             const std::map<std::string, std::vector<Rule>>& built,
+                             util::Rng& rng) {
+  if (source.rfind("file:", 0) == 0) {
+    auto parsed = classbench::load_classbench_file(source.substr(5));
+    std::printf("  loaded %zu filters -> %zu TCAM rules (+%zu range expansion)\n",
+                parsed.filters, parsed.rules.size(), parsed.expansion_overhead);
+    return std::move(parsed.rules);
+  }
+  if (source.rfind("gen:", 0) != 0) {
+    throw std::runtime_error("bad table source: " + source);
+  }
+  const size_t second = source.find(':', 4);
+  if (second == std::string::npos) throw std::runtime_error("bad gen spec: " + source);
+  const std::string kind = source.substr(4, second - 4);
+  const size_t n = static_cast<size_t>(std::stoul(source.substr(second + 1)));
+  if (kind == "router") return classbench::generate_router(n, rng);
+  if (kind == "monitor") return classbench::generate_monitor(n, rng);
+  if (kind == "firewall") return classbench::generate_firewall(n, rng);
+  if (kind == "nat") {
+    auto it = built.find("router");
+    if (it == built.end()) {
+      throw std::runtime_error("gen:nat needs a table named 'router' defined first");
+    }
+    return classbench::generate_nat(n, it->second, rng);
+  }
+  throw std::runtime_error("unknown generator: " + kind);
+}
+
+Rule make_replacement(const std::string& source,
+                      const std::map<std::string, std::vector<Rule>>& built,
+                      util::Rng& rng) {
+  if (source.rfind("gen:nat", 0) == 0) {
+    return classbench::random_nat_rule(built.at("router"), 100, rng);
+  }
+  // Monitor-style replacement works for every other profile.
+  return classbench::random_monitor_rule(100, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  util::set_log_level(opt.verbose ? util::LogLevel::kInfo : util::LogLevel::kError);
+
+  try {
+    const PolicySpec spec = compiler::parse_policy(opt.policy);
+    std::printf("policy: %s\n", compiler::policy_to_string(spec).c_str());
+
+    // Build member tables.
+    util::Rng rng(opt.seed);
+    std::map<std::string, std::vector<Rule>> built;
+    std::map<std::string, std::string> sources;
+    for (const auto& [name, source] : opt.tables) {
+      std::printf("table %s <- %s\n", name.c_str(), source.c_str());
+      built[name] = make_table(source, built, rng);
+      sources[name] = source;
+      std::printf("  %zu rules\n", built[name].size());
+    }
+    for (const std::string& leaf : spec.leaf_names()) {
+      if (!built.count(leaf)) {
+        std::fprintf(stderr, "error: policy references undefined table '%s'\n",
+                     leaf.c_str());
+        return 2;
+      }
+    }
+
+    auto tables_for = [&] {
+      std::map<std::string, FlowTable> t;
+      for (const auto& [name, rules] : built) t.emplace(name, FlowTable{rules});
+      return t;
+    };
+
+    const std::string churn =
+        opt.churn.empty() ? spec.leaf_names().front() : opt.churn;
+    if (!built.count(churn)) {
+      std::fprintf(stderr, "error: churn table '%s' undefined\n", churn.c_str());
+      return 2;
+    }
+
+    // Build the chosen compiler and its switch.
+    util::Samples compile_ms, firmware_ms, tcam_ms;
+    util::Stopwatch initial_watch;
+
+    // The churn stream: either replayed from a trace file, or synthesized
+    // (and optionally recorded for later replay).
+    classbench::UpdateTrace trace;
+    if (!opt.trace_in.empty()) {
+      std::ifstream in(opt.trace_in);
+      if (!in) throw std::runtime_error("cannot open trace " + opt.trace_in);
+      trace = classbench::parse_trace(in);
+      std::printf("replaying %zu trace steps from %s\n", trace.steps.size(),
+                  opt.trace_in.c_str());
+    } else {
+      const std::string churn_source = sources.at(churn);
+      trace = classbench::synthesize_churn_trace(
+          built.at(churn).size(), opt.updates, opt.seed ^ 0x5eed,
+          [&](util::Rng& r) { return make_replacement(churn_source, built, r); });
+      if (!opt.trace_out.empty()) {
+        std::ofstream out(opt.trace_out);
+        classbench::write_trace(out, trace);
+        std::printf("recorded churn trace to %s\n", opt.trace_out.c_str());
+      }
+    }
+
+    auto run_stream = [&](auto& frontend, auto deliver, size_t composed_size) {
+      std::printf("composed table: %zu rules; initial compile %.1f ms\n",
+                  composed_size, initial_watch.elapsed_ms());
+      std::vector<RuleId> by_add_index;  // 1-based trace add references
+      size_t pending_compile_updates = 0;
+      double pending_compile_ms = 0.0;
+      for (const auto& step : trace.steps) {
+        util::Stopwatch watch;
+        if (step.kind == classbench::TraceStep::Kind::kDelete) {
+          const RuleId victim =
+              step.ref < 0
+                  ? built.at(churn)[static_cast<size_t>(-step.ref - 1)].id
+                  : by_add_index[static_cast<size_t>(step.ref - 1)];
+          auto upd = frontend.remove(churn, victim);
+          pending_compile_ms += watch.elapsed_ms();
+          ++pending_compile_updates;
+          deliver(upd);
+        } else {
+          for (const Rule& r : step.rules) {
+            by_add_index.push_back(r.id);
+            auto upd = frontend.insert(churn, r);
+            pending_compile_ms += watch.elapsed_ms();
+            deliver(upd);
+            watch.restart();
+          }
+        }
+        // One logical update = one delete + one insert.
+        if (pending_compile_updates == 1 &&
+            step.kind == classbench::TraceStep::Kind::kAdd) {
+          compile_ms.add(pending_compile_ms);
+          pending_compile_ms = 0.0;
+          pending_compile_updates = 0;
+        }
+      }
+      (void)composed_size;
+    };
+
+    if (opt.compiler == "ruletris") {
+      compiler::RuleTrisCompiler frontend(spec, tables_for());
+      const size_t composed = frontend.root().visible_size();
+      switchsim::SimulatedSwitch sw(
+          switchsim::FirmwareMode::kDag,
+          opt.capacity.value_or(composed + composed / 8 + 128));
+      compiler::TableUpdate initial;
+      initial.added = frontend.root().visible_rules_in_order();
+      for (const Rule& r : initial.added) initial.dag.added_vertices.push_back(r.id);
+      initial.dag.added_edges = frontend.root().visible_graph().edges();
+      sw.deliver(switchsim::to_messages(initial));
+      run_stream(frontend,
+                 [&](const auto& upd) {
+                   const auto m = sw.deliver(switchsim::to_messages(upd));
+                   firmware_ms.add(m.firmware_ms);
+                   tcam_ms.add(m.tcam_ms);
+                 },
+                 composed);
+    } else if (opt.compiler == "covisor" || opt.compiler == "baseline") {
+      auto run_prioritized = [&](auto& frontend) {
+        const size_t composed = frontend.compiled().size();
+        switchsim::SimulatedSwitch sw(
+            switchsim::FirmwareMode::kPriority,
+            opt.capacity.value_or(composed + composed / 8 + 128));
+        compiler::PrioritizedUpdate initial;
+        for (const Rule& r : frontend.compiled()) {
+          initial.push_back(compiler::PrioritizedOp::add(r));
+        }
+        sw.deliver(switchsim::to_messages(initial));
+        run_stream(frontend,
+                   [&](const auto& upd) {
+                     const auto m = sw.deliver(switchsim::to_messages(upd));
+                     firmware_ms.add(m.firmware_ms);
+                     tcam_ms.add(m.tcam_ms);
+                   },
+                   composed);
+      };
+      if (opt.compiler == "covisor") {
+        compiler::CovisorCompiler frontend(spec, tables_for());
+        run_prioritized(frontend);
+      } else {
+        compiler::BaselineCompiler frontend(spec, tables_for());
+        run_prioritized(frontend);
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown compiler '%s'\n", opt.compiler.c_str());
+      return 2;
+    }
+
+    std::printf("\n%zu trace steps through '%s' churning '%s':\n",
+                trace.steps.size(), opt.compiler.c_str(), churn.c_str());
+    std::printf("  compile  : %s ms\n", compile_ms.summary("").c_str());
+    std::printf("  firmware : %s ms\n", firmware_ms.summary("").c_str());
+    std::printf("  tcam     : %s ms\n", tcam_ms.summary("").c_str());
+    std::printf("  total med: %.3f ms/update\n",
+                compile_ms.median() + firmware_ms.median() + tcam_ms.median());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
