@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multitable.dir/ablation_multitable.cpp.o"
+  "CMakeFiles/ablation_multitable.dir/ablation_multitable.cpp.o.d"
+  "ablation_multitable"
+  "ablation_multitable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multitable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

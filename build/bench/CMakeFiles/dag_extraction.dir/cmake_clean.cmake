@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_extraction.dir/dag_extraction.cpp.o"
+  "CMakeFiles/dag_extraction.dir/dag_extraction.cpp.o.d"
+  "dag_extraction"
+  "dag_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

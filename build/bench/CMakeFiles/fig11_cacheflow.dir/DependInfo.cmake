@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_cacheflow.cpp" "bench/CMakeFiles/fig11_cacheflow.dir/fig11_cacheflow.cpp.o" "gcc" "bench/CMakeFiles/fig11_cacheflow.dir/fig11_cacheflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ruletris_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowspace/CMakeFiles/ruletris_flowspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ruletris_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/ruletris_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/ruletris_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ruletris_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/ruletris_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/classbench/CMakeFiles/ruletris_classbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cacheflow.dir/fig11_cacheflow.cpp.o"
+  "CMakeFiles/fig11_cacheflow.dir/fig11_cacheflow.cpp.o.d"
+  "fig11_cacheflow"
+  "fig11_cacheflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cacheflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

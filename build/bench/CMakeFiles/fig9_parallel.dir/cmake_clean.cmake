@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_parallel.dir/fig9_parallel.cpp.o"
+  "CMakeFiles/fig9_parallel.dir/fig9_parallel.cpp.o.d"
+  "fig9_parallel"
+  "fig9_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_composition.dir/priority_composition.cpp.o"
+  "CMakeFiles/priority_composition.dir/priority_composition.cpp.o.d"
+  "priority_composition"
+  "priority_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

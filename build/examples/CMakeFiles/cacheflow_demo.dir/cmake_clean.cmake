@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacheflow_demo.dir/cacheflow_demo.cpp.o"
+  "CMakeFiles/cacheflow_demo.dir/cacheflow_demo.cpp.o.d"
+  "cacheflow_demo"
+  "cacheflow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacheflow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_router.dir/monitoring_router.cpp.o"
+  "CMakeFiles/monitoring_router.dir/monitoring_router.cpp.o.d"
+  "monitoring_router"
+  "monitoring_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_router.dir/nat_router.cpp.o"
+  "CMakeFiles/nat_router.dir/nat_router.cpp.o.d"
+  "nat_router"
+  "nat_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classbench/format.cpp" "src/classbench/CMakeFiles/ruletris_classbench.dir/format.cpp.o" "gcc" "src/classbench/CMakeFiles/ruletris_classbench.dir/format.cpp.o.d"
+  "/root/repo/src/classbench/generator.cpp" "src/classbench/CMakeFiles/ruletris_classbench.dir/generator.cpp.o" "gcc" "src/classbench/CMakeFiles/ruletris_classbench.dir/generator.cpp.o.d"
+  "/root/repo/src/classbench/trace.cpp" "src/classbench/CMakeFiles/ruletris_classbench.dir/trace.cpp.o" "gcc" "src/classbench/CMakeFiles/ruletris_classbench.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flowspace/CMakeFiles/ruletris_flowspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ruletris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_classbench.dir/format.cpp.o"
+  "CMakeFiles/ruletris_classbench.dir/format.cpp.o.d"
+  "CMakeFiles/ruletris_classbench.dir/generator.cpp.o"
+  "CMakeFiles/ruletris_classbench.dir/generator.cpp.o.d"
+  "CMakeFiles/ruletris_classbench.dir/trace.cpp.o"
+  "CMakeFiles/ruletris_classbench.dir/trace.cpp.o.d"
+  "libruletris_classbench.a"
+  "libruletris_classbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_classbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

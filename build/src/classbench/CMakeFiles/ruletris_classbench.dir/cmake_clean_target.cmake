@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libruletris_classbench.a"
+)

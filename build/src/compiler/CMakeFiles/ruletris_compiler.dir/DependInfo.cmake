@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/baseline.cpp" "src/compiler/CMakeFiles/ruletris_compiler.dir/baseline.cpp.o" "gcc" "src/compiler/CMakeFiles/ruletris_compiler.dir/baseline.cpp.o.d"
+  "/root/repo/src/compiler/compose_ops.cpp" "src/compiler/CMakeFiles/ruletris_compiler.dir/compose_ops.cpp.o" "gcc" "src/compiler/CMakeFiles/ruletris_compiler.dir/compose_ops.cpp.o.d"
+  "/root/repo/src/compiler/composed_node.cpp" "src/compiler/CMakeFiles/ruletris_compiler.dir/composed_node.cpp.o" "gcc" "src/compiler/CMakeFiles/ruletris_compiler.dir/composed_node.cpp.o.d"
+  "/root/repo/src/compiler/covisor.cpp" "src/compiler/CMakeFiles/ruletris_compiler.dir/covisor.cpp.o" "gcc" "src/compiler/CMakeFiles/ruletris_compiler.dir/covisor.cpp.o.d"
+  "/root/repo/src/compiler/leaf.cpp" "src/compiler/CMakeFiles/ruletris_compiler.dir/leaf.cpp.o" "gcc" "src/compiler/CMakeFiles/ruletris_compiler.dir/leaf.cpp.o.d"
+  "/root/repo/src/compiler/policy_parser.cpp" "src/compiler/CMakeFiles/ruletris_compiler.dir/policy_parser.cpp.o" "gcc" "src/compiler/CMakeFiles/ruletris_compiler.dir/policy_parser.cpp.o.d"
+  "/root/repo/src/compiler/ruletris_compiler.cpp" "src/compiler/CMakeFiles/ruletris_compiler.dir/ruletris_compiler.cpp.o" "gcc" "src/compiler/CMakeFiles/ruletris_compiler.dir/ruletris_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/ruletris_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowspace/CMakeFiles/ruletris_flowspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ruletris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

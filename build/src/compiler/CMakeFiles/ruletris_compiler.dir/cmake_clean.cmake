@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_compiler.dir/baseline.cpp.o"
+  "CMakeFiles/ruletris_compiler.dir/baseline.cpp.o.d"
+  "CMakeFiles/ruletris_compiler.dir/compose_ops.cpp.o"
+  "CMakeFiles/ruletris_compiler.dir/compose_ops.cpp.o.d"
+  "CMakeFiles/ruletris_compiler.dir/composed_node.cpp.o"
+  "CMakeFiles/ruletris_compiler.dir/composed_node.cpp.o.d"
+  "CMakeFiles/ruletris_compiler.dir/covisor.cpp.o"
+  "CMakeFiles/ruletris_compiler.dir/covisor.cpp.o.d"
+  "CMakeFiles/ruletris_compiler.dir/leaf.cpp.o"
+  "CMakeFiles/ruletris_compiler.dir/leaf.cpp.o.d"
+  "CMakeFiles/ruletris_compiler.dir/policy_parser.cpp.o"
+  "CMakeFiles/ruletris_compiler.dir/policy_parser.cpp.o.d"
+  "CMakeFiles/ruletris_compiler.dir/ruletris_compiler.cpp.o"
+  "CMakeFiles/ruletris_compiler.dir/ruletris_compiler.cpp.o.d"
+  "libruletris_compiler.a"
+  "libruletris_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/builder.cpp" "src/dag/CMakeFiles/ruletris_dag.dir/builder.cpp.o" "gcc" "src/dag/CMakeFiles/ruletris_dag.dir/builder.cpp.o.d"
+  "/root/repo/src/dag/dependency_graph.cpp" "src/dag/CMakeFiles/ruletris_dag.dir/dependency_graph.cpp.o" "gcc" "src/dag/CMakeFiles/ruletris_dag.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/dag/min_dag_maintainer.cpp" "src/dag/CMakeFiles/ruletris_dag.dir/min_dag_maintainer.cpp.o" "gcc" "src/dag/CMakeFiles/ruletris_dag.dir/min_dag_maintainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flowspace/CMakeFiles/ruletris_flowspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ruletris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

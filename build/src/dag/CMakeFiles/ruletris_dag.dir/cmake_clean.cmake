@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_dag.dir/builder.cpp.o"
+  "CMakeFiles/ruletris_dag.dir/builder.cpp.o.d"
+  "CMakeFiles/ruletris_dag.dir/dependency_graph.cpp.o"
+  "CMakeFiles/ruletris_dag.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/ruletris_dag.dir/min_dag_maintainer.cpp.o"
+  "CMakeFiles/ruletris_dag.dir/min_dag_maintainer.cpp.o.d"
+  "libruletris_dag.a"
+  "libruletris_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

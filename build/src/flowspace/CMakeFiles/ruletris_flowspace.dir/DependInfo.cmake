@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowspace/action.cpp" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/action.cpp.o" "gcc" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/action.cpp.o.d"
+  "/root/repo/src/flowspace/rule.cpp" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/rule.cpp.o" "gcc" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/rule.cpp.o.d"
+  "/root/repo/src/flowspace/rule_index.cpp" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/rule_index.cpp.o" "gcc" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/rule_index.cpp.o.d"
+  "/root/repo/src/flowspace/ternary.cpp" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/ternary.cpp.o" "gcc" "src/flowspace/CMakeFiles/ruletris_flowspace.dir/ternary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ruletris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

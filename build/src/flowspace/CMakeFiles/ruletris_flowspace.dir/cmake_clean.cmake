@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_flowspace.dir/action.cpp.o"
+  "CMakeFiles/ruletris_flowspace.dir/action.cpp.o.d"
+  "CMakeFiles/ruletris_flowspace.dir/rule.cpp.o"
+  "CMakeFiles/ruletris_flowspace.dir/rule.cpp.o.d"
+  "CMakeFiles/ruletris_flowspace.dir/rule_index.cpp.o"
+  "CMakeFiles/ruletris_flowspace.dir/rule_index.cpp.o.d"
+  "CMakeFiles/ruletris_flowspace.dir/ternary.cpp.o"
+  "CMakeFiles/ruletris_flowspace.dir/ternary.cpp.o.d"
+  "libruletris_flowspace.a"
+  "libruletris_flowspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_flowspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ruletris_flowspace.
+# This may be replaced when dependencies are built.

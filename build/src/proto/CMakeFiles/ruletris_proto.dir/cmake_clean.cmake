@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_proto.dir/codec.cpp.o"
+  "CMakeFiles/ruletris_proto.dir/codec.cpp.o.d"
+  "libruletris_proto.a"
+  "libruletris_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_switchsim.dir/adapters.cpp.o"
+  "CMakeFiles/ruletris_switchsim.dir/adapters.cpp.o.d"
+  "CMakeFiles/ruletris_switchsim.dir/pipeline_switch.cpp.o"
+  "CMakeFiles/ruletris_switchsim.dir/pipeline_switch.cpp.o.d"
+  "CMakeFiles/ruletris_switchsim.dir/switch.cpp.o"
+  "CMakeFiles/ruletris_switchsim.dir/switch.cpp.o.d"
+  "libruletris_switchsim.a"
+  "libruletris_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/cacheflow.cpp" "src/tcam/CMakeFiles/ruletris_tcam.dir/cacheflow.cpp.o" "gcc" "src/tcam/CMakeFiles/ruletris_tcam.dir/cacheflow.cpp.o.d"
+  "/root/repo/src/tcam/dag_scheduler.cpp" "src/tcam/CMakeFiles/ruletris_tcam.dir/dag_scheduler.cpp.o" "gcc" "src/tcam/CMakeFiles/ruletris_tcam.dir/dag_scheduler.cpp.o.d"
+  "/root/repo/src/tcam/priority_firmware.cpp" "src/tcam/CMakeFiles/ruletris_tcam.dir/priority_firmware.cpp.o" "gcc" "src/tcam/CMakeFiles/ruletris_tcam.dir/priority_firmware.cpp.o.d"
+  "/root/repo/src/tcam/redundancy.cpp" "src/tcam/CMakeFiles/ruletris_tcam.dir/redundancy.cpp.o" "gcc" "src/tcam/CMakeFiles/ruletris_tcam.dir/redundancy.cpp.o.d"
+  "/root/repo/src/tcam/tcam.cpp" "src/tcam/CMakeFiles/ruletris_tcam.dir/tcam.cpp.o" "gcc" "src/tcam/CMakeFiles/ruletris_tcam.dir/tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/ruletris_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowspace/CMakeFiles/ruletris_flowspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/ruletris_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ruletris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_tcam.dir/cacheflow.cpp.o"
+  "CMakeFiles/ruletris_tcam.dir/cacheflow.cpp.o.d"
+  "CMakeFiles/ruletris_tcam.dir/dag_scheduler.cpp.o"
+  "CMakeFiles/ruletris_tcam.dir/dag_scheduler.cpp.o.d"
+  "CMakeFiles/ruletris_tcam.dir/priority_firmware.cpp.o"
+  "CMakeFiles/ruletris_tcam.dir/priority_firmware.cpp.o.d"
+  "CMakeFiles/ruletris_tcam.dir/redundancy.cpp.o"
+  "CMakeFiles/ruletris_tcam.dir/redundancy.cpp.o.d"
+  "CMakeFiles/ruletris_tcam.dir/tcam.cpp.o"
+  "CMakeFiles/ruletris_tcam.dir/tcam.cpp.o.d"
+  "libruletris_tcam.a"
+  "libruletris_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_util.dir/logging.cpp.o"
+  "CMakeFiles/ruletris_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ruletris_util.dir/stats.cpp.o"
+  "CMakeFiles/ruletris_util.dir/stats.cpp.o.d"
+  "libruletris_util.a"
+  "libruletris_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacheflow_test.dir/cacheflow_test.cpp.o"
+  "CMakeFiles/cacheflow_test.dir/cacheflow_test.cpp.o.d"
+  "cacheflow_test"
+  "cacheflow_test.pdb"
+  "cacheflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacheflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

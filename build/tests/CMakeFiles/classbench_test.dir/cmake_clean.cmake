@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classbench_test.dir/classbench_test.cpp.o"
+  "CMakeFiles/classbench_test.dir/classbench_test.cpp.o.d"
+  "classbench_test"
+  "classbench_test.pdb"
+  "classbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

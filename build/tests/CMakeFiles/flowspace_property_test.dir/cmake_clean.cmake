@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowspace_property_test.dir/flowspace_property_test.cpp.o"
+  "CMakeFiles/flowspace_property_test.dir/flowspace_property_test.cpp.o.d"
+  "flowspace_property_test"
+  "flowspace_property_test.pdb"
+  "flowspace_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowspace_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

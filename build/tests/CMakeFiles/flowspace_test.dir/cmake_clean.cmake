@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowspace_test.dir/flowspace_test.cpp.o"
+  "CMakeFiles/flowspace_test.dir/flowspace_test.cpp.o.d"
+  "flowspace_test"
+  "flowspace_test.pdb"
+  "flowspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

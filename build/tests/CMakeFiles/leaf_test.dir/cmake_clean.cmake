@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_test.dir/leaf_test.cpp.o"
+  "CMakeFiles/leaf_test.dir/leaf_test.cpp.o.d"
+  "leaf_test"
+  "leaf_test.pdb"
+  "leaf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_dag_maintainer_test.dir/min_dag_maintainer_test.cpp.o"
+  "CMakeFiles/min_dag_maintainer_test.dir/min_dag_maintainer_test.cpp.o.d"
+  "min_dag_maintainer_test"
+  "min_dag_maintainer_test.pdb"
+  "min_dag_maintainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_dag_maintainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_firmware_test.dir/priority_firmware_test.cpp.o"
+  "CMakeFiles/priority_firmware_test.dir/priority_firmware_test.cpp.o.d"
+  "priority_firmware_test"
+  "priority_firmware_test.pdb"
+  "priority_firmware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_firmware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/flowspace_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_test[1]_include.cmake")
+include("/root/repo/build/tests/leaf_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/min_dag_maintainer_test[1]_include.cmake")
+include("/root/repo/build/tests/tcam_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_firmware_test[1]_include.cmake")
+include("/root/repo/build/tests/redundancy_test[1]_include.cmake")
+include("/root/repo/build/tests/cacheflow_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/switchsim_test[1]_include.cmake")
+include("/root/repo/build/tests/classbench_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/format_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/update_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/atomicity_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/flowspace_property_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_property_test[1]_include.cmake")

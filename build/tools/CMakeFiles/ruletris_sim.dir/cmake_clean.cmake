@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruletris_sim.dir/ruletris_sim.cpp.o"
+  "CMakeFiles/ruletris_sim.dir/ruletris_sim.cpp.o.d"
+  "ruletris_sim"
+  "ruletris_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruletris_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
