@@ -11,12 +11,13 @@
 #include "util/logging.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ruletris;
   using compiler::PolicySpec;
   using flowspace::FlowTable;
   using flowspace::Rule;
 
+  bench::init_json(argc, argv, "ablation_incremental");
   util::set_log_level(util::LogLevel::kOff);
   std::printf("\n=== Ablation A2: incremental vs from-scratch compilation ===\n");
   std::printf("%-8s | %-28s %-28s %-10s\n", "router", "incremental ms/update",
@@ -64,6 +65,14 @@ int main() {
                 inc_ms.summary("").c_str(), scratch_ms.summary("").c_str(),
                 scratch_ms.median() / inc_ms.median());
     std::fflush(stdout);
+    if (auto* j = bench::json()) {
+      j->begin_row();
+      j->field("router_rules", static_cast<double>(right_size));
+      j->field("incremental_med_ms", inc_ms.median());
+      j->field("from_scratch_med_ms", scratch_ms.median());
+      j->field("speedup", scratch_ms.median() / inc_ms.median());
+    }
   }
+  bench::write_json();
   return 0;
 }

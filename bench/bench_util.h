@@ -7,7 +7,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/stats.h"
 #include "util/strfmt.h"
@@ -23,6 +27,107 @@ inline size_t updates_per_run(size_t fallback = 200) {
     if (v > 0) return static_cast<size_t>(v);
   }
   return fallback;
+}
+
+/// Machine-readable benchmark output: a flat list of rows, each a list of
+/// key/value fields, emitted as JSON. Started from a `--json out.json`
+/// command-line flag (see init_json); rows printed through print_row are
+/// mirrored automatically, and benches with custom output record rows
+/// explicitly through `json()`. The emitted document is
+///   {"benchmark": ..., "meta": {...}, "rows": [{...}, ...]}
+/// so the perf trajectory under BENCH_*.json stays trivially diffable.
+class JsonReport {
+ public:
+  JsonReport(std::string benchmark, std::string path)
+      : benchmark_(std::move(benchmark)), path_(std::move(path)) {}
+
+  void meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, quote(value));
+  }
+  void meta(const std::string& key, double value) {
+    meta_.emplace_back(key, number(value));
+  }
+
+  /// Starts a new result row; subsequent field() calls land in it.
+  void begin_row() { rows_.emplace_back(); }
+  void field(const std::string& key, double value) {
+    rows_.back().emplace_back(key, number(value));
+  }
+  void field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, quote(value));
+  }
+
+  const std::string& path() const { return path_; }
+
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    out << "{\n  \"benchmark\": " << quote(benchmark_) << ",\n  \"meta\": {";
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      out << (i ? ", " : "") << quote(meta_[i].first) << ": " << meta_[i].second;
+    }
+    out << "},\n  \"rows\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {";
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        out << (i ? ", " : "") << quote(rows_[r][i].first) << ": "
+            << rows_[r][i].second;
+      }
+      out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  static std::string number(double v) { return util::strfmt("%.6g", v); }
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string benchmark_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+namespace detail {
+inline std::unique_ptr<JsonReport>& json_slot() {
+  static std::unique_ptr<JsonReport> report;
+  return report;
+}
+}  // namespace detail
+
+/// The active report, or nullptr when --json was not requested.
+inline JsonReport* json() { return detail::json_slot().get(); }
+
+/// Scans argv for "--json PATH" and arms the global report when present.
+inline void init_json(int argc, char** argv, const char* benchmark) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      detail::json_slot() = std::make_unique<JsonReport>(benchmark, argv[i + 1]);
+      return;
+    }
+  }
+}
+
+/// Writes and disarms the report; prints the destination for the console log.
+inline void write_json() {
+  auto& slot = detail::json_slot();
+  if (!slot) return;
+  if (slot->write()) {
+    std::printf("json report written to %s\n", slot->path().c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write json report to %s\n",
+                 slot->path().c_str());
+  }
+  slot.reset();
 }
 
 struct MetricSet {
@@ -51,6 +156,20 @@ inline void print_row(const std::string& config, const char* compiler,
               m.compile_ms.summary("").c_str(), m.firmware_ms.summary("").c_str(),
               m.tcam_ms.summary("").c_str(), m.total_ms.summary("").c_str());
   std::fflush(stdout);
+  if (JsonReport* j = json()) {
+    j->begin_row();
+    j->field("config", config);
+    j->field("compiler", compiler);
+    const auto record = [j](const char* name, const util::Samples& s) {
+      j->field(std::string(name) + "_med_ms", s.median());
+      j->field(std::string(name) + "_p10_ms", s.p10());
+      j->field(std::string(name) + "_p90_ms", s.p90());
+    };
+    record("compile", m.compile_ms);
+    record("firmware", m.firmware_ms);
+    record("tcam", m.tcam_ms);
+    record("total", m.total_ms);
+  }
 }
 
 }  // namespace ruletris::bench

@@ -3,9 +3,25 @@
 // "The brute-force way to extract DAG from prioritized flow tables has high
 // time complexity. In practice, it can consume minutes in processing a flow
 // table with a few thousand rules." This bench measures that brute force
-// against the index-accelerated bulk build and against amortized incremental
+// against the three optimization layers this repository stacks on top of it:
+//   1. candidate pruning  — the two-level RuleIndex limits each rule's pair
+//      tests to rules it can actually overlap;
+//   2. fragment arena     — the per-row residue walk and try_cover kernel
+//      reuse scratch buffers, so the hot loop is allocation-free;
+//   3. row parallelism    — rows are independent, so build_min_dag_parallel
+//      shards them across a thread pool with per-thread arenas.
+// It also reports the index-accelerated bulk load and amortized incremental
 // maintenance — the quantitative justification for preserving the DAG
 // through compilation instead of recomputing it.
+//
+// Flags: --threads N   worker count for the parallel layer (default 4)
+//        --json PATH   machine-readable report (see bench_util.h)
+//        --smoke       tiny sizes + equivalence checks; used as a ctest
+//                      smoke test so parallel-builder regressions fail tier-1
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "classbench/generator.h"
 #include "dag/builder.h"
@@ -13,31 +29,80 @@
 #include "util/logging.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ruletris;
   using flowspace::FlowTable;
   using flowspace::Rule;
   using flowspace::TernaryMatch;
 
+  bool smoke = false;
+  size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atol(argv[i + 1]));
+    }
+  }
+  bench::init_json(argc, argv, "dag_extraction");
+  if (auto* j = bench::json()) {
+    j->meta("workload", "classbench router (IP-chain profile)");
+    j->meta("threads", static_cast<double>(threads));
+    j->meta("fragment_limit", static_cast<double>(flowspace::kDefaultFragmentLimit));
+  }
+
   util::set_log_level(util::LogLevel::kOff);
   std::printf("\n=== Minimum-DAG extraction cost (router tables) ===\n");
-  std::printf("%-8s | %-14s %-16s %-22s\n", "rules", "brute ms", "indexed bulk ms",
-              "incremental us/update");
+  std::printf("%-8s | %-12s %-12s %-13s %-16s %-22s | %-9s %-9s\n", "rules",
+              "brute ms", "indexed ms", "parallel ms", "indexed bulk ms",
+              "incremental us/update", "1t speedup", "Nt speedup");
 
-  for (const size_t n : {250ul, 500ul, 1000ul, 2000ul, 4000ul}) {
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{200, 400}
+            : std::vector<size_t>{250, 500, 1000, 2000, 4000, 10000, 20000};
+  bool ok = true;
+
+  for (const size_t n : sizes) {
     util::Rng rng(0xdead + n);
     const FlowTable table{classbench::generate_router(n, rng)};
 
-    // Brute force (O(n^2) pair checks, every between-set scanned).
+    // Brute force (O(n^2) pair checks, every between-set scanned): the seed
+    // extractor and the baseline for the speedup columns.
     double brute_ms;
+    dag::DependencyGraph brute_graph;
     {
       util::Stopwatch watch;
-      const auto graph = dag::build_min_dag(table);
+      brute_graph = dag::build_min_dag_brute(table);
       brute_ms = watch.elapsed_ms();
-      (void)graph;
     }
 
-    // Index-accelerated bulk load.
+    // Layer 1+2: index pruning + arena residue walk, single-threaded.
+    double serial_ms;
+    dag::DependencyGraph serial_graph;
+    {
+      util::Stopwatch watch;
+      serial_graph = dag::build_min_dag(table);
+      serial_ms = watch.elapsed_ms();
+    }
+
+    // Layer 3: rows sharded across the thread pool.
+    double parallel_ms;
+    dag::DependencyGraph parallel_graph;
+    {
+      util::Stopwatch watch;
+      parallel_graph = dag::build_min_dag_parallel(table, threads);
+      parallel_ms = watch.elapsed_ms();
+    }
+
+    if (!(serial_graph == brute_graph)) {
+      std::fprintf(stderr, "FAIL: indexed build diverged from brute force at n=%zu\n", n);
+      ok = false;
+    }
+    if (!(parallel_graph == serial_graph)) {
+      std::fprintf(stderr, "FAIL: parallel build diverged from serial at n=%zu\n", n);
+      ok = false;
+    }
+
+    // Index-accelerated bulk load (maintainer bootstrap path).
     std::vector<std::pair<flowspace::RuleId, TernaryMatch>> ordered;
     for (const Rule& r : table.rules()) ordered.emplace_back(r.id, r.match);
     dag::MinDagMaintainer maintainer(
@@ -52,20 +117,39 @@ int main() {
     // Amortized incremental: insert+remove a nested /24 repeatedly.
     double inc_us;
     {
-      constexpr int kRounds = 200;
+      const int rounds = smoke ? 50 : 200;
       util::Stopwatch watch;
-      for (int i = 0; i < kRounds; ++i) {
+      for (int i = 0; i < rounds; ++i) {
         TernaryMatch m;
         m.set_prefix(flowspace::FieldId::kDstIp, rng.next_u32(), 24);
         const auto id = flowspace::next_rule_id();
         maintainer.insert(id, m);
         maintainer.remove(id);
       }
-      inc_us = watch.elapsed_us() / (2.0 * kRounds);
+      inc_us = watch.elapsed_us() / (2.0 * rounds);
     }
 
-    std::printf("%-8zu | %-14.1f %-16.1f %-22.2f\n", n, brute_ms, bulk_ms, inc_us);
+    const double serial_speedup = brute_ms / serial_ms;
+    const double parallel_speedup = brute_ms / parallel_ms;
+    std::printf("%-8zu | %-12.1f %-12.1f %-13.1f %-16.1f %-22.2f | %-9.1f %-9.1f\n",
+                n, brute_ms, serial_ms, parallel_ms, bulk_ms, inc_us,
+                serial_speedup, parallel_speedup);
     std::fflush(stdout);
+
+    if (auto* j = bench::json()) {
+      j->begin_row();
+      j->field("rules", static_cast<double>(n));
+      j->field("edges", static_cast<double>(serial_graph.edge_count()));
+      j->field("brute_ms", brute_ms);
+      j->field("indexed_serial_ms", serial_ms);
+      j->field("parallel_ms", parallel_ms);
+      j->field("indexed_bulk_ms", bulk_ms);
+      j->field("incremental_us_per_update", inc_us);
+      j->field("serial_speedup", serial_speedup);
+      j->field("parallel_speedup", parallel_speedup);
+    }
   }
-  return 0;
+
+  bench::write_json();
+  return ok ? 0 : 1;
 }

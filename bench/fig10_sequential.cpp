@@ -6,8 +6,9 @@
 // Each update replaces one NAT translation (Sec. VII-B).
 #include "bench/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ruletris;
+  bench::init_json(argc, argv, "fig10_sequential");
   bench::CompositionScenario scenario;
   scenario.title = "Fig. 10: L3-L4 NAT > L3 router (sequential)";
   scenario.op = 1;  // sequential
@@ -23,5 +24,6 @@ int main() {
   };
   scenario.protect_last_left = true;  // never churn the passthrough default
   bench::run_composition_scenario(scenario);
+  bench::write_json();
   return 0;
 }

@@ -8,8 +8,9 @@
 // CoVisor and RuleTris.
 #include "bench/scenario.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ruletris;
+  bench::init_json(argc, argv, "fig9_parallel");
   bench::CompositionScenario scenario;
   scenario.title = "Fig. 9: L3-L4 monitoring + L3 router (parallel)";
   scenario.op = 0;  // parallel
@@ -23,5 +24,6 @@ int main() {
   };
   scenario.protect_last_left = true;  // never churn the monitor's default
   bench::run_composition_scenario(scenario);
+  bench::write_json();
   return 0;
 }

@@ -9,7 +9,8 @@ namespace ruletris::compiler {
 using flowspace::FlowTable;
 
 LeafNode::LeafNode(FlowTable table) : table_(std::move(table)) {
-  graph_ = dag::build_min_dag(table_);
+  // Bulk extraction honours the process-wide thread knob (serial when 0/1).
+  graph_ = dag::build_min_dag_parallel(table_, dag::default_build_threads());
   for (const Rule& r : table_.rules()) index_.insert(r.id, r.match);
 }
 
@@ -21,10 +22,26 @@ bool LeafNode::is_direct(size_t hi_pos, size_t lo_pos) const {
   const auto& rules = table_.rules();
   auto overlap = rules[hi_pos].match.intersect(rules[lo_pos].match);
   if (!overlap) return false;
-  std::vector<TernaryMatch> between;
-  between.reserve(lo_pos - hi_pos);
-  for (size_t k = hi_pos + 1; k < lo_pos; ++k) between.push_back(rules[k].match);
-  return !flowspace::is_covered_by(*overlap, between);
+  // Only rules overlapping the overlap region can cover any of it; pull them
+  // from the index instead of copying every match between the positions.
+  auto& between = between_scratch_;
+  between.clear();
+  index_.for_each_overlapping(*overlap,
+                              [&](flowspace::RuleId id, const TernaryMatch& m) {
+                                const size_t p = table_.position(id);
+                                if (p > hi_pos && p < lo_pos) between.push_back(m);
+                              });
+  std::sort(between.begin(), between.end(),
+            [](const TernaryMatch& a, const TernaryMatch& b) {
+              return a.specified_bits() < b.specified_bits();
+            });
+  switch (flowspace::try_cover(*overlap, {between.data(), between.size()},
+                               cover_scratch_)) {
+    case flowspace::CoverResult::kCovered: return false;
+    case flowspace::CoverResult::kNotCovered: return true;
+    case flowspace::CoverResult::kOverflow: break;
+  }
+  return true;  // conservative: keep the edge on fragment overflow
 }
 
 TableUpdate LeafNode::insert(Rule rule) {

@@ -54,12 +54,18 @@ class LeafNode final : public PolicyNode {
 
  private:
   /// True iff the pair (lo_pos, hi_pos) is a *direct* dependency: their
-  /// overlap is not entirely covered by the rules strictly between them.
+  /// overlap is not entirely covered by the rules strictly between them
+  /// (prefiltered through the overlap index; fragment-budget overflow keeps
+  /// a conservative edge — see flowspace::kDefaultFragmentLimit).
   bool is_direct(size_t hi_pos, size_t lo_pos) const;
 
   flowspace::FlowTable table_;
   DependencyGraph graph_;
   flowspace::RuleIndex index_;
+
+  // Reusable cover-test arenas for is_direct (hot on every update).
+  mutable std::vector<TernaryMatch> between_scratch_;
+  mutable flowspace::CoverScratch cover_scratch_;
 };
 
 }  // namespace ruletris::compiler

@@ -1,6 +1,6 @@
-// Brute-force minimum-DAG extraction from a prioritized flow table.
+// Minimum-DAG extraction from a prioritized flow table.
 //
-// This is the algorithm the paper calls "prohibitively time consuming" for
+// This is the operation the paper calls "prohibitively time consuming" for
 // the update path (Sec. IV). RuleTris still needs it in two places:
 //  * bootstrapping DAGs for leaf tables populated by dependency-unaware
 //    applications (Sec. III-B: "RuleTris can extract the DAGs from the
@@ -11,16 +11,108 @@
 // matches every example in the paper): edge u -> v, with v earlier in match
 // order, exists iff some packet matches both u and v and is not matched by
 // any rule strictly between them.
+//
+// Three implementations share one per-row kernel:
+//  * build_min_dag_brute — the literal O(n^3) all-pairs definition, kept as
+//    the oracle and as the bench baseline;
+//  * build_min_dag — indexed: each rule only tests the rules it can actually
+//    overlap (RuleIndex candidate pruning) and the per-row residue walk
+//    reuses arena buffers, so the hot loop is allocation-free;
+//  * build_min_dag_parallel — rows are independent given the table, so they
+//    are sharded across a thread pool with per-thread arenas. The edge set
+//    is merged in row order and is bit-identical to the serial build.
+//
+// Fragment-limit policy (see flowspace::kDefaultFragmentLimit): when a cover
+// test overflows its fragment budget, the builder keeps a conservative edge.
+// A spurious edge is a harmless extra ordering constraint; a missing edge
+// would be unsound. (The pre-arena builder threw instead; the policy is now
+// explicit and uniform with MinDagMaintainer.)
 #pragma once
 
 #include "dag/dependency_graph.h"
 #include "flowspace/rule.h"
+#include "flowspace/rule_index.h"
+#include "flowspace/ternary.h"
 
 namespace ruletris::dag {
 
-/// Builds the minimum DAG of `table`. O(n^2) pair checks, each with an exact
-/// flow-space cover test over the rules in between.
+/// Tuning knobs for the indexed builder. Defaults are right for every
+/// workload in the repository; tests lower the limits to exercise the
+/// fallback paths.
+struct MinDagBuildOptions {
+  /// Fragment budget per cover test; overflow keeps a conservative edge.
+  size_t fragment_limit = flowspace::kDefaultFragmentLimit;
+  /// When a row's residue fragments past this, the row switches from the
+  /// residue walk to per-pair cover tests (broad rules like default routes
+  /// fragment against thousands of specific rules; per-pair stays cheap).
+  size_t residue_soft_limit = 2048;
+  /// Worker threads for build_min_dag_parallel; <= 1 builds serially.
+  size_t n_threads = 1;
+  /// Tables smaller than this build serially even when n_threads > 1.
+  size_t parallel_cutoff = 256;
+};
+
+/// Reusable per-row scratch: residue fragment arena, per-pair cover arena,
+/// and candidate storage. One instance per thread.
+class MinDagRowScratch {
+ public:
+  MinDagRowScratch() = default;
+
+ private:
+  friend void row_direct_dependencies(const flowspace::TernaryMatch& m,
+                                      const std::vector<const flowspace::TernaryMatch*>& cands,
+                                      const MinDagBuildOptions& opts,
+                                      MinDagRowScratch& scratch,
+                                      std::vector<size_t>& out);
+  std::vector<flowspace::TernaryMatch> residue_;
+  std::vector<flowspace::TernaryMatch> next_;
+  std::vector<flowspace::TernaryMatch> between_;
+  std::vector<std::pair<flowspace::RuleId, const flowspace::TernaryMatch*>>
+      between_keyed_;
+  flowspace::CoverScratch cover_;
+  // Fallback-path index over later candidates, so each pair's between-set is
+  // a bucket query instead of a scan over every remaining candidate (broad
+  // rows otherwise cost O(candidates^2) overlap tests).
+  flowspace::RuleIndex later_;
+};
+
+/// Per-row kernel: computes the direct dependencies of a rule with match `m`
+/// on the rules above it. `cands` holds the matches of the candidate rules
+/// in match order (ascending position) and must contain every table rule
+/// above `m`'s row that overlaps `m` — with an overlap index that is exactly
+/// the pruned candidate list, since any rule covering part of an overlap
+/// with `m` itself overlaps `m`. Appends to `out` the indexes into `cands`
+/// that are direct dependencies, in descending candidate order.
+void row_direct_dependencies(const flowspace::TernaryMatch& m,
+                             const std::vector<const flowspace::TernaryMatch*>& cands,
+                             const MinDagBuildOptions& opts,
+                             MinDagRowScratch& scratch,
+                             std::vector<size_t>& out);
+
+/// Builds the minimum DAG of `table` with index pruning and arena reuse.
 DependencyGraph build_min_dag(const flowspace::FlowTable& table);
+DependencyGraph build_min_dag(const flowspace::FlowTable& table,
+                              const MinDagBuildOptions& opts);
+
+/// Parallel build: shards rows across `n_threads` workers (per-thread
+/// arenas), falling back to the serial path for small tables or n_threads
+/// <= 1. The resulting edge set is identical to build_min_dag's.
+DependencyGraph build_min_dag_parallel(const flowspace::FlowTable& table,
+                                       size_t n_threads);
+DependencyGraph build_min_dag_parallel(const flowspace::FlowTable& table,
+                                       const MinDagBuildOptions& opts);
+
+/// The literal O(n^2)-pairs brute force with full between-set scans: the
+/// correctness oracle and the bench baseline the optimized builders are
+/// measured against.
+DependencyGraph build_min_dag_brute(const flowspace::FlowTable& table);
+
+/// Process-wide default thread count for bulk DAG extraction entry points
+/// that take no explicit count (LeafNode bootstrap). 0 or 1 means serial.
+/// Set from tools/bench flags (--dag-threads); not read concurrently with
+/// writes.
+void set_default_build_threads(size_t n);
+size_t default_build_threads();
 
 /// True iff every edge constraint of `graph` is satisfied by the order of
 /// `rules` (dependencies appear earlier). Used to validate layouts.

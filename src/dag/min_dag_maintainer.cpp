@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dag/builder.h"
+
 namespace ruletris::dag {
 
 MinDagMaintainer::MinDagMaintainer(BeforeFn before) : before_(std::move(before)) {}
@@ -13,25 +15,29 @@ bool MinDagMaintainer::is_direct(RuleId hi, RuleId lo) const {
   const uint64_t hi_rank = rank(hi);
   const uint64_t lo_rank = rank(lo);
   // Only rules overlapping the overlap region can cover any of it.
-  std::vector<TernaryMatch> between;
-  for (RuleId c : index_.find_overlapping(*overlap)) {
-    if (c == hi || c == lo) continue;
-    const uint64_t r = rank(c);
-    if (r > hi_rank && r < lo_rank) between.push_back(matches_.at(c));
-  }
+  auto& between = between_scratch_;
+  between.clear();
+  index_.for_each_overlapping(
+      *overlap, [&](RuleId c, const TernaryMatch& m) {
+        if (c == hi || c == lo) return;
+        const uint64_t r = rank(c);
+        if (r > hi_rank && r < lo_rank) between.push_back(m);
+      });
   // Most-general covers first: they erase whole fragment families at once,
   // which keeps the subtraction from fragmenting on wide tables.
   std::sort(between.begin(), between.end(),
             [](const TernaryMatch& a, const TernaryMatch& b) {
               return a.specified_bits() < b.specified_bits();
             });
-  try {
-    return !flowspace::is_covered_by(*overlap, between, 1 << 17);
-  } catch (const std::runtime_error&) {
-    // Fragment blow-up: treat the pair as direct. A spurious edge is a
-    // harmless (consistent) extra constraint; a missing edge would not be.
-    return true;
+  switch (flowspace::try_cover(*overlap, {between.data(), between.size()},
+                               cover_scratch_)) {
+    case flowspace::CoverResult::kCovered: return false;
+    case flowspace::CoverResult::kNotCovered: return true;
+    case flowspace::CoverResult::kOverflow: break;
   }
+  // Fragment blow-up: treat the pair as direct. A spurious edge is a
+  // harmless (consistent) extra constraint; a missing edge would not be.
+  return true;
 }
 
 void MinDagMaintainer::renumber() {
@@ -163,14 +169,34 @@ void MinDagMaintainer::bulk_load(
   }
   renumber();
 
-  // Pairwise with index prefilter: for each rule, only earlier overlapping
-  // rules are dependency candidates.
-  for (RuleId lo : order_) {
-    const uint64_t lo_rank = rank(lo);
-    for (RuleId hi : index_.find_overlapping(matches_.at(lo))) {
-      if (hi == lo || rank(hi) >= lo_rank) continue;
-      if (is_direct(hi, lo)) graph_.add_edge(lo, hi);
-    }
+  // Per-row residue walk through the shared builder kernel: one subtraction
+  // chain per rule (index-pruned candidates) instead of one cover test per
+  // overlapping pair.
+  std::unordered_map<RuleId, size_t> pos;
+  pos.reserve(order_.size());
+  std::vector<const TernaryMatch*> ordered_matches;
+  ordered_matches.reserve(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    pos[order_[i]] = i;
+    ordered_matches.push_back(&matches_.at(order_[i]));
+  }
+  const MinDagBuildOptions opts;
+  MinDagRowScratch scratch;
+  std::vector<size_t> cand_pos;
+  std::vector<const TernaryMatch*> cands;
+  std::vector<size_t> edges;
+  for (size_t i = 1; i < order_.size(); ++i) {
+    cand_pos.clear();
+    index_.for_each_overlapping(*ordered_matches[i],
+                                [&](RuleId id, const TernaryMatch&) {
+                                  const size_t p = pos.at(id);
+                                  if (p < i) cand_pos.push_back(p);
+                                });
+    std::sort(cand_pos.begin(), cand_pos.end());
+    cands.clear();
+    for (size_t p : cand_pos) cands.push_back(ordered_matches[p]);
+    row_direct_dependencies(*ordered_matches[i], cands, opts, scratch, edges);
+    for (size_t e : edges) graph_.add_edge(order_[i], order_[cand_pos[e]]);
   }
 }
 

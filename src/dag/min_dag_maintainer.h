@@ -82,6 +82,11 @@ class MinDagMaintainer {
   std::unordered_map<RuleId, TernaryMatch> matches_;
   flowspace::RuleIndex index_;
   DependencyGraph graph_;
+
+  // Reusable cover-test arenas: is_direct sits on every update path, so its
+  // between-set and fragment buffers must not reallocate at steady state.
+  mutable std::vector<TernaryMatch> between_scratch_;
+  mutable flowspace::CoverScratch cover_scratch_;
 };
 
 }  // namespace ruletris::dag

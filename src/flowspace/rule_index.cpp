@@ -11,20 +11,36 @@ uint32_t RuleIndex::bucket_of(const TernaryMatch& m) {
   return kWildcardBucket;
 }
 
+uint32_t RuleIndex::dst_key_of(const TernaryMatch& m) {
+  const FieldTernary& ft = m.field(FieldId::kDstIp);
+  if ((ft.mask & kDstOctetMask) == kDstOctetMask) return ft.value >> 24;
+  return kAnyDst;
+}
+
 void RuleIndex::insert(RuleId id, const TernaryMatch& match) {
   if (by_id_.count(id)) throw std::invalid_argument("RuleIndex::insert: duplicate id");
   const uint32_t bucket = bucket_of(match);
-  buckets_[bucket].push_back(Entry{id, match});
-  by_id_[id] = bucket;
+  const uint32_t dst_key = dst_key_of(match);
+  buckets_[bucket][dst_key].push_back(Entry{id, match});
+  by_id_[id] = {bucket, dst_key};
 }
 
 void RuleIndex::erase(RuleId id) {
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return;
-  auto& vec = buckets_[it->second];
+  const auto [bucket, dst_key] = it->second;
+  auto bit = buckets_.find(bucket);
+  auto dit = bit->second.find(dst_key);
+  auto& vec = dit->second;
   vec.erase(std::remove_if(vec.begin(), vec.end(),
                            [id](const Entry& e) { return e.id == id; }),
             vec.end());
+  // Prune emptied storage so long-lived indexes under churn do not
+  // accumulate dead buckets (and wildcard queries do not scan them).
+  if (vec.empty()) {
+    bit->second.erase(dit);
+    if (bit->second.empty()) buckets_.erase(bit);
+  }
   by_id_.erase(it);
 }
 
@@ -33,31 +49,27 @@ void RuleIndex::clear() {
   by_id_.clear();
 }
 
-void RuleIndex::scan_bucket(uint32_t bucket, const TernaryMatch& m,
-                            std::vector<RuleId>& out) const {
-  auto it = buckets_.find(bucket);
-  if (it == buckets_.end()) return;
-  for (const Entry& e : it->second) {
-    if (e.match.overlaps(m)) out.push_back(e.id);
-  }
-}
-
 std::vector<RuleId> RuleIndex::find_overlapping(const TernaryMatch& m) const {
   std::vector<RuleId> out;
-  const uint32_t bucket = bucket_of(m);
-  if (bucket == kWildcardBucket) {
-    // A proto-wildcard query can overlap any bucket.
-    for (const auto& [key, entries] : buckets_) {
-      (void)key;
-      for (const Entry& e : entries) {
-        if (e.match.overlaps(m)) out.push_back(e.id);
-      }
-    }
-  } else {
-    scan_bucket(bucket, m, out);
-    scan_bucket(kWildcardBucket, m, out);
-  }
+  out.reserve(16);
+  for_each_overlapping(m, [&out](RuleId id, const TernaryMatch&) { out.push_back(id); });
   return out;
 }
+
+RuleIndex::Stats RuleIndex::stats() const {
+  Stats s;
+  for (const auto& [proto, dst] : buckets_) {
+    (void)proto;
+    for (const auto& [key, entries] : dst) {
+      (void)key;
+      ++s.buckets;
+      s.entries += entries.size();
+      s.largest_bucket = std::max(s.largest_bucket, entries.size());
+    }
+  }
+  return s;
+}
+
+size_t RuleIndex::approx_size() const { return stats().entries; }
 
 }  // namespace ruletris::flowspace

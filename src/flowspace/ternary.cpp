@@ -90,12 +90,21 @@ uint32_t TernaryMatch::specified_bits() const {
 
 std::vector<TernaryMatch> TernaryMatch::subtract(const TernaryMatch& other) const {
   if (!overlaps(other)) return {*this};
+  std::vector<TernaryMatch> pieces;
+  subtract_into(other, pieces);
+  return pieces;
+}
 
+void TernaryMatch::subtract_into(const TernaryMatch& other,
+                                 std::vector<TernaryMatch>& out) const {
+  if (!overlaps(other)) {
+    out.push_back(*this);
+    return;
+  }
   // Orthogonal split: enumerate bit positions that `other` constrains but we
   // do not. For the k-th such position, emit the piece of `this` that agrees
   // with `other` on positions 0..k-1 and disagrees on position k. The pieces
   // are pairwise disjoint and their union is exactly `this \ other`.
-  std::vector<TernaryMatch> pieces;
   TernaryMatch agreed = *this;  // progressively constrained to agree with `other`
   for (size_t i = 0; i < kNumFields; ++i) {
     uint32_t extra = other.fields_[i].mask & ~fields_[i].mask;
@@ -106,14 +115,14 @@ std::vector<TernaryMatch> TernaryMatch::subtract(const TernaryMatch& other) cons
       piece.fields_[i].mask |= bit;
       piece.fields_[i].value =
           (piece.fields_[i].value & ~bit) | (~other.fields_[i].value & bit);
-      pieces.push_back(piece);
+      out.push_back(piece);
       agreed.fields_[i].mask |= bit;
       agreed.fields_[i].value =
           (agreed.fields_[i].value & ~bit) | (other.fields_[i].value & bit);
     }
   }
-  // If no extra positions exist, `other` subsumes us given the overlap.
-  return pieces;
+  // If no extra positions exist, `other` subsumes us given the overlap and
+  // nothing is emitted.
 }
 
 Packet TernaryMatch::sample_packet() const {
@@ -158,23 +167,55 @@ std::string TernaryMatch::to_string() const {
   return out;
 }
 
+CoverResult try_cover(const TernaryMatch& m, std::span<const TernaryMatch> cover,
+                      CoverScratch& scratch, size_t fragment_limit) {
+  scratch.last_fragments_ = 1;
+  if (cover.empty()) return CoverResult::kNotCovered;
+  // A single subsuming cover element settles the test without fragmenting —
+  // by far the most common "covered" case in DAG construction.
+  for (const TernaryMatch& c : cover) {
+    if (c.subsumes(m)) return CoverResult::kCovered;
+  }
+
+  // Depth-first residue search. Each pending entry is a fragment of `m`
+  // disjoint from cover[0 .. next_cover); a fragment that survives the whole
+  // cover list is a witness packet set, so the search stops immediately.
+  auto& stack = scratch.stack_;
+  auto& pieces = scratch.pieces_;
+  stack.clear();
+  stack.push_back({m, 0});
+  size_t generated = 1;
+  while (!stack.empty()) {
+    auto [frag, i] = stack.back();
+    stack.pop_back();
+    while (i < cover.size() && !frag.overlaps(cover[i])) ++i;
+    if (i == cover.size()) {
+      scratch.last_fragments_ = generated;
+      return CoverResult::kNotCovered;
+    }
+    if (cover[i].subsumes(frag)) continue;  // fragment fully absorbed
+    pieces.clear();
+    frag.subtract_into(cover[i], pieces);
+    generated += pieces.size();
+    if (generated > fragment_limit) {
+      scratch.last_fragments_ = generated;
+      return CoverResult::kOverflow;
+    }
+    for (const TernaryMatch& p : pieces) stack.push_back({p, i + 1});
+  }
+  scratch.last_fragments_ = generated;
+  return CoverResult::kCovered;
+}
+
 bool is_covered_by(const TernaryMatch& m, const std::vector<TernaryMatch>& cover,
                    size_t fragment_limit) {
-  std::vector<TernaryMatch> fragments = {m};
-  for (const TernaryMatch& c : cover) {
-    std::vector<TernaryMatch> next;
-    next.reserve(fragments.size());
-    for (const TernaryMatch& frag : fragments) {
-      auto pieces = frag.subtract(c);
-      next.insert(next.end(), pieces.begin(), pieces.end());
-      if (next.size() > fragment_limit) {
-        throw std::runtime_error("is_covered_by: fragment limit exceeded");
-      }
-    }
-    fragments = std::move(next);
-    if (fragments.empty()) return true;
+  CoverScratch scratch;
+  switch (try_cover(m, {cover.data(), cover.size()}, scratch, fragment_limit)) {
+    case CoverResult::kCovered: return true;
+    case CoverResult::kNotCovered: return false;
+    case CoverResult::kOverflow: break;
   }
-  return false;
+  throw std::runtime_error("is_covered_by: fragment limit exceeded");
 }
 
 }  // namespace ruletris::flowspace

@@ -17,20 +17,28 @@ using flowspace::TernaryMatch;
 
 namespace {
 
-/// Cover test that degrades conservatively: most-general covers first (they
-/// collapse fragments fastest), and a fragment blow-up counts as "not
-/// covered" — keeping a possibly-redundant rule never changes semantics.
-bool covered_conservative(const TernaryMatch& m, std::vector<TernaryMatch> covers) {
-  std::sort(covers.begin(), covers.end(),
-            [](const TernaryMatch& a, const TernaryMatch& b) {
-              return a.specified_bits() < b.specified_bits();
-            });
-  try {
-    return flowspace::is_covered_by(m, covers, 1 << 17);
-  } catch (const std::runtime_error&) {
-    return false;
+/// Cover test that degrades conservatively: only covers overlapping `m` are
+/// considered, most-general first (they collapse fragments fastest), and a
+/// fragment-budget overflow counts as "not covered" — keeping a possibly-
+/// redundant rule never changes semantics. Scratch buffers are reused across
+/// the whole elimination scan.
+struct CoverTester {
+  std::vector<TernaryMatch> relevant;
+  flowspace::CoverScratch scratch;
+
+  bool covered(const TernaryMatch& m, const std::vector<TernaryMatch>& covers) {
+    relevant.clear();
+    for (const TernaryMatch& c : covers) {
+      if (c.overlaps(m)) relevant.push_back(c);
+    }
+    std::sort(relevant.begin(), relevant.end(),
+              [](const TernaryMatch& a, const TernaryMatch& b) {
+                return a.specified_bits() < b.specified_bits();
+              });
+    return flowspace::try_cover(m, {relevant.data(), relevant.size()}, scratch) ==
+           flowspace::CoverResult::kCovered;
   }
-}
+};
 
 }  // namespace
 
@@ -61,12 +69,13 @@ EliminationResult eliminate_redundancy(const std::vector<Rule>& rules,
     survivors.bulk_load(ordered);
   }
 
+  CoverTester tester;
   std::vector<TernaryMatch> accumulated;  // matches of kept rules so far
   for (RuleId id : scan) {
     const Rule& r = *by_id.at(id);
 
     // Obscured: covered by the union of everything kept above (Sec. V-B).
-    if (covered_conservative(r.match, accumulated)) {
+    if (tester.covered(r.match, accumulated)) {
       result.obscured.push_back(id);
       survivors.remove(id);
       continue;
@@ -89,7 +98,7 @@ EliminationResult eliminate_redundancy(const std::vector<Rule>& rules,
         }
         pred_matches.push_back(pr.match);
       }
-      if (all_same_actions && covered_conservative(r.match, pred_matches)) {
+      if (all_same_actions && tester.covered(r.match, pred_matches)) {
         result.floating.push_back(id);
         survivors.remove(id);
         continue;

@@ -1,0 +1,88 @@
+// Minimal fixed-size worker pool.
+//
+// Built for the parallel minimum-DAG builder: a handful of long-lived
+// workers pull coarse row chunks off an atomic counter, so the pool only
+// needs enqueue + drain. Jobs must not throw (workers would terminate);
+// callers catch inside the job and report through their own channels.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ruletris::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(size_t n_threads) {
+    if (n_threads == 0) n_threads = 1;
+    workers_.reserve(n_threads);
+    for (size_t i = 0; i < n_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock lock(mu_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job for any worker.
+  void run(std::function<void()> job) {
+    {
+      std::unique_lock lock(mu_);
+      queue_.push_back(std::move(job));
+      ++outstanding_;
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Blocks until every job enqueued so far has finished.
+  void wait_idle() {
+    std::unique_lock lock(mu_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock lock(mu_);
+        wake_workers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ with a drained queue
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+      {
+        std::unique_lock lock(mu_);
+        if (--outstanding_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ruletris::util

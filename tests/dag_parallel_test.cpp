@@ -1,0 +1,240 @@
+// Property tests for the indexed/parallel minimum-DAG builders, the
+// allocation-free cover kernel, and the two-level rule index.
+//
+// The brute-force builder is the oracle: the indexed serial builder and the
+// parallel builder must produce the exact same edge set on every table,
+// including tables that hit the fragment budget (where all builders fall
+// back to the same conservative policy, so serial and parallel must still be
+// bit-identical even when they diverge from an unbounded oracle).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "classbench/generator.h"
+#include "dag/builder.h"
+#include "flowspace/rule_index.h"
+#include "flowspace/ternary.h"
+#include "test_util.h"
+
+namespace ruletris {
+namespace {
+
+using dag::build_min_dag;
+using dag::build_min_dag_brute;
+using dag::build_min_dag_parallel;
+using dag::DependencyGraph;
+using dag::MinDagBuildOptions;
+using flowspace::CoverResult;
+using flowspace::CoverScratch;
+using flowspace::FieldId;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::RuleIndex;
+using flowspace::TernaryMatch;
+using flowspace::try_cover;
+using util::Rng;
+
+FlowTable random_table(Rng& rng, size_t n) {
+  // Small-universe matches (test_util) overlap heavily, so these tables have
+  // dense candidate sets and real between-rule cover relationships.
+  std::vector<Rule> rules;
+  rules.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rules.push_back(testutil::random_rule(rng, static_cast<int32_t>(n - i)));
+  }
+  return FlowTable{rules};
+}
+
+class MinDagBuilders : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinDagBuilders, SerialAndParallelMatchBruteForceOnRandomTables) {
+  Rng rng(GetParam());
+  for (const size_t n : {20ul, 60ul, 120ul}) {
+    const FlowTable table = random_table(rng, n);
+    const DependencyGraph oracle = build_min_dag_brute(table);
+    const DependencyGraph serial = build_min_dag(table);
+    EXPECT_TRUE(serial == oracle) << "indexed serial diverged at n=" << n;
+    for (const size_t threads : {1ul, 2ul, 4ul}) {
+      MinDagBuildOptions opts;
+      opts.n_threads = threads;
+      opts.parallel_cutoff = 0;  // force the sharded path even for tiny tables
+      const DependencyGraph parallel = build_min_dag_parallel(table, opts);
+      EXPECT_TRUE(parallel == oracle)
+          << "parallel diverged at n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(MinDagBuilders, BuildersAgreeOnClassbenchProfiles) {
+  Rng rng(GetParam() ^ 0xc1a55);
+  const std::vector<Rule> profiles[] = {
+      classbench::generate_router(150, rng),
+      classbench::generate_monitor(100, rng),
+      classbench::generate_firewall(80, rng),
+  };
+  for (const auto& rules : profiles) {
+    const FlowTable table{rules};
+    const DependencyGraph oracle = build_min_dag_brute(table);
+    EXPECT_TRUE(build_min_dag(table) == oracle);
+    EXPECT_TRUE(build_min_dag_parallel(table, 4) == oracle);
+  }
+}
+
+TEST_P(MinDagBuilders, SerialAndParallelBitIdenticalUnderFragmentPressure) {
+  // A tiny fragment budget makes the residue walk and the per-pair fallback
+  // overflow constantly, triggering the conservative keep-the-edge policy.
+  // Serial and parallel may then legitimately diverge from an unbounded
+  // oracle, but they must still produce the exact same (sound) edge set.
+  Rng rng(GetParam() ^ 0xf7a6);
+  const FlowTable table = random_table(rng, 80);
+  MinDagBuildOptions tight;
+  tight.fragment_limit = 4;
+  tight.residue_soft_limit = 2;
+  const DependencyGraph serial = build_min_dag(table, tight);
+
+  MinDagBuildOptions par = tight;
+  par.parallel_cutoff = 0;
+  for (const size_t threads : {2ul, 4ul}) {
+    par.n_threads = threads;
+    EXPECT_TRUE(build_min_dag_parallel(table, par) == serial)
+        << "threads=" << threads;
+  }
+
+  // Soundness: the tight budget may only add edges, never drop one.
+  const DependencyGraph exact = build_min_dag(table);
+  for (const auto& [u, v] : exact.edges()) {
+    EXPECT_TRUE(serial.has_edge(u, v))
+        << "overflow policy dropped real edge " << u << "->" << v;
+  }
+}
+
+class CoverKernel : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoverKernel, TryCoverAgreesWithLegacyIsCoveredBy) {
+  Rng rng(GetParam());
+  CoverScratch scratch;
+  for (int i = 0; i < 300; ++i) {
+    const TernaryMatch m = testutil::random_match(rng);
+    std::vector<TernaryMatch> cover;
+    const size_t k = rng.next_below(6);
+    for (size_t j = 0; j < k; ++j) cover.push_back(testutil::random_match(rng));
+
+    const CoverResult r = try_cover(m, cover, scratch);
+    ASSERT_NE(r, CoverResult::kOverflow);  // small universe, default budget
+    EXPECT_EQ(r == CoverResult::kCovered, flowspace::is_covered_by(m, cover));
+  }
+}
+
+TEST(CoverKernel, ScratchIsReusableAcrossQueries) {
+  CoverScratch scratch;
+  TernaryMatch wide;  // full wildcard
+  std::vector<TernaryMatch> halves;
+  for (uint32_t i = 0; i < 2; ++i) {
+    TernaryMatch h;
+    h.set_prefix(FieldId::kDstIp, i << 31, 1);
+    halves.push_back(h);
+  }
+  // Same query twice through one scratch: identical answers, no stale state.
+  EXPECT_EQ(try_cover(wide, halves, scratch), CoverResult::kCovered);
+  EXPECT_EQ(try_cover(wide, halves, scratch), CoverResult::kCovered);
+  // A not-covered query right after a covered one.
+  std::vector<TernaryMatch> lone{halves[0]};
+  EXPECT_EQ(try_cover(wide, lone, scratch), CoverResult::kNotCovered);
+  EXPECT_EQ(try_cover(wide, halves, scratch), CoverResult::kCovered);
+}
+
+TEST(CoverKernel, TinyFragmentLimitOverflows) {
+  TernaryMatch wide;  // full wildcard: needs fragmenting across all 8 pieces
+  std::vector<TernaryMatch> cover;
+  for (uint32_t i = 0; i < 8; ++i) {
+    TernaryMatch p;
+    p.set_prefix(FieldId::kDstIp, i << 29, 3);
+    cover.push_back(p);
+  }
+  CoverScratch scratch;
+  EXPECT_EQ(try_cover(wide, cover, scratch, /*fragment_limit=*/2),
+            CoverResult::kOverflow);
+  EXPECT_EQ(try_cover(wide, cover, scratch), CoverResult::kCovered);
+  EXPECT_THROW(flowspace::is_covered_by(wide, cover, /*fragment_limit=*/2),
+               std::runtime_error);
+  EXPECT_TRUE(flowspace::is_covered_by(wide, cover));
+}
+
+class RuleIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuleIndexProperty, FindOverlappingMatchesLinearScan) {
+  Rng rng(GetParam());
+  RuleIndex index;
+  std::vector<std::pair<RuleId, TernaryMatch>> entries;
+  for (RuleId id = 1; id <= 200; ++id) {
+    const TernaryMatch m = testutil::random_match(rng);
+    index.insert(id, m);
+    entries.emplace_back(id, m);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const TernaryMatch query = testutil::random_match(rng);
+    std::vector<RuleId> got = index.find_overlapping(query);
+    std::vector<RuleId> want;
+    for (const auto& [id, m] : entries) {
+      if (m.overlaps(query)) want.push_back(id);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(RuleIndexProperty, EraseKeepsBucketStorageTight) {
+  Rng rng(GetParam() ^ 0x1d);
+  RuleIndex index;
+  std::vector<RuleId> live;
+  for (RuleId id = 1; id <= 100; ++id) {
+    index.insert(id, testutil::random_match(rng));
+    live.push_back(id);
+  }
+  // approx_size() recomputes from bucket storage; erase() must prune emptied
+  // buckets so the two never drift apart.
+  while (!live.empty()) {
+    const size_t victim = rng.next_below(live.size());
+    index.erase(live[victim]);
+    live.erase(live.begin() + static_cast<long>(victim));
+    EXPECT_EQ(index.approx_size(), index.size());
+    EXPECT_EQ(index.size(), live.size());
+  }
+  const RuleIndex::Stats empty_stats = index.stats();
+  EXPECT_EQ(empty_stats.entries, 0u);
+  EXPECT_EQ(empty_stats.buckets, 0u);
+  EXPECT_EQ(empty_stats.largest_bucket, 0u);
+}
+
+TEST(RuleIndexStats, CountsBucketsAndEntries) {
+  RuleIndex index;
+  TernaryMatch tcp;
+  tcp.set_exact(FieldId::kIpProto, 6);
+  TernaryMatch udp;
+  udp.set_exact(FieldId::kIpProto, 17);
+  index.insert(1, tcp);
+  index.insert(2, tcp);
+  index.insert(3, udp);
+  const RuleIndex::Stats s = index.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.buckets, 2u);
+  EXPECT_EQ(s.largest_bucket, 2u);
+  EXPECT_EQ(index.approx_size(), 3u);
+
+  index.erase(1);
+  index.erase(2);
+  EXPECT_EQ(index.stats().buckets, 1u);  // tcp bucket pruned
+  EXPECT_EQ(index.approx_size(), index.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinDagBuilders,
+                         ::testing::Values(1u, 0xbeefu, 0x5eedu));
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverKernel, ::testing::Values(7u, 0xabcu));
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleIndexProperty,
+                         ::testing::Values(11u, 0xf00du));
+
+}  // namespace
+}  // namespace ruletris

@@ -23,9 +23,11 @@
 
 #include <fstream>
 
+#include "bench/bench_util.h"
 #include "classbench/format.h"
 #include "classbench/generator.h"
 #include "classbench/trace.h"
+#include "dag/builder.h"
 #include "compiler/baseline.h"
 #include "compiler/covisor.h"
 #include "compiler/policy_parser.h"
@@ -54,6 +56,8 @@ struct Options {
   std::string trace_in;    // replay this trace instead of random churn
   std::string trace_out;   // record the generated stream here
   std::optional<size_t> capacity;   // default: sized from the composed table
+  size_t dag_threads = 0;  // 0 = serial minimum-DAG extraction
+  std::string json_out;    // machine-readable report path
   bool verbose = false;
 };
 
@@ -62,8 +66,8 @@ struct Options {
                "usage: %s --policy EXPR --table NAME=SOURCE [--table ...]\n"
                "          [--churn NAME] [--updates N] [--seed S]\n"
                "          [--compiler ruletris|covisor|baseline]\n"
-               "          [--tcam-capacity N] [--verbose]\n"
-               "          [--trace FILE | --emit-trace FILE]\n"
+               "          [--tcam-capacity N] [--dag-threads N] [--verbose]\n"
+               "          [--trace FILE | --emit-trace FILE] [--json FILE]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
                "          gen:nat:N | file:PATH\n",
                argv0);
@@ -95,6 +99,10 @@ Options parse_args(int argc, char** argv) {
       opt.compiler = need_value(i);
     } else if (arg == "--tcam-capacity") {
       opt.capacity = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--dag-threads") {
+      opt.dag_threads = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--json") {
+      opt.json_out = need_value(i);
     } else if (arg == "--trace") {
       opt.trace_in = need_value(i);
     } else if (arg == "--emit-trace") {
@@ -160,6 +168,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   util::set_log_level(opt.verbose ? util::LogLevel::kInfo : util::LogLevel::kError);
+  // Thread count for every minimum-DAG extraction the pipeline performs
+  // (LeafNode bootstrap and any full rebuilds). 0 keeps the serial path.
+  dag::set_default_build_threads(opt.dag_threads);
+  bench::init_json(argc, argv, "ruletris_sim");
 
   try {
     const PolicySpec spec = compiler::parse_policy(opt.policy);
@@ -314,6 +326,28 @@ int main(int argc, char** argv) {
     std::printf("  tcam     : %s ms\n", tcam_ms.summary("").c_str());
     std::printf("  total med: %.3f ms/update\n",
                 compile_ms.median() + firmware_ms.median() + tcam_ms.median());
+
+    if (auto* j = bench::json()) {
+      j->meta("policy", compiler::policy_to_string(spec));
+      j->meta("compiler", opt.compiler);
+      j->meta("churn", churn);
+      j->meta("dag_threads", static_cast<double>(opt.dag_threads));
+      j->meta("seed", static_cast<double>(opt.seed));
+      j->begin_row();
+      j->field("updates", static_cast<double>(trace.steps.size()));
+      j->field("compile_med_ms", compile_ms.median());
+      j->field("compile_p10_ms", compile_ms.p10());
+      j->field("compile_p90_ms", compile_ms.p90());
+      j->field("firmware_med_ms", firmware_ms.median());
+      j->field("firmware_p10_ms", firmware_ms.p10());
+      j->field("firmware_p90_ms", firmware_ms.p90());
+      j->field("tcam_med_ms", tcam_ms.median());
+      j->field("tcam_p10_ms", tcam_ms.p10());
+      j->field("tcam_p90_ms", tcam_ms.p90());
+      j->field("total_med_ms",
+               compile_ms.median() + firmware_ms.median() + tcam_ms.median());
+      bench::write_json();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
