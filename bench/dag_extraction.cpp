@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     j->meta("workload", "classbench router (IP-chain profile)");
     j->meta("threads", static_cast<double>(threads));
     j->meta("fragment_limit", static_cast<double>(flowspace::kDefaultFragmentLimit));
+    j->meta("direct_cutoff", static_cast<double>(dag::kSmallTableDirectCutoff));
   }
 
   util::set_log_level(util::LogLevel::kOff);
@@ -75,7 +76,9 @@ int main(int argc, char** argv) {
       brute_ms = watch.elapsed_ms();
     }
 
-    // Layer 1+2: index pruning + arena residue walk, single-threaded.
+    // Layer 1+2: index pruning + arena residue walk, single-threaded. Small
+    // tables skip the index and take the direct per-pair path.
+    const bool direct = dag::uses_direct_path(n, dag::MinDagBuildOptions{});
     double serial_ms;
     dag::DependencyGraph serial_graph;
     {
@@ -99,6 +102,16 @@ int main(int argc, char** argv) {
     }
     if (!(parallel_graph == serial_graph)) {
       std::fprintf(stderr, "FAIL: parallel build diverged from serial at n=%zu\n", n);
+      ok = false;
+    }
+    // Crossover guard: below the direct cutoff, build_min_dag must not lose
+    // to brute force by more than noise (the 2x + 1ms slack absorbs timer
+    // jitter on sub-millisecond rows). Before the cutoff existed the indexed
+    // build was ~3.5x slower than brute at 250 rules.
+    if (direct && serial_ms > brute_ms * 2.0 + 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: direct path slower than brute at n=%zu (%.2fms vs %.2fms)\n",
+                   n, serial_ms, brute_ms);
       ok = false;
     }
 
@@ -139,6 +152,7 @@ int main(int argc, char** argv) {
     if (auto* j = bench::json()) {
       j->begin_row();
       j->field("rules", static_cast<double>(n));
+      j->field("path", direct ? "direct" : "indexed");
       j->field("edges", static_cast<double>(serial_graph.edge_count()));
       j->field("brute_ms", brute_ms);
       j->field("indexed_serial_ms", serial_ms);

@@ -1,14 +1,15 @@
 #include "compiler/composed_node.h"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
 
 #include "compiler/compose_ops.h"
+#include "util/thread_pool.h"
 
 namespace ruletris::compiler {
 
 using flowspace::Action;
+using flowspace::CoverResult;
 
 const char* op_name(OpKind op) {
   switch (op) {
@@ -19,9 +20,25 @@ const char* op_name(OpKind op) {
   return "?";
 }
 
+namespace {
+CompileOptions g_default_compile_options;
+}  // namespace
+
+void set_default_compile_options(const CompileOptions& opts) {
+  g_default_compile_options = opts;
+}
+
+const CompileOptions& default_compile_options() { return g_default_compile_options; }
+
 ComposedNode::ComposedNode(OpKind op, std::unique_ptr<PolicyNode> left,
                            std::unique_ptr<PolicyNode> right)
+    : ComposedNode(op, std::move(left), std::move(right), default_compile_options()) {}
+
+ComposedNode::ComposedNode(OpKind op, std::unique_ptr<PolicyNode> left,
+                           std::unique_ptr<PolicyNode> right,
+                           const CompileOptions& opts)
     : op_(op),
+      opts_(opts),
       left_(std::move(left)),
       right_(std::move(right)),
       visible_dag_([this](RuleId existing, RuleId incoming) {
@@ -201,20 +218,23 @@ void ComposedNode::remove_entry(RuleId eid, UpdateBuilder& out) {
 }
 
 void ComposedNode::remove_entry_with_patch(RuleId eid, UpdateBuilder& out) {
-  std::vector<std::pair<RuleId, RuleId>> seeds;
+  auto& seeds = seed_scratch_;
+  seeds.clear();
   for (RuleId p : member_graph_.predecessors(eid)) {
     for (RuleId s : member_graph_.successors(eid)) seeds.emplace_back(p, s);
   }
   remove_entry(eid, out);
-  resolve_tentative(std::move(seeds), nullptr, nullptr, out);
+  resolve_tentative(seeds, nullptr, nullptr, out);
 }
 
-void ComposedNode::resolve_tentative(std::vector<std::pair<RuleId, RuleId>> seeds,
+void ComposedNode::resolve_tentative(const std::vector<std::pair<RuleId, RuleId>>& seeds,
                                      const std::unordered_set<RuleId>* lower_set,
                                      const std::unordered_set<RuleId>* upper_set,
                                      UpdateBuilder& out) {
-  std::unordered_set<PairKey, PairKeyHash> visited;
-  std::deque<std::pair<RuleId, RuleId>> queue(seeds.begin(), seeds.end());
+  auto& visited = tentative_visited_;
+  auto& queue = tentative_queue_;
+  visited.clear();
+  queue.assign(seeds.begin(), seeds.end());
   while (!queue.empty()) {
     auto [u, v] = queue.front();
     queue.pop_front();
@@ -251,7 +271,10 @@ void ComposedNode::resolve_mega(const std::unordered_set<RuleId>& lower_set,
   // Tops of the lower set: vertices with no successor inside the set (they
   // are matched first within it). Bottoms of the upper set: vertices with no
   // predecessor inside it (matched last within it).
-  std::vector<RuleId> tops, bottoms;
+  auto& tops = tops_scratch_;
+  auto& bottoms = bottoms_scratch_;
+  tops.clear();
+  bottoms.clear();
   for (RuleId u : lower_set) {
     bool top = true;
     for (RuleId s : member_graph_.successors(u)) {
@@ -272,26 +295,21 @@ void ComposedNode::resolve_mega(const std::unordered_set<RuleId>& lower_set,
     }
     if (bottom) bottoms.push_back(v);
   }
-  std::vector<std::pair<RuleId, RuleId>> seeds;
+  resolve_mega_seeded(lower_set, upper_set, tops, bottoms, out);
+}
+
+void ComposedNode::resolve_mega_seeded(const std::unordered_set<RuleId>& lower_set,
+                                       const std::unordered_set<RuleId>& upper_set,
+                                       const std::vector<RuleId>& tops,
+                                       const std::vector<RuleId>& bottoms,
+                                       UpdateBuilder& out) {
+  auto& seeds = seed_scratch_;
+  seeds.clear();
   seeds.reserve(tops.size() * bottoms.size());
   for (RuleId u : tops) {
     for (RuleId v : bottoms) seeds.emplace_back(u, v);
   }
-  resolve_tentative(std::move(seeds), &lower_set, &upper_set, out);
-}
-
-std::unordered_set<RuleId> ComposedNode::entry_set_of_left(RuleId left_src) const {
-  std::unordered_set<RuleId> out;
-  auto it = by_left_.find(left_src);
-  if (it != by_left_.end()) out.insert(it->second.begin(), it->second.end());
-  return out;
-}
-
-std::unordered_set<RuleId> ComposedNode::entry_set_of_right(RuleId right_src) const {
-  std::unordered_set<RuleId> out;
-  auto it = by_right_.find(right_src);
-  if (it != by_right_.end()) out.insert(it->second.begin(), it->second.end());
-  return out;
+  resolve_tentative(seeds, &lower_set, &upper_set, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -327,23 +345,18 @@ void ComposedNode::full_rebuild() {
       add_member_edge(by_pair_.at(PairKey{0, a}), by_pair_.at(PairKey{0, b}), sink);
     }
     // The mega dependency: everything in the right table yields to the left.
-    std::unordered_set<RuleId> lower, upper;
+    mega_lower_.clear();
+    mega_upper_.clear();
     for (const auto& [id, e] : entries_) {
-      (e.left_src != 0 ? upper : lower).insert(id);
+      (e.left_src != 0 ? mega_upper_ : mega_lower_).insert(id);
     }
-    if (!lower.empty() && !upper.empty()) resolve_mega(lower, upper, sink);
+    if (!mega_lower_.empty() && !mega_upper_.empty()) {
+      resolve_mega(mega_lower_, mega_upper_, sink);
+    }
   } else {
-    // Parallel / sequential: cross product guided by the overlap index.
-    for (const Rule& l : left_rules) {
-      const TernaryMatch probe = right_probe(l.match, l.actions);
-      for (RuleId rid : right_->visible_overlapping(probe)) {
-        const Rule r{rid, right_->visible_match(rid), right_->visible_actions(rid), 0};
-        auto composed = compose_pair(l, r);
-        if (!composed) continue;
-        add_entry(std::move(composed->first), std::move(composed->second), l.id, rid,
-                  sink);
-      }
-    }
+    // Parallel / sequential: cross product guided by the overlap index,
+    // sharded across workers when opts_ asks for it.
+    build_cross_product(left_rules, sink);
 
     // Edges inherited from the right member DAG (within one left rule).
     for (const auto& [eid, e] : entries_) {
@@ -370,11 +383,7 @@ void ComposedNode::full_rebuild() {
       // packet can fall *through* an intermediate partial, so we stitch
       // every ordered left pair whose overlap is not covered by the partial
       // tables in between.
-      for (size_t j = 1; j < left_rules.size(); ++j) {
-        for (size_t i = 0; i < j; ++i) {
-          maybe_resolve_sequential_pair(left_rules, i, j, sink);
-        }
-      }
+      stitch_sequential(left_rules, sink);
     }
   }
 
@@ -395,27 +404,89 @@ void ComposedNode::full_rebuild() {
   visible_dag_.bulk_load(ordered);
 }
 
-void ComposedNode::maybe_resolve_sequential_pair(const std::vector<Rule>& left_rules,
-                                                 size_t upper_idx, size_t lower_idx,
-                                                 UpdateBuilder& out) {
+bool ComposedNode::sequential_pair_needs_mega(const std::vector<Rule>& left_rules,
+                                              size_t upper_idx, size_t lower_idx,
+                                              StitchScratch& scratch,
+                                              const StitchIndex* index) const {
   const Rule& upper = left_rules[upper_idx];  // matched first
   const Rule& lower = left_rules[lower_idx];
   auto overlap = lower.match.intersect(upper.match);
-  if (!overlap) return;
-  const auto lower_set = entry_set_of_left(lower.id);
-  const auto upper_set = entry_set_of_left(upper.id);
-  if (lower_set.empty() || upper_set.empty()) return;
+  if (!overlap) return false;
+  auto lo = by_left_.find(lower.id);
+  if (lo == by_left_.end() || lo->second.empty()) return false;
+  auto up = by_left_.find(upper.id);
+  if (up == by_left_.end() || up->second.empty()) return false;
   // Coverage by the *composed entries* of the partials strictly in between:
   // those are matched before anything in lower's partial, so packets they
-  // cover never reach the lower partial inside this overlap.
-  std::vector<TernaryMatch> cover;
-  for (size_t k = upper_idx + 1; k < lower_idx; ++k) {
-    auto it = by_left_.find(left_rules[k].id);
-    if (it == by_left_.end()) continue;
-    for (RuleId eid : it->second) cover.push_back(entry(eid).match);
+  // cover never reach the lower partial inside this overlap. Entries that
+  // miss the overlap region subtract nothing; most-general covers go first
+  // so the subtraction stays shallow (same discipline as the DAG builders).
+  //
+  // Without an index this scans every in-between partial — O(members) per
+  // pair, quadratic overall once a broad rule (a NAT/route default) overlaps
+  // everything. With one, the candidates come from an overlap query and only
+  // the handful of entries actually touching the overlap region are visited.
+  // Both collections are sorted by (specified bits, entry id), so the cover
+  // sequence fed to try_cover — and therefore the verdict, including on
+  // fragment overflow — is identical either way.
+  auto& keyed = scratch.cover_keyed;
+  keyed.clear();
+  if (index != nullptr) {
+    index->entries.for_each_overlapping(
+        *overlap, [&](RuleId eid, const TernaryMatch& m) {
+          auto pit = index->entry_left_pos.find(eid);
+          if (pit == index->entry_left_pos.end()) return;
+          if (pit->second > upper_idx && pit->second < lower_idx) {
+            keyed.emplace_back(eid, &m);
+          }
+        });
+  } else {
+    for (size_t k = upper_idx + 1; k < lower_idx; ++k) {
+      auto it = by_left_.find(left_rules[k].id);
+      if (it == by_left_.end()) continue;
+      for (RuleId eid : it->second) {
+        const TernaryMatch& m = entry(eid).match;
+        if (m.overlaps(*overlap)) keyed.emplace_back(eid, &m);
+      }
+    }
   }
-  if (flowspace::is_covered_by(*overlap, cover)) return;
-  resolve_mega(lower_set, upper_set, out);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const std::pair<RuleId, const TernaryMatch*>& a,
+               const std::pair<RuleId, const TernaryMatch*>& b) {
+              const uint32_t sa = a.second->specified_bits();
+              const uint32_t sb = b.second->specified_bits();
+              if (sa != sb) return sa < sb;
+              return a.first < b.first;
+            });
+  auto& cover = scratch.cover;
+  cover.clear();
+  cover.reserve(keyed.size());
+  for (const auto& [eid, m] : keyed) cover.push_back(*m);
+  const CoverResult r =
+      flowspace::try_cover(*overlap, {cover.data(), cover.size()},
+                           scratch.cover_scratch, flowspace::kDefaultFragmentLimit);
+  return r != CoverResult::kCovered;  // overflow: stitch conservatively
+}
+
+void ComposedNode::resolve_sequential_pair(RuleId upper_left, RuleId lower_left,
+                                           UpdateBuilder& out) {
+  auto lo = by_left_.find(lower_left);
+  auto up = by_left_.find(upper_left);
+  if (lo == by_left_.end() || up == by_left_.end()) return;
+  mega_lower_.clear();
+  mega_upper_.clear();
+  mega_lower_.insert(lo->second.begin(), lo->second.end());
+  mega_upper_.insert(up->second.begin(), up->second.end());
+  resolve_mega(mega_lower_, mega_upper_, out);
+}
+
+void ComposedNode::maybe_resolve_sequential_pair(const std::vector<Rule>& left_rules,
+                                                 size_t upper_idx, size_t lower_idx,
+                                                 UpdateBuilder& out) {
+  if (!sequential_pair_needs_mega(left_rules, upper_idx, lower_idx, stitch_scratch_)) {
+    return;
+  }
+  resolve_sequential_pair(left_rules[upper_idx].id, left_rules[lower_idx].id, out);
 }
 
 void ComposedNode::resolve_sequential_megas_around(RuleId left_src, UpdateBuilder& out) {
@@ -428,9 +499,232 @@ void ComposedNode::resolve_sequential_megas_around(RuleId left_src, UpdateBuilde
     }
   }
   if (at == left_rules.size()) return;  // source no longer visible
-  for (size_t i = 0; i < at; ++i) maybe_resolve_sequential_pair(left_rules, i, at, out);
-  for (size_t j = at + 1; j < left_rules.size(); ++j) {
-    maybe_resolve_sequential_pair(left_rules, at, j, out);
+  // Only partners whose left match overlaps this one can need a stitch; pull
+  // them from the left child's overlap index instead of testing every pair.
+  std::unordered_map<RuleId, size_t> pos;
+  pos.reserve(left_rules.size());
+  for (size_t i = 0; i < left_rules.size(); ++i) pos.emplace(left_rules[i].id, i);
+  std::vector<size_t> partners;
+  for (RuleId lid : left_->visible_overlapping(left_rules[at].match)) {
+    auto it = pos.find(lid);
+    if (it != pos.end() && it->second != at) partners.push_back(it->second);
+  }
+  std::sort(partners.begin(), partners.end());
+  for (size_t p : partners) {
+    if (p < at) {
+      maybe_resolve_sequential_pair(left_rules, p, at, out);
+    } else {
+      maybe_resolve_sequential_pair(left_rules, at, p, out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-compile phases: compose fan-out and sequential stitch
+// ---------------------------------------------------------------------------
+
+void ComposedNode::build_cross_product(const std::vector<Rule>& left_rules,
+                                       UpdateBuilder& out) {
+  const size_t n = left_rules.size();
+  const bool parallel = opts_.n_threads > 1 && n >= opts_.parallel_cutoff;
+  if (!parallel) {
+    for (const Rule& l : left_rules) {
+      const TernaryMatch probe = right_probe(l.match, l.actions);
+      for (RuleId rid : right_->visible_overlapping(probe)) {
+        const Rule r{rid, right_->visible_match(rid), right_->visible_actions(rid), 0};
+        auto composed = compose_pair(l, r);
+        if (!composed) continue;
+        add_entry(std::move(composed->first), std::move(composed->second), l.id, rid,
+                  out);
+      }
+    }
+    return;
+  }
+
+  // The fan-out (probe, index query, pair composition) only reads the
+  // children, so workers claim left-rule chunks off an atomic cursor and
+  // buffer their compositions per left row. Entry materialization — id
+  // assignment, maps, key vertices — runs on this thread in left order, so
+  // the resulting state is identical to the serial build's.
+  struct Composed {
+    TernaryMatch match;
+    ActionList actions;
+    RuleId right_src;
+  };
+  std::vector<std::vector<Composed>> per_left(n);
+  util::ChunkCursor cursor(0, n, util::ChunkCursor::suggest_chunk(n, opts_.n_threads));
+  util::ThreadPool pool(opts_.n_threads);
+  util::run_on_workers(pool, [&] {
+    return [&] {
+      size_t begin, end;
+      while (cursor.next(begin, end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const Rule& l = left_rules[i];
+          const TernaryMatch probe = right_probe(l.match, l.actions);
+          for (RuleId rid : right_->visible_overlapping(probe)) {
+            const Rule r{rid, right_->visible_match(rid), right_->visible_actions(rid),
+                         0};
+            auto composed = compose_pair(l, r);
+            if (!composed) continue;
+            per_left[i].push_back(
+                {std::move(composed->first), std::move(composed->second), rid});
+          }
+        }
+      }
+    };
+  });
+  for (size_t i = 0; i < n; ++i) {
+    for (Composed& c : per_left[i]) {
+      add_entry(std::move(c.match), std::move(c.actions), left_rules[i].id,
+                c.right_src, out);
+    }
+  }
+}
+
+void ComposedNode::stitch_sequential(const std::vector<Rule>& left_rules,
+                                     UpdateBuilder& out) {
+  const size_t n = left_rules.size();
+  if (n < 2) return;
+
+  if (opts_.legacy_stitch) {
+    // Ablation baseline: every ordered pair, predicate and resolution
+    // interleaved. The predicate never reads the member graph, so the
+    // pruned/parallel path below reproduces this exact resolution sequence.
+    for (size_t j = 1; j < n; ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        maybe_resolve_sequential_pair(left_rules, i, j, out);
+      }
+    }
+    return;
+  }
+
+  // Candidate uppers per row come from an overlap index over the left
+  // matches: a pair the index skips fails the predicate's overlap test, i.e.
+  // was a no-op in the legacy loop. Positions are stored shifted by one
+  // because RuleId 0 is reserved.
+  flowspace::RuleIndex left_index;
+  for (size_t i = 0; i < n; ++i) {
+    left_index.insert(static_cast<RuleId>(i + 1), left_rules[i].match);
+  }
+
+  // Overlap index over the member entries themselves, so each pair's cover
+  // set is a bucket query instead of a walk over every in-between partial.
+  // Built once per rebuild; read-only during the predicate sweep.
+  StitchIndex stitch_index;
+  stitch_index.entry_left_pos.reserve(member_size());
+  for (size_t i = 0; i < n; ++i) {
+    auto it = by_left_.find(left_rules[i].id);
+    if (it == by_left_.end()) continue;
+    for (RuleId eid : it->second) {
+      stitch_index.entries.insert(eid, entry(eid).match);
+      stitch_index.entry_left_pos.emplace(eid, i);
+    }
+  }
+  auto collect_uppers = [&](size_t j, std::vector<size_t>& cand) {
+    cand.clear();
+    left_index.for_each_overlapping(left_rules[j].match,
+                                    [&](RuleId id, const TernaryMatch&) {
+                                      const size_t p = static_cast<size_t>(id) - 1;
+                                      if (p < j) cand.push_back(p);
+                                    });
+    std::sort(cand.begin(), cand.end());
+  };
+
+  // Phase 1: evaluate the (read-only) predicate for every candidate pair,
+  // sharded across workers when opts_ asks for it.
+  std::vector<std::vector<size_t>> uppers(n);
+  const bool parallel = opts_.n_threads > 1 && n >= opts_.parallel_cutoff;
+  if (!parallel) {
+    std::vector<size_t> cand;
+    for (size_t j = 1; j < n; ++j) {
+      collect_uppers(j, cand);
+      for (size_t i : cand) {
+        if (sequential_pair_needs_mega(left_rules, i, j, stitch_scratch_,
+                                       &stitch_index)) {
+          uppers[j].push_back(i);
+        }
+      }
+    }
+  } else {
+    util::ChunkCursor cursor(1, n, util::ChunkCursor::suggest_chunk(n, opts_.n_threads));
+    util::ThreadPool pool(opts_.n_threads);
+    util::run_on_workers(pool, [&] {
+      return [&] {
+        StitchScratch scratch;
+        std::vector<size_t> cand;
+        size_t begin, end;
+        while (cursor.next(begin, end)) {
+          for (size_t j = begin; j < end; ++j) {
+            collect_uppers(j, cand);
+            for (size_t i : cand) {
+              if (sequential_pair_needs_mega(left_rules, i, j, scratch,
+                                             &stitch_index)) {
+                uppers[j].push_back(i);
+              }
+            }
+          }
+        }
+      };
+    });
+  }
+
+  // Phase 2: resolve the surviving pairs serially, in the legacy loop's
+  // (lower ascending, upper ascending) order. Tops/bottoms of each partial
+  // depend only on its intra-partial edges (a mega always joins two distinct
+  // partials), so compute them once up front: the live rescan inside
+  // resolve_mega walks adjacency lists that grow with every resolved mega,
+  // which is the second quadratic term once a broad rule stitches against
+  // every other row.
+  struct PartialEnds {
+    std::vector<RuleId> tops, bottoms;
+  };
+  std::unordered_map<RuleId, PartialEnds> ends;
+  std::unordered_set<RuleId> in_partial;
+  auto compute_ends = [&](RuleId left_id) {
+    if (ends.count(left_id) != 0) return;
+    auto it = by_left_.find(left_id);
+    if (it == by_left_.end()) return;
+    PartialEnds pe;
+    in_partial.clear();
+    in_partial.insert(it->second.begin(), it->second.end());
+    for (RuleId u : it->second) {
+      bool top = true;
+      for (RuleId s : member_graph_.successors(u)) {
+        if (in_partial.count(s) != 0) {
+          top = false;
+          break;
+        }
+      }
+      if (top) pe.tops.push_back(u);
+      bool bottom = true;
+      for (RuleId p : member_graph_.predecessors(u)) {
+        if (in_partial.count(p) != 0) {
+          bottom = false;
+          break;
+        }
+      }
+      if (bottom) pe.bottoms.push_back(u);
+    }
+    ends.emplace(left_id, std::move(pe));
+  };
+  for (size_t j = 1; j < n; ++j) {
+    if (uppers[j].empty()) continue;
+    compute_ends(left_rules[j].id);
+    for (size_t i : uppers[j]) compute_ends(left_rules[i].id);
+  }
+
+  for (size_t j = 1; j < n; ++j) {
+    for (size_t i : uppers[j]) {
+      auto lo = by_left_.find(left_rules[j].id);
+      auto up = by_left_.find(left_rules[i].id);
+      if (lo == by_left_.end() || up == by_left_.end()) continue;
+      mega_lower_.clear();
+      mega_upper_.clear();
+      mega_lower_.insert(lo->second.begin(), lo->second.end());
+      mega_upper_.insert(up->second.begin(), up->second.end());
+      resolve_mega_seeded(mega_lower_, mega_upper_, ends.at(left_rules[j].id).tops,
+                          ends.at(left_rules[i].id).bottoms, out);
+    }
   }
 }
 
@@ -505,12 +799,16 @@ TableUpdate ComposedNode::apply_child_update(bool from_left, const TableUpdate& 
   // 5. Priority op: re-resolve the table-level mega dependency around the
   //    freshly inserted rules (Sec. IV-C).
   if (op_ == OpKind::kPriority && !added_ids.empty()) {
-    std::unordered_set<RuleId> lower, upper;
+    auto& lower = mega_lower_;
+    auto& upper = mega_upper_;
+    lower.clear();
+    upper.clear();
     for (const auto& [id, e] : entries_) {
       (e.left_src != 0 ? upper : lower).insert(id);
     }
     if (!lower.empty() && !upper.empty()) {
-      std::vector<std::pair<RuleId, RuleId>> seeds;
+      auto& seeds = seed_scratch_;
+      seeds.clear();
       if (from_left) {
         // New upper rules: every top of the lower set may need to yield.
         for (RuleId added : added_ids) {
@@ -544,7 +842,7 @@ TableUpdate ComposedNode::apply_child_update(bool from_left, const TableUpdate& 
           }
         }
       }
-      resolve_tentative(std::move(seeds), &lower, &upper, out);
+      resolve_tentative(seeds, &lower, &upper, out);
     }
   }
 
@@ -552,12 +850,18 @@ TableUpdate ComposedNode::apply_child_update(bool from_left, const TableUpdate& 
 }
 
 void ComposedNode::on_left_removed(RuleId left_src, UpdateBuilder& out) {
-  const auto doomed = entry_set_of_left(left_src);
+  auto it = by_left_.find(left_src);
+  if (it == by_left_.end()) return;
+  auto& doomed = removal_scratch_;  // removal edits by_left_ under us
+  doomed.assign(it->second.begin(), it->second.end());
   for (RuleId eid : doomed) remove_entry_with_patch(eid, out);
 }
 
 void ComposedNode::on_right_removed(RuleId right_src, UpdateBuilder& out) {
-  const auto doomed = entry_set_of_right(right_src);
+  auto it = by_right_.find(right_src);
+  if (it == by_right_.end()) return;
+  auto& doomed = removal_scratch_;
+  doomed.assign(it->second.begin(), it->second.end());
   for (RuleId eid : doomed) remove_entry_with_patch(eid, out);
 }
 
@@ -645,9 +949,7 @@ void ComposedNode::on_left_edge_added(RuleId li, RuleId lj, UpdateBuilder& out) 
       if (jt != by_pair_.end()) add_member_edge(eid, jt->second, out);
     }
   } else {
-    const auto lower = entry_set_of_left(li);
-    const auto upper = entry_set_of_left(lj);
-    if (!lower.empty() && !upper.empty()) resolve_mega(lower, upper, out);
+    resolve_sequential_pair(lj, li, out);  // li yields to lj (matched first)
   }
 }
 
@@ -681,6 +983,41 @@ void ComposedNode::on_right_edge_removed(RuleId m, RuleId n, UpdateBuilder& out)
     auto jt = by_pair_.find(PairKey{entry(eid).left_src, n});
     if (jt != by_pair_.end()) remove_member_edge(eid, jt->second, out);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (id-independent equivalence image)
+// ---------------------------------------------------------------------------
+
+CompileSnapshot ComposedNode::snapshot() const {
+  CompileSnapshot snap;
+  std::unordered_map<RuleId, CompileSnapshot::Prov> prov;
+  prov.reserve(entries_.size());
+  snap.entries.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    prov.emplace(id, CompileSnapshot::Prov{e.left_src, e.right_src});
+    snap.entries.emplace_back(e.left_src, e.right_src, e.match, e.actions);
+  }
+  // (left_src, right_src) is unique per entry (by_pair_ invariant), so the
+  // provenance prefix is a total order over the entries.
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const auto& a, const auto& b) {
+              if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+              return std::get<1>(a) < std::get<1>(b);
+            });
+  snap.reps.reserve(keys_.size());
+  for (const auto& [match, kv] : keys_) {
+    (void)match;
+    if (kv.rep == 0) continue;  // promotion pending mid-update
+    const Entry& e = entry(kv.rep);
+    snap.reps.emplace_back(e.left_src, e.right_src);
+  }
+  std::sort(snap.reps.begin(), snap.reps.end());
+  for (const auto& [u, v] : visible_dag_.graph().edges()) {
+    snap.visible_edges.emplace_back(prov.at(u), prov.at(v));
+  }
+  std::sort(snap.visible_edges.begin(), snap.visible_edges.end());
+  return snap;
 }
 
 // ---------------------------------------------------------------------------

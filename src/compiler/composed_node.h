@@ -19,15 +19,21 @@
 // for provenance, key-vertex bookkeeping, and fidelity to Sec. IV-B.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "compiler/node.h"
 #include "compiler/update.h"
 #include "compiler/update_builder.h"
 #include "dag/min_dag_maintainer.h"
+#include "flowspace/rule_index.h"
+#include "util/hash.h"
 
 namespace ruletris::compiler {
 
@@ -35,19 +41,79 @@ enum class OpKind { kParallel, kSequential, kPriority };
 
 const char* op_name(OpKind op);
 
+/// Left tables smaller than this compile serially even when threads were
+/// requested: below it the compose fan-out finishes faster than the pool's
+/// chunk choreography.
+inline constexpr size_t kCompileParallelCutoff = 512;
+
+/// Tuning knobs for ComposedNode's full compile. Defaults are right for
+/// production use; the composition bench and the equivalence tests override
+/// them (forced parallelism, legacy-stitch ablation).
+struct CompileOptions {
+  /// Workers for full_rebuild's compose fan-out and the sequential-stitch
+  /// predicate sweep; <= 1 compiles serially.
+  size_t n_threads = 1;
+  /// Left tables smaller than this compile serially even when n_threads > 1.
+  size_t parallel_cutoff = kCompileParallelCutoff;
+  /// Ablation: enumerate every ordered left pair in the sequential stitch
+  /// (the pre-index O(n^2) loop) instead of pulling candidate pairs from an
+  /// overlap index over the left rules. Same resulting state, measured by
+  /// bench/composition_scaling as the speedup baseline.
+  bool legacy_stitch = false;
+};
+
+/// Process-wide default compile options, used by the two-argument
+/// ComposedNode constructor (and thus by RuleTrisCompiler). Set from
+/// tools/bench flags (--compile-threads); not read concurrently with writes.
+void set_default_compile_options(const CompileOptions& opts);
+const CompileOptions& default_compile_options();
+
+/// Id-independent image of a composed node's compiled state, keyed by
+/// (left_src, right_src) provenance instead of entry ids (ids come from the
+/// process-global counter, so two compiles of the same policy never share
+/// them). Serial, parallel, and legacy-stitch full compiles must produce
+/// equal snapshots; the incremental path must agree on everything but the
+/// member-edge provenance (its stitching may retain extra, still-valid
+/// constraint edges — see DESIGN.md).
+struct CompileSnapshot {
+  using Prov = std::pair<RuleId, RuleId>;  // (left_src, right_src)
+
+  /// Every member entry: provenance, match, actions. Sorted by provenance.
+  std::vector<std::tuple<RuleId, RuleId, TernaryMatch, ActionList>> entries;
+  /// Key-vertex representatives, by provenance. Sorted.
+  std::vector<Prov> reps;
+  /// Visible minimum-DAG edges, endpoints mapped to provenance. Sorted.
+  std::vector<std::pair<Prov, Prov>> visible_edges;
+
+  bool operator==(const CompileSnapshot&) const = default;
+};
+
 class ComposedNode final : public PolicyNode {
  public:
-  /// Takes ownership of both children and performs the initial full compile.
+  /// Takes ownership of both children and performs the initial full compile
+  /// with the process-wide default CompileOptions.
   ComposedNode(OpKind op, std::unique_ptr<PolicyNode> left,
                std::unique_ptr<PolicyNode> right);
+
+  /// Same, with explicit compile options (bench ablations, forced threads).
+  ComposedNode(OpKind op, std::unique_ptr<PolicyNode> left,
+               std::unique_ptr<PolicyNode> right, const CompileOptions& opts);
 
   OpKind op() const { return op_; }
   PolicyNode& left() { return *left_; }
   PolicyNode& right() { return *right_; }
 
+  const CompileOptions& compile_options() const { return opts_; }
+  void set_compile_options(const CompileOptions& opts) { opts_ = opts; }
+
   /// Recomputes the whole composed state from the children (also used by
-  /// tests and the incremental-vs-scratch ablation).
+  /// tests and the incremental-vs-scratch ablation). Honours
+  /// compile_options(): threads, parallel cutoff, legacy-stitch ablation.
   void full_rebuild();
+
+  /// Canonical id-independent image of the current compiled state, for
+  /// equivalence checks across compile strategies.
+  CompileSnapshot snapshot() const;
 
   /// Applies an update that the left/right child has *already applied to
   /// itself*, and returns this node's own visible update.
@@ -85,10 +151,11 @@ class ComposedNode final : public PolicyNode {
     RuleId l, r;
     bool operator==(const PairKey&) const = default;
   };
+  // Full 128-bit mix: rule ids arrive in consecutive blocks from the global
+  // counter, and the old h(l)*C + h(r) combiner collided on exactly those
+  // structured grids (util/hash.h; collision test in composition tests).
   struct PairKeyHash {
-    size_t operator()(const PairKey& k) const {
-      return std::hash<RuleId>()(k.l) * 0x9e3779b97f4a7c15ULL + std::hash<RuleId>()(k.r);
-    }
+    size_t operator()(const PairKey& k) const { return util::hash_pair(k.l, k.r); }
   };
 
   const Entry& entry(RuleId id) const;
@@ -124,7 +191,9 @@ class ComposedNode final : public PolicyNode {
   void set_representative(KeyVertex& key, RuleId new_rep, UpdateBuilder& out);
 
   /// Recursive tentative-edge resolution (Sec. IV-B3) on the member graph.
-  void resolve_tentative(std::vector<std::pair<RuleId, RuleId>> seeds,
+  /// Queue and visited set live in reusable member scratch; `seeds` is read
+  /// only on entry, so callers may pass seed_scratch_.
+  void resolve_tentative(const std::vector<std::pair<RuleId, RuleId>>& seeds,
                          const std::unordered_set<RuleId>* lower_set,
                          const std::unordered_set<RuleId>* upper_set,
                          UpdateBuilder& out);
@@ -134,19 +203,82 @@ class ComposedNode final : public PolicyNode {
   void resolve_mega(const std::unordered_set<RuleId>& lower_set,
                     const std::unordered_set<RuleId>& upper_set, UpdateBuilder& out);
 
-  std::unordered_set<RuleId> entry_set_of_left(RuleId left_src) const;
-  std::unordered_set<RuleId> entry_set_of_right(RuleId right_src) const;
+  /// resolve_mega with tops(lower) and bottoms(upper) precomputed by the
+  /// caller. The full-compile stitch computes them once per partial: a mega
+  /// always joins two *distinct* partials, so a partial's intra-set
+  /// adjacency — and hence its tops/bottoms — never changes across the
+  /// resolution loop, while the live rescan in resolve_mega walks adjacency
+  /// lists that grow with every resolved mega (the second quadratic term on
+  /// broad-rule workloads). The resulting member-edge set is identical:
+  /// tentative resolution is a closure, insensitive to seed order.
+  void resolve_mega_seeded(const std::unordered_set<RuleId>& lower_set,
+                           const std::unordered_set<RuleId>& upper_set,
+                           const std::vector<RuleId>& tops,
+                           const std::vector<RuleId>& bottoms, UpdateBuilder& out);
+
+  /// Per-thread context for the read-only sequential-stitch predicate.
+  struct StitchScratch {
+    std::vector<TernaryMatch> cover;
+    std::vector<std::pair<RuleId, const TernaryMatch*>> cover_keyed;
+    flowspace::CoverScratch cover_scratch;
+  };
+
+  /// Shared read-only context for the index-pruned stitch: an overlap index
+  /// over every member entry plus each entry's left-rule position, so a
+  /// pair's cover set is a bucket query instead of a scan over every
+  /// in-between partial (broad left rules — NAT/route defaults — otherwise
+  /// cost O(members) per pair and the stitch goes quadratic).
+  struct StitchIndex {
+    flowspace::RuleIndex entries;
+    std::unordered_map<RuleId, size_t> entry_left_pos;
+  };
+
+  /// True iff the partial tables of left_rules[upper_idx] and
+  /// left_rules[lower_idx] need a mega dependency: the left matches overlap,
+  /// both partials are non-empty, and the overlap is not entirely covered by
+  /// the composed entries of the partials strictly in between. Read-only
+  /// (safe to evaluate from worker threads with per-thread scratch). With an
+  /// `index`, the cover set comes from the entry overlap index; without one
+  /// it comes from the legacy scan over the in-between partials. Both paths
+  /// test the identical cover set in the identical deterministic order.
+  bool sequential_pair_needs_mega(const std::vector<Rule>& left_rules,
+                                  size_t upper_idx, size_t lower_idx,
+                                  StitchScratch& scratch,
+                                  const StitchIndex* index = nullptr) const;
+
+  /// Resolves the mega dependency between the partial tables of two left
+  /// rules (`upper_left` matched first): fills the mega scratch sets from
+  /// by_left_ and runs resolve_mega. Callers have already established the
+  /// stitch predicate.
+  void resolve_sequential_pair(RuleId upper_left, RuleId lower_left,
+                               UpdateBuilder& out);
 
   /// Sequential stitching (Sec. IV-B2, generalized): resolves the mega
-  /// dependency between the partial tables of left_rules[upper_idx] and
-  /// left_rules[lower_idx] unless their overlap is entirely covered by the
-  /// composed entries of the partials in between.
+  /// dependency between the two partial tables iff
+  /// sequential_pair_needs_mega holds.
   void maybe_resolve_sequential_pair(const std::vector<Rule>& left_rules,
                                      size_t upper_idx, size_t lower_idx,
                                      UpdateBuilder& out);
 
-  /// Re-stitches every ordered left pair involving `left_src`.
+  /// Re-stitches every ordered left pair involving `left_src`, pulling
+  /// candidate partners from an overlap index over the left rules.
   void resolve_sequential_megas_around(RuleId left_src, UpdateBuilder& out);
+
+  /// Full-compile phase 1: composes every (left rule x overlapping right
+  /// rule) pair and materializes the entries in left order. The compose
+  /// fan-out (probe, index query, pair composition) is sharded across a
+  /// thread pool when opts_ asks for it; entry materialization — id
+  /// assignment, maps, key vertices — always runs on the calling thread in
+  /// deterministic left order, so serial and parallel compiles agree.
+  void build_cross_product(const std::vector<Rule>& left_rules, UpdateBuilder& out);
+
+  /// Full-compile sequential stitch over all ordered left pairs. Candidate
+  /// pairs come from an overlap index over the left rules (every skipped
+  /// pair fails the overlap test, i.e. would have been a no-op); the
+  /// cover-test predicate is evaluated in parallel when opts_ asks for it,
+  /// and the surviving pairs resolve serially in (lower, upper) order —
+  /// identical to the order the legacy O(n^2) loop resolves them in.
+  void stitch_sequential(const std::vector<Rule>& left_rules, UpdateBuilder& out);
 
   // --- incremental handlers
   void on_left_removed(RuleId left_src, UpdateBuilder& out);
@@ -163,6 +295,7 @@ class ComposedNode final : public PolicyNode {
   void remove_entry_with_patch(RuleId eid, UpdateBuilder& out);
 
   OpKind op_;
+  CompileOptions opts_;
   std::unique_ptr<PolicyNode> left_;
   std::unique_ptr<PolicyNode> right_;
 
@@ -182,6 +315,19 @@ class ComposedNode final : public PolicyNode {
   // During full_rebuild the visible DAG is bulk-loaded at the end instead of
   // being maintained per insert.
   bool bulk_building_ = false;
+
+  // Reusable scratch for the resolution kernels: apply_child_update lands
+  // here on every propagated update, so the hot path must not allocate at
+  // steady state. None of these survive a call; none of the kernels nest on
+  // the same buffer (resolve_mega's seeds are consumed before
+  // resolve_tentative reuses the queue).
+  std::unordered_set<PairKey, PairKeyHash> tentative_visited_;
+  std::deque<std::pair<RuleId, RuleId>> tentative_queue_;
+  std::vector<std::pair<RuleId, RuleId>> seed_scratch_;
+  std::vector<RuleId> tops_scratch_, bottoms_scratch_;
+  std::unordered_set<RuleId> mega_lower_, mega_upper_;
+  std::vector<RuleId> removal_scratch_;
+  mutable StitchScratch stitch_scratch_;
 };
 
 }  // namespace ruletris::compiler

@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "compiler/update.h"
+#include "util/hash.h"
 
 namespace ruletris::compiler {
 
@@ -89,10 +90,12 @@ class UpdateBuilder {
     RuleId first, second;
     bool operator==(const EdgeKey&) const = default;
   };
+  // Full 128-bit mix (util/hash.h): rule ids come in consecutive runs from
+  // the global counter, and the multiply-add combiner collided on exactly
+  // those structured grids.
   struct EdgeKeyHash {
     size_t operator()(const EdgeKey& k) const {
-      return std::hash<RuleId>()(k.first) * 0x9e3779b97f4a7c15ULL +
-             std::hash<RuleId>()(k.second);
+      return util::hash_pair(k.first, k.second);
     }
   };
 

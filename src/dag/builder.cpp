@@ -141,11 +141,42 @@ void compute_row(const FlowTable& table, const RuleIndex& index, size_t i,
   for (size_t e : ctx.edges) targets.push_back(ctx.cand_pos[e]);
 }
 
+/// Direct small-table path: the brute-force pair/between structure, but with
+/// the arena-backed try_cover kernel and the repository's uniform
+/// conservative overflow policy (keep the edge). No index, no residue walk —
+/// below kSmallTableDirectCutoff their setup costs more than they save.
+DependencyGraph build_direct(const FlowTable& table, const MinDagBuildOptions& opts) {
+  DependencyGraph graph;
+  const auto& rules = table.rules();
+  for (const Rule& r : rules) graph.add_vertex(r.id);
+
+  flowspace::CoverScratch cover;
+  std::vector<TernaryMatch> between;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = 0; j + 1 <= i; ++j) {
+      auto overlap = rules[i].match.intersect(rules[j].match);
+      if (!overlap) continue;
+      between.clear();
+      for (size_t k = j + 1; k < i; ++k) {
+        if (rules[k].match.overlaps(*overlap)) between.push_back(rules[k].match);
+      }
+      const CoverResult r = flowspace::try_cover(
+          *overlap, {between.data(), between.size()}, cover, opts.fragment_limit);
+      if (r != CoverResult::kCovered) {  // overflow keeps a conservative edge
+        graph.add_edge(rules[i].id, rules[j].id);
+      }
+    }
+  }
+  return graph;
+}
+
 DependencyGraph build_indexed(const FlowTable& table, const MinDagBuildOptions& opts) {
   const auto& rules = table.rules();  // descending priority == match order
+  const size_t n = rules.size();
+  if (uses_direct_path(n, opts)) return build_direct(table, opts);
+
   DependencyGraph graph;
   for (const Rule& r : rules) graph.add_vertex(r.id);
-  const size_t n = rules.size();
   if (n < 2) return graph;
 
   RuleIndex index;
@@ -162,23 +193,19 @@ DependencyGraph build_indexed(const FlowTable& table, const MinDagBuildOptions& 
     // Rows are independent given the (read-only) table and index: workers
     // claim chunks off an atomic cursor with per-thread arenas, and results
     // land in per-row slots so the merged edge set is order-independent.
-    std::atomic<size_t> cursor{1};
-    const size_t chunk = std::max<size_t>(16, n / (opts.n_threads * 8));
+    util::ChunkCursor cursor(1, n, util::ChunkCursor::suggest_chunk(n, opts.n_threads));
     util::ThreadPool pool(opts.n_threads);
-    for (size_t t = 0; t < opts.n_threads; ++t) {
-      pool.run([&] {
+    util::run_on_workers(pool, [&] {
+      return [&] {
         RowContext ctx;
-        for (;;) {
-          const size_t begin = cursor.fetch_add(chunk);
-          if (begin >= n) return;
-          const size_t end = std::min(n, begin + chunk);
+        size_t begin, end;
+        while (cursor.next(begin, end)) {
           for (size_t i = begin; i < end; ++i) {
             compute_row(table, index, i, opts, ctx, row_targets[i]);
           }
         }
-      });
-    }
-    pool.wait_idle();
+      };
+    });
   }
 
   for (size_t i = 1; i < n; ++i) {
@@ -188,6 +215,10 @@ DependencyGraph build_indexed(const FlowTable& table, const MinDagBuildOptions& 
 }
 
 }  // namespace
+
+bool uses_direct_path(size_t table_size, const MinDagBuildOptions& opts) {
+  return table_size < opts.direct_cutoff;
+}
 
 DependencyGraph build_min_dag(const FlowTable& table) {
   return build_indexed(table, MinDagBuildOptions{});

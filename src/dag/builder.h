@@ -36,6 +36,13 @@
 
 namespace ruletris::dag {
 
+/// Below this table size the direct per-pair build beats the indexed one:
+/// constructing the RuleIndex and walking residues costs more than the
+/// handful of pair tests it would prune (the checked-in extraction bench
+/// showed the indexed build ~3.5x *slower* than brute force at 250 rules).
+/// The crossover sits between 250 and 500 rules on the router profile.
+inline constexpr size_t kSmallTableDirectCutoff = 384;
+
 /// Tuning knobs for the indexed builder. Defaults are right for every
 /// workload in the repository; tests lower the limits to exercise the
 /// fallback paths.
@@ -50,6 +57,11 @@ struct MinDagBuildOptions {
   size_t n_threads = 1;
   /// Tables smaller than this build serially even when n_threads > 1.
   size_t parallel_cutoff = 256;
+  /// Tables smaller than this skip the index entirely and use the direct
+  /// per-pair path (same edges, same conservative overflow policy — applied
+  /// before the thread check, so serial and parallel builds stay
+  /// bit-identical below the cutoff). 0 disables the shortcut.
+  size_t direct_cutoff = kSmallTableDirectCutoff;
 };
 
 /// Reusable per-row scratch: residue fragment arena, per-pair cover arena,
@@ -106,6 +118,10 @@ DependencyGraph build_min_dag_parallel(const flowspace::FlowTable& table,
 /// correctness oracle and the bench baseline the optimized builders are
 /// measured against.
 DependencyGraph build_min_dag_brute(const flowspace::FlowTable& table);
+
+/// True iff `build_min_dag(table, opts)` would take the direct small-table
+/// path instead of constructing the index (bench/reporting).
+bool uses_direct_path(size_t table_size, const MinDagBuildOptions& opts);
 
 /// Process-wide default thread count for bulk DAG extraction entry points
 /// that take no explicit count (LeafNode bootstrap). 0 or 1 means serial.

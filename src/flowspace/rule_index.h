@@ -8,14 +8,20 @@
 //      wildcard bucket (the most selective exactly-matched field in the
 //      paper's workloads);
 //   2. dst_ip /8 sub-bucket — the top octet of dst_ip when the match
-//      specifies all eight of those bits, else a catch-all sub-bucket.
+//      specifies all eight of those bits, else a catch-all sub-bucket;
+//   3. within a /8 sub-bucket, exact (/32) dst_ip matches are hashed by
+//      their full address, everything coarser stays in a scan vector.
 //
 // Two matches whose dst_ip top octets are both fully specified can only
 // overlap when the octets are equal, so a query visits exactly one /8
 // sub-bucket plus the catch-all — on prefix-heavy tables (FIBs, monitors)
-// this prunes candidate scans by two orders of magnitude. Candidates are
-// then confirmed with the cheap per-field overlap test, so bucketing never
-// affects the result set.
+// this prunes candidate scans by two orders of magnitude. The third level
+// covers host-route-shaped tables (NAT pools, exact-match caches) whose
+// addresses share one /8: two exact dsts only overlap when equal, so an
+// exact-dst query probes a single hash group plus the coarse vector instead
+// of scanning the whole octet's population. Candidates are then confirmed
+// with the cheap per-field overlap test, so bucketing never affects the
+// result set.
 #pragma once
 
 #include <cstdint>
@@ -71,18 +77,37 @@ class RuleIndex {
 
   static uint32_t bucket_of(const TernaryMatch& m);
   static uint32_t dst_key_of(const TernaryMatch& m);
+  static bool dst_exact(const TernaryMatch& m, uint32_t& value);
 
-  using DstBuckets = std::unordered_map<uint32_t, std::vector<Entry>>;
+  /// One (proto, /8) sub-bucket: exact /32 dsts hashed by address, coarser
+  /// matches in the scan vector.
+  struct DstBucket {
+    std::unordered_map<uint32_t, std::vector<Entry>> exact;
+    std::vector<Entry> coarse;
+    bool empty() const { return exact.empty() && coarse.empty(); }
+  };
+
+  using DstBuckets = std::unordered_map<uint32_t, DstBucket>;
+
+  /// Where an id lives, so erase() can find it without re-deriving keys.
+  struct Slot {
+    uint32_t bucket;
+    uint32_t dst_key;
+    bool is_exact;
+    uint32_t exact_value;
+  };
 
   template <typename Fn>
   void scan_vector(const std::vector<Entry>& entries, const TernaryMatch& m,
                    Fn&& fn) const;
   template <typename Fn>
+  void scan_bucket(const DstBucket& bucket, const TernaryMatch& m, Fn&& fn) const;
+  template <typename Fn>
   void scan_dst(const DstBuckets& dst, uint32_t dst_key, const TernaryMatch& m,
                 Fn&& fn) const;
 
   std::unordered_map<uint32_t, DstBuckets> buckets_;
-  std::unordered_map<RuleId, std::pair<uint32_t, uint32_t>> by_id_;  // id -> keys
+  std::unordered_map<RuleId, Slot> by_id_;
 };
 
 template <typename Fn>
@@ -94,18 +119,39 @@ void RuleIndex::scan_vector(const std::vector<Entry>& entries, const TernaryMatc
 }
 
 template <typename Fn>
+void RuleIndex::scan_bucket(const DstBucket& bucket, const TernaryMatch& m,
+                            Fn&& fn) const {
+  uint32_t value;
+  if (dst_exact(m, value)) {
+    // Exact-dst query: an exact-dst entry overlaps only on an equal address,
+    // so probe that one hash group; the coarse vector still needs the scan.
+    if (auto it = bucket.exact.find(value); it != bucket.exact.end()) {
+      scan_vector(it->second, m, fn);
+    }
+  } else {
+    // Coarser query: prune each exact group with one dst test (the group
+    // shares its address) before confirming entries field-by-field.
+    const FieldTernary& ft = m.field(FieldId::kDstIp);
+    for (const auto& [addr, entries] : bucket.exact) {
+      if ((addr & ft.mask) == (ft.value & ft.mask)) scan_vector(entries, m, fn);
+    }
+  }
+  scan_vector(bucket.coarse, m, fn);
+}
+
+template <typename Fn>
 void RuleIndex::scan_dst(const DstBuckets& dst, uint32_t dst_key, const TernaryMatch& m,
                          Fn&& fn) const {
   if (dst_key == kAnyDst) {
     // A dst-wildcard-ish query can overlap every sub-bucket.
-    for (const auto& [key, entries] : dst) {
+    for (const auto& [key, bucket] : dst) {
       (void)key;
-      scan_vector(entries, m, fn);
+      scan_bucket(bucket, m, fn);
     }
     return;
   }
-  if (auto it = dst.find(dst_key); it != dst.end()) scan_vector(it->second, m, fn);
-  if (auto it = dst.find(kAnyDst); it != dst.end()) scan_vector(it->second, m, fn);
+  if (auto it = dst.find(dst_key); it != dst.end()) scan_bucket(it->second, m, fn);
+  if (auto it = dst.find(kAnyDst); it != dst.end()) scan_bucket(it->second, m, fn);
 }
 
 template <typename Fn>

@@ -6,6 +6,7 @@
 // thousand-entry TCAMs under thousands of updates.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <optional>
 #include <stdexcept>
@@ -24,7 +25,13 @@ class OccupancyIndex {
   size_t capacity() const { return capacity_; }
   size_t occupied_count() const { return prefix(capacity_); }
 
-  bool occupied(size_t addr) const { return occupied_.at(addr); }
+  // DagScheduler's chain search probes this in its inner loop; callers stay
+  // inside [0, capacity) by construction, so pay for the bounds check only
+  // in debug builds.
+  bool occupied(size_t addr) const {
+    assert(addr < capacity_ && "OccupancyIndex: address out of range");
+    return occupied_[addr];
+  }
 
   void set_occupied(size_t addr, bool value) {
     if (addr >= capacity_) throw std::out_of_range("OccupancyIndex: bad address");

@@ -6,6 +6,8 @@
 // callers catch inside the job and report through their own channels.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -84,5 +86,47 @@ class ThreadPool {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// Shared work cursor for data-parallel loops: workers claim half-open
+/// [begin, end) chunks off an atomic counter until the range is exhausted.
+/// This is the coarse-chunk pattern the parallel DAG builder and the
+/// parallel composition compile both use — results written to per-index
+/// slots stay order-independent while load stays balanced.
+class ChunkCursor {
+ public:
+  ChunkCursor(size_t begin, size_t end, size_t chunk)
+      : next_(begin), end_(end), chunk_(chunk == 0 ? 1 : chunk) {}
+
+  /// Claims the next chunk; false when the range is exhausted.
+  bool next(size_t& chunk_begin, size_t& chunk_end) {
+    const size_t b = next_.fetch_add(chunk_);
+    if (b >= end_) return false;
+    chunk_begin = b;
+    chunk_end = std::min(end_, b + chunk_);
+    return true;
+  }
+
+  /// Chunk size heuristic: coarse enough to amortize the atomic claim,
+  /// fine enough to balance ~8 chunks per worker.
+  static size_t suggest_chunk(size_t n, size_t n_threads) {
+    if (n_threads == 0) n_threads = 1;
+    return std::max<size_t>(16, n / (n_threads * 8));
+  }
+
+ private:
+  std::atomic<size_t> next_;
+  size_t end_;
+  size_t chunk_;
+};
+
+/// Runs one instance of `make_job()` per pool worker and blocks until all
+/// finish. Each job owns its per-thread scratch (arenas, cover buffers) in
+/// its closure and drains a ChunkCursor, so callers express "parallel for
+/// with per-thread state" without touching the pool internals.
+template <typename JobFactory>
+void run_on_workers(ThreadPool& pool, JobFactory&& make_job) {
+  for (size_t t = 0; t < pool.size(); ++t) pool.run(make_job());
+  pool.wait_idle();
+}
 
 }  // namespace ruletris::util

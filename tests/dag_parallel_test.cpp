@@ -54,12 +54,19 @@ TEST_P(MinDagBuilders, SerialAndParallelMatchBruteForceOnRandomTables) {
   for (const size_t n : {20ul, 60ul, 120ul}) {
     const FlowTable table = random_table(rng, n);
     const DependencyGraph oracle = build_min_dag_brute(table);
-    const DependencyGraph serial = build_min_dag(table);
+    // Default options: tables this small take the direct path.
+    const DependencyGraph direct = build_min_dag(table);
+    EXPECT_TRUE(direct == oracle) << "direct path diverged at n=" << n;
+    // Force the indexed path despite the small-table cutoff.
+    MinDagBuildOptions indexed_opts;
+    indexed_opts.direct_cutoff = 0;
+    const DependencyGraph serial = build_min_dag(table, indexed_opts);
     EXPECT_TRUE(serial == oracle) << "indexed serial diverged at n=" << n;
     for (const size_t threads : {1ul, 2ul, 4ul}) {
       MinDagBuildOptions opts;
       opts.n_threads = threads;
       opts.parallel_cutoff = 0;  // force the sharded path even for tiny tables
+      opts.direct_cutoff = 0;    // ...and past the small-table shortcut
       const DependencyGraph parallel = build_min_dag_parallel(table, opts);
       EXPECT_TRUE(parallel == oracle)
           << "parallel diverged at n=" << n << " threads=" << threads;
@@ -77,9 +84,32 @@ TEST_P(MinDagBuilders, BuildersAgreeOnClassbenchProfiles) {
   for (const auto& rules : profiles) {
     const FlowTable table{rules};
     const DependencyGraph oracle = build_min_dag_brute(table);
-    EXPECT_TRUE(build_min_dag(table) == oracle);
+    EXPECT_TRUE(build_min_dag(table) == oracle);  // direct path at these sizes
     EXPECT_TRUE(build_min_dag_parallel(table, 4) == oracle);
+    MinDagBuildOptions indexed_opts;
+    indexed_opts.direct_cutoff = 0;
+    indexed_opts.parallel_cutoff = 0;
+    EXPECT_TRUE(build_min_dag(table, indexed_opts) == oracle);
+    indexed_opts.n_threads = 4;
+    EXPECT_TRUE(build_min_dag_parallel(table, indexed_opts) == oracle);
   }
+}
+
+TEST_P(MinDagBuilders, DirectCutoffIsTransparent) {
+  // The small-table shortcut must be invisible in the resulting edge set:
+  // the same table built with the cutoff on (direct path) and off (indexed
+  // path) agrees, and uses_direct_path reports which side of the crossover a
+  // size lands on.
+  Rng rng(GetParam() ^ 0xd1a3);
+  const MinDagBuildOptions defaults;
+  EXPECT_TRUE(dag::uses_direct_path(defaults.direct_cutoff - 1, defaults));
+  EXPECT_FALSE(dag::uses_direct_path(defaults.direct_cutoff, defaults));
+  MinDagBuildOptions disabled;
+  disabled.direct_cutoff = 0;
+  EXPECT_FALSE(dag::uses_direct_path(10, disabled));
+
+  const FlowTable table = random_table(rng, 100);
+  EXPECT_TRUE(build_min_dag(table, defaults) == build_min_dag(table, disabled));
 }
 
 TEST_P(MinDagBuilders, SerialAndParallelBitIdenticalUnderFragmentPressure) {
@@ -92,6 +122,7 @@ TEST_P(MinDagBuilders, SerialAndParallelBitIdenticalUnderFragmentPressure) {
   MinDagBuildOptions tight;
   tight.fragment_limit = 4;
   tight.residue_soft_limit = 2;
+  tight.direct_cutoff = 0;  // the point is the indexed residue/fallback walk
   const DependencyGraph serial = build_min_dag(table, tight);
 
   MinDagBuildOptions par = tight;

@@ -57,6 +57,7 @@ struct Options {
   std::string trace_out;   // record the generated stream here
   std::optional<size_t> capacity;   // default: sized from the composed table
   size_t dag_threads = 0;  // 0 = serial minimum-DAG extraction
+  size_t compile_threads = 0;  // 0 = serial composition full compiles
   std::string json_out;    // machine-readable report path
   bool verbose = false;
 };
@@ -66,7 +67,8 @@ struct Options {
                "usage: %s --policy EXPR --table NAME=SOURCE [--table ...]\n"
                "          [--churn NAME] [--updates N] [--seed S]\n"
                "          [--compiler ruletris|covisor|baseline]\n"
-               "          [--tcam-capacity N] [--dag-threads N] [--verbose]\n"
+               "          [--tcam-capacity N] [--dag-threads N]\n"
+               "          [--compile-threads N] [--verbose]\n"
                "          [--trace FILE | --emit-trace FILE] [--json FILE]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
                "          gen:nat:N | file:PATH\n",
@@ -101,6 +103,8 @@ Options parse_args(int argc, char** argv) {
       opt.capacity = static_cast<size_t>(std::stoul(need_value(i)));
     } else if (arg == "--dag-threads") {
       opt.dag_threads = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--compile-threads") {
+      opt.compile_threads = static_cast<size_t>(std::stoul(need_value(i)));
     } else if (arg == "--json") {
       opt.json_out = need_value(i);
     } else if (arg == "--trace") {
@@ -171,6 +175,13 @@ int main(int argc, char** argv) {
   // Thread count for every minimum-DAG extraction the pipeline performs
   // (LeafNode bootstrap and any full rebuilds). 0 keeps the serial path.
   dag::set_default_build_threads(opt.dag_threads);
+  // Worker count for composition full compiles (ComposedNode bootstrap);
+  // 0 keeps the serial path.
+  {
+    compiler::CompileOptions copts;
+    copts.n_threads = opt.compile_threads;
+    compiler::set_default_compile_options(copts);
+  }
   bench::init_json(argc, argv, "ruletris_sim");
 
   try {
