@@ -88,7 +88,7 @@ int main() {
         const auto m1 = single.deliver(switchsim::to_messages(upd_del));
         const auto m2 = single.deliver(switchsim::to_messages(upd_add));
         single_metrics.add(compile, m1.firmware_ms + m2.firmware_ms,
-                           m1.tcam_ms + m2.tcam_ms);
+                           m1.tcam_ms + m2.tcam_ms, m1.channel_ms + m2.channel_ms);
       }
       {
         util::Stopwatch watch;
@@ -98,7 +98,7 @@ int main() {
         const auto m1 = pipeline.deliver(0, switchsim::to_messages(upd_del));
         const auto m2 = pipeline.deliver(0, switchsim::to_messages(upd_add));
         pipeline_metrics.add(compile, m1.firmware_ms + m2.firmware_ms,
-                             m1.tcam_ms + m2.tcam_ms);
+                             m1.tcam_ms + m2.tcam_ms, m1.channel_ms + m2.channel_ms);
       }
     }
 

@@ -133,7 +133,7 @@ inline void run_composition_scenario(const CompositionScenario& scenario) {
         const auto m2 = sw_dag.deliver(switchsim::to_messages(upd_add));
         if (!m1.ok || !m2.ok) ++failures;
         rt_metrics.add(compile, m1.firmware_ms + m2.firmware_ms,
-                       m1.tcam_ms + m2.tcam_ms);
+                       m1.tcam_ms + m2.tcam_ms, m1.channel_ms + m2.channel_ms);
       }
       {  // CoVisor: incremental compile + priority firmware.
         util::Stopwatch watch;
@@ -144,7 +144,7 @@ inline void run_composition_scenario(const CompositionScenario& scenario) {
         const auto m2 = sw_cv.deliver(switchsim::to_messages(upd_add));
         if (!m1.ok || !m2.ok) ++failures;
         cv_metrics.add(compile, m1.firmware_ms + m2.firmware_ms,
-                       m1.tcam_ms + m2.tcam_ms);
+                       m1.tcam_ms + m2.tcam_ms, m1.channel_ms + m2.channel_ms);
       }
       {  // Baseline: recompile from scratch + priority firmware.
         util::Stopwatch watch;
@@ -155,7 +155,7 @@ inline void run_composition_scenario(const CompositionScenario& scenario) {
         const auto m2 = sw_bl.deliver(switchsim::to_messages(upd_add));
         if (!m1.ok || !m2.ok) ++failures;
         bl_metrics.add(compile, m1.firmware_ms + m2.firmware_ms,
-                       m1.tcam_ms + m2.tcam_ms);
+                       m1.tcam_ms + m2.tcam_ms, m1.channel_ms + m2.channel_ms);
       }
     }
 

@@ -2,9 +2,12 @@
 //
 // The paper's end-to-end latency decomposes into compilation + channel +
 // firmware + TCAM time; the channel component for an OpenFlow TCP session is
-// dominated by a per-batch RTT plus serialization at line rate. The model is
+// dominated by a per-batch RTT plus serialization at line rate. Every charge
+// is computed from the *actual* number of bytes proto::codec produced for
+// the batch (callers pass the encoded wire image's size, never an estimate),
+// so the decomposition reflects real serialization cost. The model is
 // deliberately simple and configurable; figures default to the same
-// decomposition the paper plots (channel excluded from the three bars).
+// decomposition the paper plots.
 #pragma once
 
 #include <cstddef>
@@ -16,9 +19,29 @@ struct ChannelModel {
   double per_byte_us = 0.0083;    // ~1 Gbps control link: 0.0083 us/byte
   double per_message_us = 2.0;    // switch-agent parse/dispatch per message
 
+  /// Line-rate serialization of an encoded frame of `bytes` bytes.
+  double serialize_ms(size_t bytes) const {
+    return static_cast<double>(bytes) * per_byte_us / 1000.0;
+  }
+
+  /// Switch-agent parse/dispatch cost for a decoded batch.
+  double parse_ms(size_t messages) const {
+    return static_cast<double>(messages) * per_message_us / 1000.0;
+  }
+
+  /// One-way delivery latency of an encoded frame: half the per-batch RTT
+  /// (propagation) plus serialization of the actual bytes. The asynchronous
+  /// runtime charges this per direction, so a windowed session overlaps
+  /// transfers instead of paying the full RTT per batch.
+  double one_way_ms(size_t bytes) const {
+    return per_batch_ms / 2.0 + serialize_ms(bytes);
+  }
+
+  /// Synchronous round-trip latency of one barrier-fenced batch, as the
+  /// blocking SimulatedSwitch::deliver path charges it. `bytes` is the size
+  /// of the encoded wire image.
   double batch_latency_ms(size_t messages, size_t bytes) const {
-    return per_batch_ms + static_cast<double>(bytes) * per_byte_us / 1000.0 +
-           static_cast<double>(messages) * per_message_us / 1000.0;
+    return per_batch_ms + serialize_ms(bytes) + parse_ms(messages);
   }
 };
 

@@ -1,0 +1,67 @@
+#include "runtime/agent.h"
+
+#include <algorithm>
+#include <variant>
+
+#include "proto/messages.h"
+
+namespace ruletris::runtime {
+
+SwitchAgent::SwitchAgent(size_t tcam_capacity, const proto::ChannelModel& channel)
+    : switch_(switchsim::FirmwareMode::kDag, tcam_capacity), channel_(channel) {}
+
+SwitchAgent::Ingest SwitchAgent::on_data(
+    uint64_t epoch, const std::shared_ptr<const proto::Bytes>& payload,
+    double now_ms) {
+  Ingest result;
+  if (epoch <= last_applied_) {
+    // Duplicate or timeout-driven retransmit of an epoch already committed:
+    // discard, but let the session re-ack so a lost ack heals.
+    ++duplicates_;
+    result.duplicate = true;
+    result.done_ms = std::max(now_ms, busy_until_ms_);
+    return result;
+  }
+
+  // emplace keeps the first buffered copy if a duplicate is already waiting.
+  buffer_.emplace(epoch, payload);
+
+  double t = std::max(now_ms, busy_until_ms_);
+  for (auto it = buffer_.find(last_applied_ + 1); it != buffer_.end();
+       it = buffer_.find(last_applied_ + 1)) {
+    const proto::MessageBatch batch = proto::decode_batch(*it->second);
+
+    AppliedEpoch applied;
+    applied.epoch = it->first;
+    applied.messages = batch.size();
+    // Acks are barrier-anchored: every epoch batch the controller emits is
+    // fenced, and the ack fires only once the fence has been applied.
+    const bool fenced =
+        !batch.empty() && std::holds_alternative<proto::Barrier>(batch.back());
+
+    const switchsim::UpdateMetrics m = switch_.apply(batch);
+    applied.ok = m.ok && fenced;
+    applied.firmware_ms = m.firmware_ms;
+    applied.tcam_ms = m.tcam_ms;
+    // Virtual cost of applying: per-message parse/dispatch plus the
+    // modelled TCAM write time (wall-clock firmware time stays diagnostic
+    // so virtual timelines are reproducible).
+    applied.apply_ms = channel_.parse_ms(batch.size()) + m.tcam_ms;
+    t += applied.apply_ms;
+
+    result.applied.push_back(applied);
+    last_applied_ = it->first;
+    buffer_.erase(it);
+  }
+
+  busy_until_ms_ = std::max(busy_until_ms_, t);
+  result.done_ms = t;
+  return result;
+}
+
+void SwitchAgent::restart() {
+  buffer_.clear();
+  ++restarts_;
+}
+
+}  // namespace ruletris::runtime

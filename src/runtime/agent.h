@@ -1,0 +1,68 @@
+// Switch-agent endpoint of the asynchronous runtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "proto/channel.h"
+#include "proto/codec.h"
+#include "switchsim/switch.h"
+
+namespace ruletris::runtime {
+
+/// The firmware-side half of a session. Decodes data frames and applies the
+/// barrier-fenced epoch batches to the DAG firmware strictly in epoch order:
+/// out-of-order arrivals wait in a reorder buffer, duplicates and
+/// already-applied epochs are discarded (and re-acked, so lost acks heal).
+/// The cumulative applied epoch anchors both acks and resync. A restart
+/// models the agent process dying: the volatile reorder buffer is lost, the
+/// applied TCAM/firmware state — hardware — survives.
+class SwitchAgent {
+ public:
+  SwitchAgent(size_t tcam_capacity, const proto::ChannelModel& channel);
+
+  struct AppliedEpoch {
+    uint64_t epoch = 0;
+    double firmware_ms = 0.0;  // wall-clock schedule computation (diagnostic)
+    double tcam_ms = 0.0;      // modelled entry writes x 0.6 ms
+    double apply_ms = 0.0;     // virtual time the application occupied
+    size_t messages = 0;
+    bool ok = true;
+  };
+
+  struct Ingest {
+    std::vector<AppliedEpoch> applied;  // epochs applied by this frame, in order
+    bool duplicate = false;  // frame carried an epoch at or below last_applied
+    double done_ms = 0.0;    // virtual time the agent finished (ack send time)
+  };
+
+  /// Handles a data frame delivered at virtual `now_ms`. Application is
+  /// serialized on the agent: work starts at max(now, busy-until) and each
+  /// applied epoch charges its parse + TCAM time.
+  Ingest on_data(uint64_t epoch, const std::shared_ptr<const proto::Bytes>& payload,
+                 double now_ms);
+
+  /// Restart: drops the reorder buffer; applied state survives.
+  void restart();
+
+  uint64_t last_applied() const { return last_applied_; }
+  size_t buffered() const { return buffer_.size(); }
+  size_t restarts() const { return restarts_; }
+  size_t duplicates() const { return duplicates_; }
+
+  const switchsim::SimulatedSwitch& device() const { return switch_; }
+  switchsim::SimulatedSwitch& device() { return switch_; }
+
+ private:
+  switchsim::SimulatedSwitch switch_;
+  proto::ChannelModel channel_;
+  std::map<uint64_t, std::shared_ptr<const proto::Bytes>> buffer_;
+  uint64_t last_applied_ = 0;
+  double busy_until_ms_ = 0.0;
+  size_t restarts_ = 0;
+  size_t duplicates_ = 0;
+};
+
+}  // namespace ruletris::runtime

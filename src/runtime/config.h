@@ -1,0 +1,69 @@
+// Configuration for the asynchronous control-plane runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "proto/channel.h"
+
+namespace ruletris::runtime {
+
+/// Seeded fault mix applied per frame on the simulated wire, in both
+/// directions (data frames and acks alike). Reordering emerges from delay
+/// jitter: a delayed frame lands after frames that were sent later.
+struct FaultSpec {
+  double drop_p = 0.0;       // frame silently lost
+  double duplicate_p = 0.0;  // frame delivered twice
+  double delay_p = 0.0;      // frame delayed by uniform(0, delay_ms)
+  double delay_ms = 0.0;
+  /// Rough virtual-ms interval between switch-agent restarts (0 = never).
+  /// A restart drops the agent's volatile reorder buffer and triggers the
+  /// barrier-anchored resync path; applied TCAM state survives (hardware).
+  double restart_every_ms = 0.0;
+
+  bool any() const {
+    return drop_p > 0 || duplicate_p > 0 || delay_p > 0 || restart_every_ms > 0;
+  }
+
+  /// The default non-trivial mix used by `--fault-seed` and the soak test.
+  static FaultSpec chaos() {
+    FaultSpec f;
+    f.drop_p = 0.12;
+    f.duplicate_p = 0.10;
+    f.delay_p = 0.25;
+    f.delay_ms = 6.0;
+    f.restart_every_ms = 400.0;
+    return f;
+  }
+};
+
+/// Per-switch session parameters (the Controller derives one per session).
+struct SessionConfig {
+  size_t window = 4;               // max unacked epochs in flight (>= 1)
+  double retry_timeout_ms = 25.0;  // retransmit timer for unacked epochs
+  proto::ChannelModel channel;
+  FaultSpec faults;
+  uint64_t seed = 1;               // fault/restart randomness for this session
+  size_t tcam_capacity = 1024;
+  /// Virtual-time budget: a session that has not drained its epoch log by
+  /// then reports non-completion instead of looping. A safety net for
+  /// pathological fault settings, not a tuning knob.
+  double deadline_ms = 1e7;
+};
+
+struct RuntimeConfig {
+  size_t n_switches = 8;
+  size_t window = 4;
+  double retry_timeout_ms = 25.0;
+  /// Worker threads the session event loops are fanned across; <= 1 runs
+  /// them serially. Results are bit-identical either way: sessions share
+  /// nothing mutable, and each is deterministic given its own seed.
+  size_t n_threads = 0;
+  proto::ChannelModel channel;
+  FaultSpec faults;
+  uint64_t fault_seed = 1;   // base seed; session i derives an independent stream
+  size_t tcam_capacity = 0;  // per-switch TCAM size; 0 = sized from the workload
+  double deadline_ms = 1e7;
+};
+
+}  // namespace ruletris::runtime

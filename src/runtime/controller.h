@@ -1,0 +1,67 @@
+// Controller of the asynchronous runtime: one epoch log, N switch sessions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowspace/rule.h"
+#include "proto/messages.h"
+#include "runtime/config.h"
+#include "runtime/session.h"
+#include "util/stats.h"
+
+namespace ruletris::runtime {
+
+/// Fleet-level report: per-session stats plus merged aggregates. Histograms
+/// are merged here, at report time — the sessions filled them without any
+/// synchronization.
+struct RuntimeReport {
+  std::vector<SessionStats> sessions;
+  size_t epochs = 0;
+
+  // Aggregates over every session.
+  size_t data_frames_sent = 0;
+  size_t retransmits = 0;
+  size_t resync_replays = 0;
+  size_t resyncs = 0;
+  size_t restarts = 0;
+  size_t timeouts = 0;
+  size_t duplicates = 0;
+  size_t apply_failures = 0;
+  double makespan_ms = 0.0;  // max session makespan (virtual)
+  bool all_converged = true;
+  util::Histogram ack_ms;
+  util::Histogram channel_ms;
+  util::Histogram firmware_ms;
+  util::Histogram tcam_ms;
+
+  /// Fleet update throughput in virtual time: committed epoch batches per
+  /// second across every switch, over the slowest session's makespan.
+  double updates_per_s() const {
+    if (makespan_ms <= 0.0) return 0.0;
+    return static_cast<double>(sessions.size() * epochs) / (makespan_ms / 1000.0);
+  }
+};
+
+/// Runs the fan-out half of the runtime. The controller encodes each epoch
+/// batch exactly once (the encoded bytes are the unit both the channel
+/// charge and the wire faults operate on), replicates the log to every
+/// switch session — each session a private virtual-time event loop — and
+/// merges the per-session reports. Session loops execute on a ThreadPool
+/// when cfg.n_threads > 1; because sessions share nothing mutable and each
+/// derives its own fault stream from (fault_seed, session index), the
+/// report is bit-identical for every thread count.
+class Controller {
+ public:
+  explicit Controller(const RuntimeConfig& cfg) : cfg_(cfg) {}
+
+  /// `epoch_batches[0]` is epoch 1 (normally the initial table install);
+  /// `expected` is the composed table every switch must converge to.
+  RuntimeReport run(const std::vector<proto::MessageBatch>& epoch_batches,
+                    const std::vector<flowspace::Rule>& expected);
+
+ private:
+  RuntimeConfig cfg_;
+};
+
+}  // namespace ruletris::runtime

@@ -1,0 +1,39 @@
+// Wire frames of the asynchronous runtime.
+//
+// The runtime speaks proto::codec on the payload and adds a fixed 9-byte
+// header (u8 kind + u64 epoch) that carries the session sequencing state:
+// which epoch a data frame installs, up to which epoch an ack commits, and
+// where a restarted agent asks the controller to resync from. Data payloads
+// are encoded once by the controller and shared read-only across sessions
+// and retransmits, so charging channel latency from `wire_bytes()` always
+// reflects the actual serialized size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "proto/codec.h"
+
+namespace ruletris::runtime {
+
+enum class FrameKind : uint8_t {
+  kData = 1,    // controller -> agent: one barrier-fenced epoch batch
+  kAck = 2,     // agent -> controller: cumulative "applied through epoch"
+  kResync = 3,  // agent -> controller: restarted; last applied epoch enclosed
+};
+
+inline constexpr size_t kFrameHeaderBytes = 9;  // u8 kind + u64 epoch
+
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  /// kData: epoch the payload installs; kAck: cumulative applied epoch;
+  /// kResync: the agent's last applied epoch after a restart.
+  uint64_t epoch = 0;
+  std::shared_ptr<const proto::Bytes> payload;  // kData only
+
+  size_t wire_bytes() const {
+    return kFrameHeaderBytes + (payload ? payload->size() : 0);
+  }
+};
+
+}  // namespace ruletris::runtime

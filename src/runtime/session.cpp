@@ -1,0 +1,198 @@
+#include "runtime/session.h"
+
+#include <algorithm>
+
+#include "tcam/tcam.h"
+#include "util/hash.h"
+
+namespace ruletris::runtime {
+
+SwitchSession::SwitchSession(const SessionConfig& config,
+                             const std::vector<EncodedEpoch>& epochs)
+    : cfg_(config),
+      epochs_(epochs),
+      wire_(config.channel, config.faults, util::mix64(config.seed ^ 0x71c3)),
+      // A separate restart stream: restart times must not shift when the
+      // frame count changes (different window sizes, retransmit patterns).
+      restart_rng_(util::mix64(config.seed ^ 0x7e57a27)),
+      agent_(config.tcam_capacity, config.channel) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  first_send_ms_.assign(epochs_.size() + 1, -1.0);
+  stats_.epochs = epochs_.size();
+}
+
+SessionStats SwitchSession::run(const std::vector<flowspace::Rule>& expected) {
+  if (epochs_.empty()) {
+    finish();
+  } else {
+    send_window();
+    arm_timer();
+    schedule_restart();
+    while (!done_ && events_.run_next()) {
+      if (events_.now() > cfg_.deadline_ms) break;  // safety net, not control
+    }
+  }
+  stats_.makespan_ms = done_ ? stats_.makespan_ms : events_.now();
+  stats_.wire = wire_.counters();
+  stats_.restarts = agent_.restarts();
+  stats_.duplicates = agent_.duplicates();
+  verify(expected);
+  return stats_;
+}
+
+void SwitchSession::send_window() {
+  while (next_to_send_ <= epochs_.size() &&
+         next_to_send_ < base_ + cfg_.window) {
+    send_epoch(next_to_send_, SendKind::kFirst);
+    ++next_to_send_;
+  }
+}
+
+void SwitchSession::send_epoch(uint64_t epoch, SendKind kind) {
+  ++stats_.data_frames_sent;
+  if (kind == SendKind::kRetransmit) ++stats_.retransmits;
+  if (kind == SendKind::kResyncReplay) ++stats_.resync_replays;
+
+  const double now = events_.now();
+  if (first_send_ms_[epoch] < 0.0) first_send_ms_[epoch] = now;
+
+  Frame frame;
+  frame.kind = FrameKind::kData;
+  frame.epoch = epoch;
+  frame.payload = epochs_[epoch - 1].wire;
+  for (double at : wire_.arrivals(now, frame.wire_bytes())) {
+    events_.post(at, [this, epoch, now] { on_data_delivered(epoch, now); });
+  }
+}
+
+void SwitchSession::send_ack_frame(FrameKind kind, uint64_t epoch, double at_ms) {
+  for (double at : wire_.arrivals(at_ms, kFrameHeaderBytes)) {
+    if (kind == FrameKind::kAck) {
+      events_.post(at, [this, epoch] { on_ack(epoch); });
+    } else {
+      events_.post(at, [this, epoch] { on_resync(epoch); });
+    }
+  }
+}
+
+void SwitchSession::on_data_delivered(uint64_t epoch, double send_ms) {
+  if (done_) return;
+  const double now = events_.now();
+  stats_.channel_ms.add(now - send_ms);
+
+  const SwitchAgent::Ingest ingest =
+      agent_.on_data(epoch, epochs_[epoch - 1].wire, now);
+  for (const SwitchAgent::AppliedEpoch& applied : ingest.applied) {
+    stats_.firmware_ms.add(applied.firmware_ms);
+    stats_.tcam_ms.add(applied.tcam_ms);
+    if (!applied.ok) ++stats_.apply_failures;
+  }
+  // Cumulative ack after every data frame, barrier-anchored at the last
+  // applied fence. Duplicates re-ack so a lost ack cannot wedge the window.
+  send_ack_frame(FrameKind::kAck, agent_.last_applied(), ingest.done_ms);
+}
+
+void SwitchSession::on_ack(uint64_t acked) {
+  if (done_) return;
+  ++stats_.acks;
+  const bool progress = acked >= base_;
+  advance_base(acked);
+  if (done_) return;
+  if (progress) {
+    send_window();
+    arm_timer();
+  }
+}
+
+void SwitchSession::advance_base(uint64_t acked) {
+  if (acked < base_) return;  // stale or duplicate ack
+  const double now = events_.now();
+  for (uint64_t e = base_; e <= acked; ++e) {
+    stats_.ack_ms.add(now - first_send_ms_[e]);
+  }
+  base_ = acked + 1;
+  if (base_ > epochs_.size() && next_to_send_ > epochs_.size()) finish();
+}
+
+void SwitchSession::arm_timer() {
+  const uint64_t generation = ++timer_generation_;
+  events_.post(events_.now() + cfg_.retry_timeout_ms,
+               [this, generation] { on_timer(generation); });
+}
+
+void SwitchSession::on_timer(uint64_t generation) {
+  if (done_ || generation != timer_generation_) return;
+  if (base_ < next_to_send_) {
+    // No ack movement for a full retry interval: go-back-N over the
+    // in-flight window. The agent discards epochs it already applied and
+    // re-acks, so over-retransmission only costs wire time.
+    ++stats_.timeouts;
+    for (uint64_t e = base_; e < next_to_send_; ++e) {
+      send_epoch(e, SendKind::kRetransmit);
+    }
+  }
+  arm_timer();
+}
+
+void SwitchSession::schedule_restart() {
+  if (cfg_.faults.restart_every_ms <= 0.0) return;
+  const double gap =
+      cfg_.faults.restart_every_ms * (0.5 + restart_rng_.next_double());
+  events_.post(events_.now() + gap, [this] { on_restart(); });
+}
+
+void SwitchSession::on_restart() {
+  if (done_) return;
+  agent_.restart();
+  // The restarted agent announces where it stands; frames that were in its
+  // reorder buffer are gone and will be replayed from the log.
+  send_ack_frame(FrameKind::kResync, agent_.last_applied(), events_.now());
+  schedule_restart();
+}
+
+void SwitchSession::on_resync(uint64_t last_applied) {
+  if (done_) return;
+  ++stats_.resyncs;
+  // The report doubles as a cumulative ack: everything at or below it is
+  // durably applied.
+  advance_base(last_applied);
+  if (done_) return;
+  // Replay every uncommitted epoch already sent; the window then refills
+  // from the log as usual.
+  for (uint64_t e = base_; e < next_to_send_; ++e) {
+    send_epoch(e, SendKind::kResyncReplay);
+  }
+  send_window();
+  arm_timer();
+}
+
+void SwitchSession::finish() {
+  done_ = true;
+  stats_.completed = true;
+  stats_.makespan_ms = events_.now();
+  events_.clear();
+}
+
+void SwitchSession::verify(const std::vector<flowspace::Rule>& expected) {
+  bool ok = stats_.completed && stats_.apply_failures == 0;
+  const tcam::Tcam& tcam = agent_.device().tcam();
+  ok = ok && tcam.occupied() == expected.size();
+  if (ok) {
+    for (const flowspace::Rule& rule : expected) {
+      if (!tcam.contains(rule.id)) {
+        ok = false;
+        break;
+      }
+      const flowspace::Rule& installed = tcam.rule(rule.id);
+      if (!(installed.match == rule.match) ||
+          !(installed.actions == rule.actions)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  ok = ok && agent_.device().dag_firmware().layout_valid();
+  stats_.converged = ok;
+}
+
+}  // namespace ruletris::runtime

@@ -1,0 +1,119 @@
+// Controller-side switch session: windowed, barrier-acked, fault-tolerant
+// replication of the shared epoch log to one switch agent.
+//
+// State machine (see DESIGN.md "Runtime"):
+//
+//   [base, next) = unacked epochs in flight, |in flight| <= window
+//
+//   send      : while next < base + window, transmit epoch `next++`
+//   ack(a)    : cumulative — commits every epoch <= a, slides `base`,
+//               refills the window (backpressure lives here: epoch e cannot
+//               leave the controller before epoch e - window is committed)
+//   timeout   : retry timer on the oldest unacked epoch; on firing, every
+//               epoch in [base, next) is retransmitted (the agent discards
+//               what it already applied and re-acks)
+//   restart   : the agent loses its reorder buffer and reports its last
+//               applied epoch L via a resync frame; the controller treats L
+//               as a cumulative ack and replays (L, next) — the
+//               barrier-anchored resync path
+//
+// The whole session runs on a private virtual-time EventQueue with a
+// private seeded FaultyWire, so a session's entire life — including every
+// fault — is a deterministic function of (config, epoch log), independent
+// of other sessions, wall clock and thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flowspace/rule.h"
+#include "proto/codec.h"
+#include "runtime/agent.h"
+#include "runtime/config.h"
+#include "runtime/event_queue.h"
+#include "runtime/frame.h"
+#include "runtime/wire.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ruletris::runtime {
+
+/// One pre-encoded controller epoch: the shared wire payload plus the
+/// message count (for the agent's modelled parse cost). Epoch number e maps
+/// to epochs[e - 1]; epoch numbers are 1-based so 0 can mean "nothing
+/// applied yet" in acks and resyncs.
+struct EncodedEpoch {
+  std::shared_ptr<const proto::Bytes> wire;
+  size_t messages = 0;
+};
+
+struct SessionStats {
+  size_t epochs = 0;
+  size_t data_frames_sent = 0;  // first sends + retransmits + resync replays
+  size_t retransmits = 0;       // timeout-driven re-sends
+  size_t resync_replays = 0;    // frames re-sent on the resync path
+  size_t resyncs = 0;           // resync requests received
+  size_t restarts = 0;          // agent restarts
+  size_t timeouts = 0;          // retry timer firings that found unacked epochs
+  size_t duplicates = 0;        // frames the agent discarded as already applied
+  size_t acks = 0;              // ack frames received
+  size_t apply_failures = 0;    // firmware rejections (should be 0)
+  FaultyWire::Counters wire;    // raw wire-level fault counters
+  double makespan_ms = 0.0;     // virtual time until every epoch was committed
+  bool completed = false;       // log drained before the virtual deadline
+  bool converged = false;       // final TCAM == expected rules, layout valid
+
+  // Latency decomposition, one Histogram per session: lock-free on the hot
+  // path, merged by the controller at report time.
+  util::Histogram ack_ms;       // first send of an epoch -> ack committing it
+  util::Histogram channel_ms;   // per delivered data frame: send -> arrival
+  util::Histogram firmware_ms;  // wall clock (diagnostic, not deterministic)
+  util::Histogram tcam_ms;      // modelled entry writes x 0.6 ms
+};
+
+class SwitchSession {
+ public:
+  /// `epochs` is the controller's shared encoded log; it must outlive the
+  /// session and is read-only here.
+  SwitchSession(const SessionConfig& config, const std::vector<EncodedEpoch>& epochs);
+
+  /// Drives the session to completion (every epoch acked) or to the virtual
+  /// deadline, then verifies convergence: the agent's TCAM must hold
+  /// exactly `expected` (id, match and actions) and satisfy every DAG
+  /// constraint.
+  SessionStats run(const std::vector<flowspace::Rule>& expected);
+
+  const SwitchAgent& agent() const { return agent_; }
+
+ private:
+  void send_window();
+  enum class SendKind { kFirst, kRetransmit, kResyncReplay };
+  void send_epoch(uint64_t epoch, SendKind kind);
+  void send_ack_frame(FrameKind kind, uint64_t epoch, double at_ms);
+  void on_data_delivered(uint64_t epoch, double send_ms);
+  void on_ack(uint64_t acked);
+  void on_resync(uint64_t last_applied);
+  void advance_base(uint64_t acked);
+  void arm_timer();
+  void on_timer(uint64_t generation);
+  void schedule_restart();
+  void on_restart();
+  void finish();
+  void verify(const std::vector<flowspace::Rule>& expected);
+
+  SessionConfig cfg_;
+  const std::vector<EncodedEpoch>& epochs_;
+  EventQueue events_;
+  FaultyWire wire_;
+  util::Rng restart_rng_;
+  SwitchAgent agent_;
+  uint64_t base_ = 1;          // oldest uncommitted epoch
+  uint64_t next_to_send_ = 1;  // next epoch to leave the controller
+  std::vector<double> first_send_ms_;  // per epoch, for ack latency
+  uint64_t timer_generation_ = 0;
+  bool done_ = false;
+  SessionStats stats_;
+};
+
+}  // namespace ruletris::runtime

@@ -1,0 +1,40 @@
+#include "runtime/wire.h"
+
+#include <algorithm>
+
+namespace ruletris::runtime {
+
+std::vector<double> FaultyWire::arrivals(double now_ms, size_t wire_bytes) {
+  ++counters_.sent;
+  // Fixed draw count per send: fault decisions stay aligned with the send
+  // sequence no matter which faults fire.
+  const double drop_d = rng_.next_double();
+  const double dup_d = rng_.next_double();
+  const double delay_d = rng_.next_double();
+  const double jitter_d = rng_.next_double();
+  const double dup_jitter_d = rng_.next_double();
+
+  if (drop_d < faults_.drop_p) {
+    ++counters_.dropped;
+    return {};
+  }
+
+  const double base = now_ms + channel_.one_way_ms(wire_bytes);
+  double arrive = base;
+  if (delay_d < faults_.delay_p) {
+    ++counters_.delayed;
+    arrive += jitter_d * faults_.delay_ms;
+  }
+
+  std::vector<double> out{arrive};
+  if (dup_d < faults_.duplicate_p) {
+    ++counters_.duplicated;
+    // The stray copy trails the original by up to one delay quantum (at
+    // least a millisecond, so the duplicate path is exercised even when
+    // delay_ms is configured to 0).
+    out.push_back(arrive + dup_jitter_d * std::max(faults_.delay_ms, 1.0));
+  }
+  return out;
+}
+
+}  // namespace ruletris::runtime

@@ -1,0 +1,49 @@
+// Fault-injecting simulated wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/channel.h"
+#include "runtime/config.h"
+#include "util/rng.h"
+
+namespace ruletris::runtime {
+
+/// One direction-agnostic control link. Base latency comes from the
+/// ChannelModel's one-way cost over the *actual* encoded frame size; the
+/// seeded fault mix then drops, duplicates or delays the frame. Every send
+/// consumes a fixed number of RNG draws whichever faults fire, so a
+/// session's fault stream depends only on its seed and its own send count —
+/// never on other sessions, wall clock, or which branches earlier sends
+/// took. That per-session isolation is what makes the whole runtime
+/// deterministic across thread counts.
+class FaultyWire {
+ public:
+  FaultyWire(const proto::ChannelModel& channel, const FaultSpec& faults,
+             uint64_t seed)
+      : channel_(channel), faults_(faults), rng_(seed) {}
+
+  /// Far-end arrival times for a frame of `wire_bytes` sent at `now_ms`:
+  /// empty = dropped, two entries = duplicated. Arrivals of successive
+  /// sends may interleave (delay jitter => reordering).
+  std::vector<double> arrivals(double now_ms, size_t wire_bytes);
+
+  struct Counters {
+    size_t sent = 0;
+    size_t dropped = 0;
+    size_t duplicated = 0;
+    size_t delayed = 0;
+
+    bool operator==(const Counters&) const = default;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  proto::ChannelModel channel_;
+  FaultSpec faults_;
+  util::Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace ruletris::runtime

@@ -1,0 +1,77 @@
+#include "runtime/workload.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "classbench/generator.h"
+#include "compiler/ruletris_compiler.h"
+#include "switchsim/adapters.h"
+
+namespace ruletris::runtime {
+
+using compiler::TableUpdate;
+using flowspace::Rule;
+using flowspace::RuleId;
+
+CompiledWorkload compile_churn_workload(
+    const compiler::PolicySpec& spec,
+    std::map<std::string, flowspace::FlowTable> tables, const ChurnSpec& churn) {
+  const std::string leaf =
+      churn.leaf.empty() ? spec.leaf_names().front() : churn.leaf;
+  auto leaf_it = tables.find(leaf);
+  if (leaf_it == tables.end()) {
+    throw std::runtime_error("churn leaf has no table: " + leaf);
+  }
+
+  // Member rules currently live in the churned leaf (delete/modify victims).
+  std::vector<RuleId> live;
+  for (const Rule& r : leaf_it->second.rules()) live.push_back(r.id);
+
+  auto make_rule = churn.make_rule;
+  if (!make_rule) {
+    make_rule = [](util::Rng& r) { return classbench::random_monitor_rule(100, r); };
+  }
+
+  compiler::RuleTrisCompiler frontend(spec, std::move(tables));
+
+  CompiledWorkload workload;
+  workload.peak_visible = frontend.root().visible_size();
+
+  // Epoch 1: install the initial composed table and its minimum DAG.
+  TableUpdate initial;
+  initial.added = frontend.root().visible_rules_in_order();
+  for (const Rule& r : initial.added) initial.dag.added_vertices.push_back(r.id);
+  initial.dag.added_edges = frontend.root().visible_graph().edges();
+  workload.epochs.push_back(switchsim::to_messages(initial));
+
+  util::Rng rng(churn.seed);
+  for (size_t u = 0; u < churn.updates; ++u) {
+    const double op = rng.next_double();
+    TableUpdate update;
+    if (op < churn.insert_p || live.empty()) {
+      const Rule fresh = make_rule(rng);
+      update = frontend.insert(leaf, fresh);
+      live.push_back(fresh.id);
+    } else if (op < churn.insert_p + churn.delete_p) {
+      const size_t victim = rng.next_below(live.size());
+      update = frontend.remove(leaf, live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      const size_t victim = rng.next_below(live.size());
+      const Rule fresh = make_rule(rng);
+      update = frontend.modify(leaf, live[victim], fresh);
+      live[victim] = fresh.id;
+    }
+    // Empty updates still become (cheap) epochs: the agent must tolerate
+    // batches that only carry a DAG no-op and a barrier.
+    workload.epochs.push_back(switchsim::to_messages(update));
+    workload.peak_visible =
+        std::max(workload.peak_visible, frontend.root().visible_size());
+  }
+
+  workload.final_rules = frontend.root().visible_rules_in_order();
+  return workload;
+}
+
+}  // namespace ruletris::runtime

@@ -1,0 +1,51 @@
+// Compile half of the runtime: an incremental update stream -> epoch log.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/policy_spec.h"
+#include "flowspace/rule.h"
+#include "proto/messages.h"
+#include "util/rng.h"
+
+namespace ruletris::runtime {
+
+/// A compiled controller workload: epoch 1 installs the initial composed
+/// table, every later epoch is one incrementally-compiled, barrier-fenced
+/// update batch. The controller fans this log out to every switch session.
+struct CompiledWorkload {
+  std::vector<proto::MessageBatch> epochs;
+  /// Composed table the compiler holds after the last epoch — the state
+  /// every switch TCAM must converge to.
+  std::vector<flowspace::Rule> final_rules;
+  /// High-water mark of the composed table across the stream.
+  size_t peak_visible = 0;
+
+  size_t suggested_capacity() const {
+    return peak_visible + peak_visible / 8 + 128;
+  }
+};
+
+/// Randomized churn parameters for compile_churn_workload.
+struct ChurnSpec {
+  std::string leaf;      // member table receiving the churn; "" = first leaf
+  size_t updates = 200;  // insert/delete/modify operations
+  uint64_t seed = 1;
+  double insert_p = 0.35;  // op mix; remainder after insert+delete is modify
+  double delete_p = 0.30;
+  /// Replacement-rule source; default: monitoring-profile rules.
+  std::function<flowspace::Rule(util::Rng&)> make_rule;
+};
+
+/// Runs the RuleTris front-end over a randomized insert/delete/modify
+/// stream against `spec`, packaging the initial compile plus every
+/// incremental update as one epoch each. Deterministic in (spec, tables,
+/// churn.seed).
+CompiledWorkload compile_churn_workload(
+    const compiler::PolicySpec& spec,
+    std::map<std::string, flowspace::FlowTable> tables, const ChurnSpec& churn);
+
+}  // namespace ruletris::runtime

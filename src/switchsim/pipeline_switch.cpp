@@ -62,6 +62,7 @@ UpdateMetrics MultiTableSwitch::deliver(size_t stage_idx, const MessageBatch& ba
   metrics.entry_writes = after.entry_writes - before.entry_writes;
   metrics.moves = after.moves - before.moves;
   metrics.tcam_ms = static_cast<double>(metrics.entry_writes) * tcam::kEntryWriteMs;
+  metrics.wire_bytes = wire.size();
   metrics.channel_ms = channel_.batch_latency_ms(batch.size(), wire.size());
   return metrics;
 }

@@ -39,12 +39,13 @@ UpdateMetrics SimulatedSwitch::deliver(const MessageBatch& batch) {
   const proto::Bytes wire = proto::encode_batch(batch);
   const MessageBatch decoded = proto::decode_batch(wire);
 
-  UpdateMetrics metrics = apply_decoded(decoded);
+  UpdateMetrics metrics = apply(decoded);
+  metrics.wire_bytes = wire.size();
   metrics.channel_ms = channel_.batch_latency_ms(batch.size(), wire.size());
   return metrics;
 }
 
-UpdateMetrics SimulatedSwitch::apply_decoded(const MessageBatch& batch) {
+UpdateMetrics SimulatedSwitch::apply(const MessageBatch& batch) {
   UpdateMetrics metrics;
   const auto before = tcam_->stats();
   util::Stopwatch watch;

@@ -25,11 +25,12 @@ enum class FirmwareMode { kDag, kPriority };
 
 struct UpdateMetrics {
   bool ok = true;
-  double channel_ms = 0.0;   // modelled transfer latency
+  double channel_ms = 0.0;   // modelled transfer latency (actual encoded bytes)
   double firmware_ms = 0.0;  // measured schedule computation time
   double tcam_ms = 0.0;      // modelled: entry writes x 0.6 ms
   size_t entry_writes = 0;
   size_t moves = 0;
+  size_t wire_bytes = 0;     // size of the encoded wire image (0 via apply())
 
   double total_ms() const { return channel_ms + firmware_ms + tcam_ms; }
 };
@@ -40,8 +41,15 @@ class SimulatedSwitch {
                   proto::ChannelModel channel = {});
 
   /// Encodes, "transfers", decodes and applies a batch; one barrier-fenced
-  /// update transaction.
+  /// update transaction. Channel latency is charged from the actual encoded
+  /// byte count of the batch.
   UpdateMetrics deliver(const proto::MessageBatch& batch);
+
+  /// Applies an already-decoded batch to the firmware without charging any
+  /// channel latency. The asynchronous runtime uses this: it owns the wire
+  /// (encoding, faults, delivery timing) and hands the switch the decoded
+  /// batch at delivery time.
+  UpdateMetrics apply(const proto::MessageBatch& batch);
 
   FirmwareMode mode() const { return mode_; }
   tcam::Tcam& tcam() { return *tcam_; }
@@ -51,8 +59,6 @@ class SimulatedSwitch {
   tcam::PriorityFirmware& priority_firmware();
 
  private:
-  UpdateMetrics apply_decoded(const proto::MessageBatch& batch);
-
   FirmwareMode mode_;
   proto::ChannelModel channel_;
   std::unique_ptr<tcam::Tcam> tcam_;

@@ -44,4 +44,87 @@ std::string Samples::summary(const char* unit) const {
   return strfmt("%.3f [%.3f, %.3f] %s", median(), p10(), p90(), unit);
 }
 
+size_t Histogram::bucket_of(double v) {
+  // Zero, negatives and NaN land in the underflow bucket together with
+  // everything at or below the 1e-3 floor.
+  if (!(v > 1e-3)) return 0;
+  const double idx = std::floor((std::log10(v) - kMinExp) * kPerDecade);
+  if (idx < 0.0) return 1;
+  if (idx >= static_cast<double>(kSpan)) return kSpan + 1;
+  return 1 + static_cast<size_t>(idx);
+}
+
+double Histogram::lower_edge(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::pow(10.0, kMinExp + static_cast<double>(bucket - 1) / kPerDecade);
+}
+
+double Histogram::upper_edge(size_t bucket) const {
+  if (bucket >= kSpan + 1) return max_;
+  return std::pow(10.0, kMinExp + static_cast<double>(bucket) / kPerDecade);
+}
+
+void Histogram::add(double v) {
+  ++counts_[bucket_of(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) throw std::logic_error("Histogram::mean on empty set");
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const {
+  if (count_ == 0) throw std::logic_error("Histogram::min on empty set");
+  return min_;
+}
+
+double Histogram::max() const {
+  if (count_ == 0) throw std::logic_error("Histogram::max on empty set");
+  return max_;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) throw std::logic_error("Histogram::percentile on empty set");
+  // Same rank convention as Samples::percentile over the sorted multiset.
+  const double rank = q / 100.0 * static_cast<double>(count_ - 1);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const uint64_t c = counts_[b];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(seen + c)) {
+      const double frac =
+          (rank - static_cast<double>(seen) + 0.5) / static_cast<double>(c);
+      const double lo = lower_edge(b);
+      const double hi = upper_edge(b);
+      const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min_, max_);
+    }
+    seen += c;
+  }
+  return max_;
+}
+
+std::string Histogram::summary(const char* unit) const {
+  if (count_ == 0) return "n/a";
+  return strfmt("%.3f [%.3f, %.3f] %s", median(), percentile(10.0),
+                percentile(90.0), unit);
+}
+
 }  // namespace ruletris::util

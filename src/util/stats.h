@@ -1,10 +1,15 @@
 // Sample accumulator with percentile reporting.
 //
 // The paper reports median with 10th/90th-percentile error bars for every
-// figure; this accumulator produces exactly that summary.
+// figure; this accumulator produces exactly that summary. The Histogram
+// variant trades exact percentiles for O(1) memory and lock-free
+// mergeability: each thread/session owns its own instance and the owners
+// merge at report time, so the hot path never takes a lock.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +19,12 @@ class Samples {
  public:
   void add(double v) { values_.push_back(v); }
   void clear() { values_.clear(); }
+
+  /// Appends every sample of `other` (per-thread accumulators merged at
+  /// report time).
+  void merge(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
 
   size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
@@ -36,6 +47,61 @@ class Samples {
  private:
   // Kept unsorted until queried; queries sort a copy so add() stays O(1).
   std::vector<double> values_;
+};
+
+/// Fixed-footprint log-bucketed histogram for latency samples (ms scale).
+///
+/// Buckets are geometric — kPerDecade per decade over [1e-3, 1e9) ms, with
+/// an underflow and an overflow bucket — so percentile queries carry a
+/// bounded relative error (one bucket width, ~15%) while add() is a single
+/// array increment with no allocation and no synchronization. Sessions and
+/// worker threads each own a Histogram and the report path merges them;
+/// merging is exact (bucket-wise addition), so merged percentiles equal the
+/// percentiles of one histogram fed every sample.
+class Histogram {
+ public:
+  void add(double v);
+
+  /// Bucket-wise addition; equivalent to replaying other's samples here.
+  void merge(const Histogram& other);
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Percentile estimate, `q` in [0, 100]: linear interpolation inside the
+  /// bucket holding the rank, clamped to the exact [min, max] envelope.
+  double percentile(double q) const;
+
+  double median() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+
+  /// "p50 [p10, p90] unit", matching Samples::summary.
+  std::string summary(const char* unit) const;
+
+  /// Exact equality of the merged state (used by determinism tests).
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  static constexpr int kMinExp = -3;    // bucket 1 starts at 1e-3
+  static constexpr int kMaxExp = 9;     // overflow above 1e9
+  static constexpr int kPerDecade = 16; // 10^(1/16) ≈ 1.15 bucket width
+  static constexpr size_t kSpan =
+      static_cast<size_t>(kMaxExp - kMinExp) * kPerDecade;
+  static constexpr size_t kBuckets = kSpan + 2;  // + underflow + overflow
+
+  static size_t bucket_of(double v);
+  static double lower_edge(size_t bucket);
+  double upper_edge(size_t bucket) const;
+
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace ruletris::util

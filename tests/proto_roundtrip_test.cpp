@@ -1,0 +1,219 @@
+// Property test for the wire codec (satellite b): randomized message
+// batches must re-encode bit-identically after a decode, and every strict
+// prefix of a valid encoding must be rejected with an exception rather
+// than yielding garbage or undefined behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <variant>
+
+#include "dag/dependency_graph.h"
+#include "flowspace/rule.h"
+#include "proto/codec.h"
+#include "proto/messages.h"
+#include "util/rng.h"
+
+namespace ruletris {
+namespace {
+
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::ActionType;
+using flowspace::FieldId;
+using flowspace::Rule;
+using flowspace::RuleId;
+using flowspace::TernaryMatch;
+using proto::Bytes;
+using proto::Message;
+using proto::MessageBatch;
+using util::Rng;
+
+TernaryMatch random_match(Rng& rng) {
+  TernaryMatch m;  // starts fully wildcarded
+  for (FieldId f : flowspace::kAllFields) {
+    const uint32_t width = flowspace::field_width(f);
+    const uint32_t field_mask =
+        width == 32 ? 0xffffffffu : ((1u << width) - 1);
+    switch (rng.next_below(4)) {
+      case 0:  // leave wildcarded
+        break;
+      case 1:
+        m.set_exact(f, static_cast<uint32_t>(rng.next_u64()) & field_mask);
+        break;
+      case 2: {
+        const uint32_t len = static_cast<uint32_t>(rng.next_below(width + 1));
+        m.set_prefix(f, static_cast<uint32_t>(rng.next_u64()) & field_mask, len);
+        break;
+      }
+      default: {
+        const uint32_t mask = static_cast<uint32_t>(rng.next_u64()) & field_mask;
+        m.set_ternary(f, static_cast<uint32_t>(rng.next_u64()) & mask, mask);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+ActionList random_actions(Rng& rng) {
+  const size_t n = rng.next_below(4);  // 0 = empty action list (drop-by-default)
+  ActionList list;
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.next_below(5)) {
+      case 0: list.add(Action::forward(static_cast<uint32_t>(rng.next_below(64)))); break;
+      case 1: list.add(Action::drop()); break;
+      case 2: list.add(Action::to_controller()); break;
+      case 3: list.add(Action::count(static_cast<uint32_t>(rng.next_below(1u << 20)))); break;
+      default:
+        list.add(Action::set_field(
+            flowspace::kAllFields[rng.next_below(flowspace::kNumFields)],
+            static_cast<uint32_t>(rng.next_below(1u << 16))));
+        break;
+    }
+  }
+  return list;
+}
+
+Rule random_rule(Rng& rng) {
+  Rule r;
+  // Exercise degenerate ids and the full priority range, not just values
+  // the compiler would produce.
+  switch (rng.next_below(4)) {
+    case 0: r.id = 0; break;
+    case 1: r.id = UINT64_MAX; break;
+    default: r.id = rng.next_u64(); break;
+  }
+  r.match = random_match(rng);
+  r.actions = random_actions(rng);
+  r.priority = static_cast<int32_t>(rng.next_u64());  // includes negatives
+  return r;
+}
+
+Message random_message(Rng& rng) {
+  switch (rng.next_below(5)) {
+    case 0: return proto::FlowModAdd{random_rule(rng)};
+    case 1: return proto::FlowModDelete{rng.next_u64()};
+    case 2: return proto::FlowModModify{random_rule(rng)};
+    case 3: {
+      proto::DagUpdate du;
+      const size_t nv = rng.next_below(5);
+      const size_t ne = rng.next_below(5);
+      for (size_t i = 0; i < nv; ++i) du.delta.added_vertices.push_back(rng.next_u64());
+      for (size_t i = 0; i < nv; ++i) du.delta.removed_vertices.push_back(rng.next_u64());
+      for (size_t i = 0; i < ne; ++i) du.delta.added_edges.emplace_back(rng.next_u64(), rng.next_u64());
+      for (size_t i = 0; i < ne; ++i) du.delta.removed_edges.emplace_back(rng.next_u64(), rng.next_u64());
+      return du;
+    }
+    default: return proto::Barrier{};
+  }
+}
+
+MessageBatch random_batch(Rng& rng, size_t max_messages) {
+  MessageBatch batch;
+  const size_t n = rng.next_below(max_messages + 1);
+  for (size_t i = 0; i < n; ++i) batch.push_back(random_message(rng));
+  return batch;
+}
+
+bool messages_equal(const Message& a, const Message& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* add = std::get_if<proto::FlowModAdd>(&a)) {
+    const auto& o = std::get<proto::FlowModAdd>(b);
+    return add->rule.id == o.rule.id && add->rule.priority == o.rule.priority &&
+           add->rule.match == o.rule.match && add->rule.actions == o.rule.actions;
+  }
+  if (const auto* del = std::get_if<proto::FlowModDelete>(&a)) {
+    return del->id == std::get<proto::FlowModDelete>(b).id;
+  }
+  if (const auto* mod = std::get_if<proto::FlowModModify>(&a)) {
+    const auto& o = std::get<proto::FlowModModify>(b);
+    return mod->rule.id == o.rule.id && mod->rule.priority == o.rule.priority &&
+           mod->rule.match == o.rule.match && mod->rule.actions == o.rule.actions;
+  }
+  if (const auto* du = std::get_if<proto::DagUpdate>(&a)) {
+    const auto& o = std::get<proto::DagUpdate>(b);
+    return du->delta.added_vertices == o.delta.added_vertices &&
+           du->delta.removed_vertices == o.delta.removed_vertices &&
+           du->delta.added_edges == o.delta.added_edges &&
+           du->delta.removed_edges == o.delta.removed_edges;
+  }
+  return true;  // Barrier
+}
+
+TEST(ProtoRoundTrip, RandomBatchesReencodeBitIdentically) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    const MessageBatch batch = random_batch(rng, 12);
+    const Bytes wire = proto::encode_batch(batch);
+    const MessageBatch decoded = proto::decode_batch(wire);
+
+    ASSERT_EQ(decoded.size(), batch.size()) << "seed " << seed;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_TRUE(messages_equal(batch[i], decoded[i]))
+          << "seed " << seed << " message " << i;
+    }
+    EXPECT_EQ(proto::encode_batch(decoded), wire) << "seed " << seed;
+  }
+}
+
+TEST(ProtoRoundTrip, EdgeRulesSurviveRoundTrip) {
+  MessageBatch batch;
+  // Fully degenerate rule: id 0, all-wildcard match, no actions, priority 0.
+  batch.push_back(proto::FlowModAdd{Rule{}});
+  // Extreme scalar values.
+  Rule extremes;
+  extremes.id = UINT64_MAX;
+  extremes.priority = INT32_MIN;
+  extremes.match.set_ternary(FieldId::kSrcIp, 0xffffffffu, 0xffffffffu);
+  batch.push_back(proto::FlowModModify{extremes});
+  batch.push_back(proto::FlowModDelete{0});
+  batch.push_back(proto::DagUpdate{});  // empty delta
+  batch.push_back(proto::Barrier{});
+
+  const Bytes wire = proto::encode_batch(batch);
+  const MessageBatch decoded = proto::decode_batch(wire);
+  ASSERT_EQ(decoded.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(messages_equal(batch[i], decoded[i])) << "message " << i;
+  }
+  EXPECT_EQ(proto::encode_batch(decoded), wire);
+
+  const auto& mod = std::get<proto::FlowModModify>(decoded[1]);
+  EXPECT_EQ(mod.rule.priority, INT32_MIN);
+  EXPECT_EQ(mod.rule.id, UINT64_MAX);
+}
+
+TEST(ProtoRoundTrip, EveryStrictPrefixThrows) {
+  Rng rng(42);
+  MessageBatch batch = random_batch(rng, 8);
+  batch.push_back(proto::Barrier{});  // guarantee a non-empty encoding body
+  const Bytes wire = proto::encode_batch(batch);
+  ASSERT_GT(wire.size(), 4u);
+
+  for (size_t len = 0; len < wire.size(); ++len) {
+    const Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(len));
+    EXPECT_THROW(proto::decode_batch(prefix), std::runtime_error)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ProtoRoundTrip, StrictPrefixesOfManyRandomBatchesThrow) {
+  for (uint64_t seed = 300; seed < 320; ++seed) {
+    Rng rng(seed);
+    MessageBatch batch = random_batch(rng, 6);
+    batch.push_back(random_message(rng));  // never empty
+    const Bytes wire = proto::encode_batch(batch);
+    // Sample prefixes densely near the end (where a decoder is most likely
+    // to over-read) and sparsely elsewhere.
+    for (size_t len = 0; len < wire.size();
+         len += (wire.size() - len > 32 ? 7 : 1)) {
+      const Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(len));
+      EXPECT_THROW(proto::decode_batch(prefix), std::runtime_error)
+          << "seed " << seed << " prefix length " << len;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ruletris

@@ -1,0 +1,360 @@
+// Unit tests for the asynchronous control-plane runtime: event queue
+// ordering, fault-wire determinism, agent reorder/duplicate/restart
+// semantics, session windowing, and controller fan-out.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classbench/generator.h"
+#include "compiler/policy_spec.h"
+#include "flowspace/rule.h"
+#include "proto/codec.h"
+#include "runtime/agent.h"
+#include "runtime/config.h"
+#include "runtime/controller.h"
+#include "runtime/event_queue.h"
+#include "runtime/session.h"
+#include "runtime/wire.h"
+#include "runtime/workload.h"
+#include "switchsim/adapters.h"
+#include "util/rng.h"
+
+namespace ruletris {
+namespace {
+
+using compiler::PolicySpec;
+using compiler::TableUpdate;
+using flowspace::Action;
+using flowspace::ActionList;
+using flowspace::FieldId;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::TernaryMatch;
+using runtime::ChurnSpec;
+using runtime::CompiledWorkload;
+using runtime::compile_churn_workload;
+using runtime::Controller;
+using runtime::EncodedEpoch;
+using runtime::EventQueue;
+using runtime::FaultSpec;
+using runtime::FaultyWire;
+using runtime::RuntimeConfig;
+using runtime::RuntimeReport;
+using runtime::SessionConfig;
+using runtime::SessionStats;
+using runtime::SwitchAgent;
+using runtime::SwitchSession;
+
+TEST(EventQueue, RunsEventsInDueThenFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.post(5.0, [&] { order.push_back(3); });
+  q.post(1.0, [&] { order.push_back(1); });
+  q.post(5.0, [&] { order.push_back(4); });  // same due as first: FIFO
+  q.post(2.0, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, PastDuePostsFireAtNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.post(10.0, [&] { q.post(3.0, [&] { fired_at = q.now(); }); });
+  while (q.run_next()) {
+  }
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);  // clamped, no time travel
+}
+
+TEST(FaultyWire, FaultFreeDeliversExactlyOnceAtOneWayLatency) {
+  proto::ChannelModel channel;
+  FaultyWire wire(channel, FaultSpec{}, 42);
+  const auto arrivals = wire.arrivals(100.0, 1000);
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 100.0 + channel.one_way_ms(1000));
+  EXPECT_EQ(wire.counters().sent, 1u);
+  EXPECT_EQ(wire.counters().dropped, 0u);
+}
+
+TEST(FaultyWire, SameSeedSameFaultStream) {
+  proto::ChannelModel channel;
+  FaultSpec faults = FaultSpec::chaos();
+  FaultyWire a(channel, faults, 7);
+  FaultyWire b(channel, faults, 7);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.arrivals(i * 1.5, 200 + i), b.arrivals(i * 1.5, 200 + i));
+  }
+  EXPECT_TRUE(a.counters() == b.counters());
+  // A chaotic mix actually exercises every fault class over 500 sends.
+  EXPECT_GT(a.counters().dropped, 0u);
+  EXPECT_GT(a.counters().duplicated, 0u);
+  EXPECT_GT(a.counters().delayed, 0u);
+}
+
+/// One barrier-fenced epoch batch installing a single fresh rule.
+EncodedEpoch make_single_rule_epoch(int32_t priority, Rule* out_rule = nullptr) {
+  TernaryMatch m;
+  m.set_exact(FieldId::kDstIp, static_cast<uint32_t>(1000 + priority));
+  Rule r = Rule::make(m, ActionList{Action::forward(1)}, priority);
+  if (out_rule != nullptr) *out_rule = r;
+  TableUpdate upd;
+  upd.added.push_back(r);
+  upd.dag.added_vertices.push_back(r.id);
+  EncodedEpoch epoch;
+  const proto::MessageBatch batch = switchsim::to_messages(upd);
+  epoch.wire = std::make_shared<const proto::Bytes>(proto::encode_batch(batch));
+  epoch.messages = batch.size();
+  return epoch;
+}
+
+TEST(SwitchAgent, BuffersOutOfOrderAndAppliesInEpochOrder) {
+  SwitchAgent agent(64, proto::ChannelModel{});
+  const EncodedEpoch e1 = make_single_rule_epoch(1);
+  const EncodedEpoch e2 = make_single_rule_epoch(2);
+  const EncodedEpoch e3 = make_single_rule_epoch(3);
+
+  // Epoch 2 arrives first: nothing can apply yet.
+  const auto in2 = agent.on_data(2, e2.wire, 1.0);
+  EXPECT_TRUE(in2.applied.empty());
+  EXPECT_FALSE(in2.duplicate);
+  EXPECT_EQ(agent.buffered(), 1u);
+  EXPECT_EQ(agent.last_applied(), 0u);
+
+  // Epoch 1 arrives: 1 then the buffered 2 apply, strictly in order.
+  const auto in1 = agent.on_data(1, e1.wire, 2.0);
+  ASSERT_EQ(in1.applied.size(), 2u);
+  EXPECT_EQ(in1.applied[0].epoch, 1u);
+  EXPECT_EQ(in1.applied[1].epoch, 2u);
+  EXPECT_TRUE(in1.applied[0].ok);
+  EXPECT_EQ(agent.last_applied(), 2u);
+  EXPECT_EQ(agent.buffered(), 0u);
+  EXPECT_EQ(agent.device().tcam().occupied(), 2u);
+  EXPECT_GE(in1.done_ms, 2.0);
+
+  // A late duplicate of epoch 1 is discarded but still answered.
+  const auto dup = agent.on_data(1, e1.wire, 3.0);
+  EXPECT_TRUE(dup.duplicate);
+  EXPECT_TRUE(dup.applied.empty());
+  EXPECT_EQ(agent.duplicates(), 1u);
+  EXPECT_EQ(agent.last_applied(), 2u);
+
+  // Epoch 3 then completes normally.
+  const auto in3 = agent.on_data(3, e3.wire, 4.0);
+  ASSERT_EQ(in3.applied.size(), 1u);
+  EXPECT_EQ(agent.last_applied(), 3u);
+  EXPECT_EQ(agent.device().tcam().occupied(), 3u);
+}
+
+TEST(SwitchAgent, RestartDropsReorderBufferButKeepsAppliedState) {
+  SwitchAgent agent(64, proto::ChannelModel{});
+  const EncodedEpoch e1 = make_single_rule_epoch(1);
+  const EncodedEpoch e3 = make_single_rule_epoch(3);
+
+  agent.on_data(1, e1.wire, 1.0);
+  agent.on_data(3, e3.wire, 2.0);  // waits for epoch 2
+  EXPECT_EQ(agent.buffered(), 1u);
+  EXPECT_EQ(agent.last_applied(), 1u);
+
+  agent.restart();
+  EXPECT_EQ(agent.buffered(), 0u);        // volatile state lost
+  EXPECT_EQ(agent.last_applied(), 1u);    // applied epochs survive
+  EXPECT_EQ(agent.device().tcam().occupied(), 1u);  // TCAM is hardware
+  EXPECT_EQ(agent.restarts(), 1u);
+}
+
+/// Small monitor+router composition with churn on the monitor leaf.
+CompiledWorkload small_workload(size_t updates, uint64_t seed) {
+  util::Rng rng(seed);
+  std::map<std::string, FlowTable> tables;
+  tables.emplace("mon", FlowTable{classbench::generate_monitor(25, rng)});
+  tables.emplace("rtr", FlowTable{classbench::generate_router(20, rng)});
+  const PolicySpec spec =
+      PolicySpec::parallel(PolicySpec::leaf("mon"), PolicySpec::leaf("rtr"));
+  ChurnSpec churn;
+  churn.leaf = "mon";
+  churn.updates = updates;
+  churn.seed = seed;
+  return compile_churn_workload(spec, tables, churn);
+}
+
+std::vector<EncodedEpoch> encode_log(const CompiledWorkload& wl) {
+  std::vector<EncodedEpoch> log;
+  for (const proto::MessageBatch& batch : wl.epochs) {
+    EncodedEpoch e;
+    e.wire = std::make_shared<const proto::Bytes>(proto::encode_batch(batch));
+    e.messages = batch.size();
+    log.push_back(std::move(e));
+  }
+  return log;
+}
+
+TEST(SwitchSession, FaultFreeSessionConvergesWithoutRetries) {
+  const CompiledWorkload wl = small_workload(40, 11);
+  const std::vector<EncodedEpoch> log = encode_log(wl);
+
+  SessionConfig cfg;
+  cfg.window = 4;
+  // Above the modeled apply time of the big initial-install epoch, so the
+  // retry timer never fires spuriously and the counters stay exact.
+  cfg.retry_timeout_ms = 500.0;
+  cfg.tcam_capacity = wl.suggested_capacity();
+  SwitchSession session(cfg, log);
+  const SessionStats stats = session.run(wl.final_rules);
+
+  EXPECT_TRUE(stats.completed);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.epochs, wl.epochs.size());
+  EXPECT_EQ(stats.data_frames_sent, wl.epochs.size());  // no re-sends
+  EXPECT_EQ(stats.retransmits, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.resyncs, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.acks, wl.epochs.size());
+  EXPECT_EQ(stats.apply_failures, 0u);
+  EXPECT_EQ(stats.ack_ms.count(), wl.epochs.size());
+  EXPECT_EQ(stats.channel_ms.count(), wl.epochs.size());
+  EXPECT_GT(stats.makespan_ms, 0.0);
+}
+
+TEST(SwitchSession, WiderWindowPipelinesAndShrinksMakespan) {
+  const CompiledWorkload wl = small_workload(40, 12);
+  const std::vector<EncodedEpoch> log = encode_log(wl);
+
+  auto run_with_window = [&](size_t window) {
+    SessionConfig cfg;
+    cfg.window = window;
+    cfg.tcam_capacity = wl.suggested_capacity();
+    SwitchSession session(cfg, log);
+    return session.run(wl.final_rules);
+  };
+
+  const SessionStats w1 = run_with_window(1);
+  const SessionStats w8 = run_with_window(8);
+  EXPECT_TRUE(w1.converged);
+  EXPECT_TRUE(w8.converged);
+  // window=1 pays a full round trip per epoch; window=8 overlaps them.
+  EXPECT_LT(w8.makespan_ms, w1.makespan_ms);
+}
+
+TEST(SwitchSession, ChaoticWireStillConverges) {
+  const CompiledWorkload wl = small_workload(40, 13);
+  const std::vector<EncodedEpoch> log = encode_log(wl);
+
+  SessionConfig cfg;
+  cfg.window = 4;
+  cfg.faults = FaultSpec::chaos();
+  cfg.seed = 99;
+  cfg.tcam_capacity = wl.suggested_capacity();
+  SwitchSession session(cfg, log);
+  const SessionStats stats = session.run(wl.final_rules);
+
+  EXPECT_TRUE(stats.completed);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.apply_failures, 0u);
+  // The fault machinery was actually exercised.
+  EXPECT_GT(stats.wire.dropped, 0u);
+  EXPECT_GT(stats.retransmits + stats.resync_replays, 0u);
+  EXPECT_GT(stats.data_frames_sent, wl.epochs.size());
+}
+
+TEST(SwitchSession, EmptyEpochLogFinishesImmediately) {
+  const std::vector<EncodedEpoch> log;
+  SessionConfig cfg;
+  SwitchSession session(cfg, log);
+  const SessionStats stats = session.run({});
+  EXPECT_TRUE(stats.completed);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_DOUBLE_EQ(stats.makespan_ms, 0.0);
+  EXPECT_EQ(stats.data_frames_sent, 0u);
+}
+
+/// Everything in a report that must be bit-identical across thread counts.
+/// firmware_ms is wall clock and explicitly excluded.
+void expect_reports_identical(const RuntimeReport& a, const RuntimeReport& b) {
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.data_frames_sent, b.data_frames_sent);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.resync_replays, b.resync_replays);
+  EXPECT_EQ(a.resyncs, b.resyncs);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.apply_failures, b.apply_failures);
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);  // exact: virtual time
+  EXPECT_EQ(a.all_converged, b.all_converged);
+  EXPECT_TRUE(a.ack_ms == b.ack_ms);
+  EXPECT_TRUE(a.channel_ms == b.channel_ms);
+  EXPECT_TRUE(a.tcam_ms == b.tcam_ms);
+  for (size_t i = 0; i < a.sessions.size(); ++i) {
+    const SessionStats& x = a.sessions[i];
+    const SessionStats& y = b.sessions[i];
+    EXPECT_EQ(x.data_frames_sent, y.data_frames_sent) << "session " << i;
+    EXPECT_EQ(x.retransmits, y.retransmits) << "session " << i;
+    EXPECT_EQ(x.resyncs, y.resyncs) << "session " << i;
+    EXPECT_EQ(x.restarts, y.restarts) << "session " << i;
+    EXPECT_EQ(x.acks, y.acks) << "session " << i;
+    EXPECT_TRUE(x.wire == y.wire) << "session " << i;
+    EXPECT_EQ(x.makespan_ms, y.makespan_ms) << "session " << i;
+    EXPECT_TRUE(x.ack_ms == y.ack_ms) << "session " << i;
+    EXPECT_TRUE(x.channel_ms == y.channel_ms) << "session " << i;
+    EXPECT_TRUE(x.tcam_ms == y.tcam_ms) << "session " << i;
+  }
+}
+
+TEST(Controller, FanOutConvergesAndIsDeterministicAcrossThreadCounts) {
+  const CompiledWorkload wl = small_workload(30, 21);
+
+  auto run_with_threads = [&](size_t threads) {
+    RuntimeConfig cfg;
+    cfg.n_switches = 4;
+    cfg.window = 4;
+    cfg.n_threads = threads;
+    cfg.faults = FaultSpec::chaos();
+    cfg.fault_seed = 5;
+    Controller controller(cfg);
+    return controller.run(wl.epochs, wl.final_rules);
+  };
+
+  const RuntimeReport serial = run_with_threads(1);
+  EXPECT_TRUE(serial.all_converged);
+  EXPECT_EQ(serial.apply_failures, 0u);
+  EXPECT_EQ(serial.sessions.size(), 4u);
+  EXPECT_GT(serial.updates_per_s(), 0.0);
+
+  const RuntimeReport threaded = run_with_threads(4);
+  expect_reports_identical(serial, threaded);
+
+  const RuntimeReport again = run_with_threads(4);
+  expect_reports_identical(serial, again);
+}
+
+TEST(Controller, SessionsDrawIndependentFaultStreams) {
+  const CompiledWorkload wl = small_workload(30, 22);
+  RuntimeConfig cfg;
+  cfg.n_switches = 4;
+  cfg.faults = FaultSpec::chaos();
+  cfg.fault_seed = 6;
+  cfg.n_threads = 1;
+  Controller controller(cfg);
+  const RuntimeReport report = controller.run(wl.epochs, wl.final_rules);
+  EXPECT_TRUE(report.all_converged);
+
+  // With independent per-session streams it is (astronomically) unlikely
+  // that every session saw the identical fault pattern.
+  bool any_difference = false;
+  for (size_t i = 1; i < report.sessions.size(); ++i) {
+    if (!(report.sessions[i].wire == report.sessions[0].wire) ||
+        report.sessions[i].makespan_ms != report.sessions[0].makespan_ms) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace ruletris

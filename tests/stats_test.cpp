@@ -1,0 +1,137 @@
+// util::stats: mergeable histogram + sample merging.
+//
+// The runtime keeps one Histogram per switch session (no locks on the hot
+// path) and merges them at report time, so merging must be exact: a merged
+// histogram must be indistinguishable from one fed every sample directly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ruletris {
+namespace {
+
+TEST(Samples, MergeAppendsAllValues) {
+  util::Samples a, b;
+  a.add(1.0);
+  a.add(3.0);
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(Histogram, CountSumMinMaxAreExact) {
+  util::Histogram h;
+  h.add(0.25);
+  h.add(4.0);
+  h.add(17.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 21.75);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 17.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.25);
+}
+
+TEST(Histogram, EmptyThrowsAndSummarizesAsNA) {
+  util::Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.percentile(50.0), std::logic_error);
+  EXPECT_THROW(h.min(), std::logic_error);
+  EXPECT_EQ(h.summary("ms"), "n/a");
+}
+
+TEST(Histogram, PercentileTracksExactWithinBucketWidth) {
+  util::Rng rng(7);
+  util::Samples exact;
+  util::Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    // Latency-shaped: a few orders of magnitude of spread.
+    const double v = 0.05 + 40.0 * rng.next_double() * rng.next_double();
+    exact.add(v);
+    h.add(v);
+  }
+  for (double q : {10.0, 50.0, 90.0, 99.0}) {
+    const double e = exact.percentile(q);
+    // One geometric bucket is a 10^(1/16) ≈ 1.155 ratio; allow one bucket
+    // of slack either way.
+    EXPECT_LT(h.percentile(q), e * 1.16) << "q=" << q;
+    EXPECT_GT(h.percentile(q), e / 1.16) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+  util::Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.0);
+}
+
+TEST(Histogram, OutOfRangeValuesLandInEdgeBuckets) {
+  util::Histogram h;
+  h.add(0.0);     // underflow (and zero) bucket
+  h.add(-5.0);    // negatives too
+  h.add(1e12);    // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  // Percentiles stay inside the observed envelope.
+  EXPECT_GE(h.percentile(50.0), -5.0);
+  EXPECT_LE(h.percentile(99.0), 1e12);
+}
+
+TEST(Histogram, MergeEqualsSingleAccumulator) {
+  util::Rng rng(99);
+  util::Histogram whole;
+  std::vector<util::Histogram> parts(8);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = 1e-4 + 1e4 * rng.next_double() * rng.next_double();
+    whole.add(v);
+    parts[static_cast<size_t>(i) % parts.size()].add(v);
+  }
+  util::Histogram merged;
+  for (const util::Histogram& p : parts) merged.merge(p);
+  // Bucket contents, count and extrema merge exactly; every percentile is
+  // therefore identical. The sum matches up to floating-point association
+  // (partial sums were accumulated in a different order).
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * whole.sum());
+  for (double q : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(q), whole.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SameOrderMergeIsBitIdentical) {
+  // The runtime's determinism checks compare merged histograms with
+  // operator==: as long as two runs merge the same per-session histograms
+  // in the same order, the result is bit-identical.
+  util::Rng rng(7);
+  std::vector<util::Histogram> parts(4);
+  for (int i = 0; i < 1000; ++i) {
+    parts[static_cast<size_t>(i) % parts.size()].add(rng.next_double() * 50.0);
+  }
+  util::Histogram a, b;
+  for (const util::Histogram& p : parts) a.merge(p);
+  for (const util::Histogram& p : parts) b.merge(p);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Histogram, MergeIntoEmptyAndWithEmpty) {
+  util::Histogram a, b, empty;
+  a.add(1.0);
+  b.merge(a);      // into empty
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  b.merge(empty);  // with empty: no-op
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace ruletris

@@ -19,6 +19,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
@@ -32,6 +33,9 @@
 #include "compiler/covisor.h"
 #include "compiler/policy_parser.h"
 #include "compiler/ruletris_compiler.h"
+#include "runtime/config.h"
+#include "runtime/controller.h"
+#include "runtime/workload.h"
 #include "switchsim/adapters.h"
 #include "switchsim/switch.h"
 #include "util/logging.h"
@@ -60,6 +64,13 @@ struct Options {
   size_t compile_threads = 0;  // 0 = serial composition full compiles
   std::string json_out;    // machine-readable report path
   bool verbose = false;
+
+  // Asynchronous runtime mode (--runtime): replicate the compiled epoch log
+  // to N concurrent switch sessions instead of one synchronous switch.
+  bool runtime = false;
+  size_t switches = 8;                    // --switches
+  size_t window = 4;                      // --window (in-flight epochs)
+  std::optional<uint64_t> fault_seed;     // --fault-seed: enables chaos mix
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -70,8 +81,13 @@ struct Options {
                "          [--tcam-capacity N] [--dag-threads N]\n"
                "          [--compile-threads N] [--verbose]\n"
                "          [--trace FILE | --emit-trace FILE] [--json FILE]\n"
+               "          [--runtime] [--switches N] [--window W] [--fault-seed S]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
-               "          gen:nat:N | file:PATH\n",
+               "          gen:nat:N | file:PATH\n"
+               "  --runtime replicates the compiled update stream to N\n"
+               "  concurrent switch sessions over a simulated wire; with\n"
+               "  --fault-seed the wire drops/duplicates/delays frames and\n"
+               "  restarts agents (deterministically, from the seed).\n",
                argv0);
   std::exit(2);
 }
@@ -113,6 +129,14 @@ Options parse_args(int argc, char** argv) {
       opt.trace_out = need_value(i);
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--runtime") {
+      opt.runtime = true;
+    } else if (arg == "--switches") {
+      opt.switches = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--window") {
+      opt.window = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--fault-seed") {
+      opt.fault_seed = std::stoull(need_value(i));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
@@ -219,8 +243,103 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    if (opt.runtime) {
+      if (opt.compiler != "ruletris") {
+        std::fprintf(stderr,
+                     "error: --runtime requires the ruletris compiler "
+                     "(DAG firmware)\n");
+        return 2;
+      }
+      runtime::ChurnSpec churn_spec;
+      churn_spec.leaf = churn;
+      churn_spec.updates = opt.updates;
+      churn_spec.seed = opt.seed ^ 0x5eed;
+      const std::string churn_source = sources.at(churn);
+      churn_spec.make_rule = [&](util::Rng& r) {
+        return make_replacement(churn_source, built, r);
+      };
+
+      util::Stopwatch compile_watch;
+      const runtime::CompiledWorkload workload =
+          runtime::compile_churn_workload(spec, tables_for(), churn_spec);
+      const double compile_wall_ms = compile_watch.elapsed_ms();
+
+      runtime::RuntimeConfig cfg;
+      cfg.n_switches = opt.switches;
+      cfg.window = opt.window;
+      if (opt.fault_seed) {
+        cfg.faults = runtime::FaultSpec::chaos();
+        cfg.fault_seed = *opt.fault_seed;
+      }
+      cfg.n_threads = std::min<size_t>(
+          opt.switches, std::max(1u, std::thread::hardware_concurrency()));
+      cfg.tcam_capacity = opt.capacity.value_or(workload.suggested_capacity());
+
+      runtime::Controller controller(cfg);
+      util::Stopwatch wall;
+      const runtime::RuntimeReport report =
+          controller.run(workload.epochs, workload.final_rules);
+      const double wall_ms = wall.elapsed_ms();
+
+      size_t converged = 0, dropped = 0;
+      for (const auto& s : report.sessions) {
+        if (s.converged) ++converged;
+        dropped += s.wire.dropped;
+      }
+      std::printf("\nruntime: %zu switches, window %zu, %zu epochs, %s\n",
+                  report.sessions.size(), cfg.window, report.epochs,
+                  opt.fault_seed
+                      ? ("chaos faults (seed " + std::to_string(*opt.fault_seed) + ")").c_str()
+                      : "fault-free wire");
+      std::printf("  compiled %zu epochs in %.1f ms; replicated in %.1f ms wall\n",
+                  report.epochs, compile_wall_ms, wall_ms);
+      std::printf("  virtual makespan : %.2f ms   throughput : %.0f updates/s\n",
+                  report.makespan_ms, report.updates_per_s());
+      std::printf("  ack latency  : %s ms (p99 %.3f)\n",
+                  report.ack_ms.summary("").c_str(), report.ack_ms.p99());
+      std::printf("  channel      : %s ms\n", report.channel_ms.summary("").c_str());
+      std::printf("  tcam         : %s ms\n", report.tcam_ms.summary("").c_str());
+      std::printf("  firmware(wall): %s ms\n",
+                  report.firmware_ms.summary("").c_str());
+      std::printf("  frames %zu (retransmits %zu, resync replays %zu), "
+                  "drops %zu, duplicates %zu\n",
+                  report.data_frames_sent, report.retransmits,
+                  report.resync_replays, dropped, report.duplicates);
+      std::printf("  restarts %zu, resyncs %zu, timeouts %zu\n",
+                  report.restarts, report.resyncs, report.timeouts);
+      std::printf("  converged: %s (%zu/%zu)\n",
+                  report.all_converged ? "yes" : "NO", converged,
+                  report.sessions.size());
+
+      if (auto* j = bench::json()) {
+        j->meta("policy", compiler::policy_to_string(spec));
+        j->meta("mode", "runtime");
+        j->meta("churn", churn);
+        j->meta("seed", static_cast<double>(opt.seed));
+        j->begin_row();
+        j->field("switches", static_cast<double>(report.sessions.size()));
+        j->field("window", static_cast<double>(cfg.window));
+        j->field("epochs", static_cast<double>(report.epochs));
+        j->field("fault_seed",
+                 opt.fault_seed ? static_cast<double>(*opt.fault_seed) : -1.0);
+        j->field("makespan_ms", report.makespan_ms);
+        j->field("updates_per_s", report.updates_per_s());
+        j->field("ack_p50_ms", report.ack_ms.median());
+        j->field("ack_p99_ms", report.ack_ms.p99());
+        j->field("channel_p50_ms", report.channel_ms.median());
+        j->field("tcam_p50_ms", report.tcam_ms.median());
+        j->field("frames", static_cast<double>(report.data_frames_sent));
+        j->field("retransmits", static_cast<double>(report.retransmits));
+        j->field("resyncs", static_cast<double>(report.resyncs));
+        j->field("restarts", static_cast<double>(report.restarts));
+        j->field("converged", report.all_converged ? 1.0 : 0.0);
+        bench::write_json();
+      }
+      return report.all_converged ? 0 : 1;
+    }
+
     // Build the chosen compiler and its switch.
-    util::Samples compile_ms, firmware_ms, tcam_ms;
+    util::Samples compile_ms, firmware_ms, tcam_ms, channel_ms;
     util::Stopwatch initial_watch;
 
     // The churn stream: either replayed from a trace file, or synthesized
@@ -297,6 +416,7 @@ int main(int argc, char** argv) {
                    const auto m = sw.deliver(switchsim::to_messages(upd));
                    firmware_ms.add(m.firmware_ms);
                    tcam_ms.add(m.tcam_ms);
+                   channel_ms.add(m.channel_ms);
                  },
                  composed);
     } else if (opt.compiler == "covisor" || opt.compiler == "baseline") {
@@ -315,6 +435,7 @@ int main(int argc, char** argv) {
                      const auto m = sw.deliver(switchsim::to_messages(upd));
                      firmware_ms.add(m.firmware_ms);
                      tcam_ms.add(m.tcam_ms);
+                     channel_ms.add(m.channel_ms);
                    },
                    composed);
       };
@@ -335,6 +456,8 @@ int main(int argc, char** argv) {
     std::printf("  compile  : %s ms\n", compile_ms.summary("").c_str());
     std::printf("  firmware : %s ms\n", firmware_ms.summary("").c_str());
     std::printf("  tcam     : %s ms\n", tcam_ms.summary("").c_str());
+    std::printf("  channel  : %s ms (from encoded bytes)\n",
+                channel_ms.summary("").c_str());
     std::printf("  total med: %.3f ms/update\n",
                 compile_ms.median() + firmware_ms.median() + tcam_ms.median());
 
@@ -355,6 +478,8 @@ int main(int argc, char** argv) {
       j->field("tcam_med_ms", tcam_ms.median());
       j->field("tcam_p10_ms", tcam_ms.p10());
       j->field("tcam_p90_ms", tcam_ms.p90());
+      j->field("channel_med_ms", channel_ms.median());
+      j->field("channel_p90_ms", channel_ms.p90());
       j->field("total_med_ms",
                compile_ms.median() + firmware_ms.median() + tcam_ms.median());
       bench::write_json();
