@@ -33,6 +33,7 @@
 #include "compiler/composed_node.h"
 #include "compiler/leaf.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
   if (auto* j = bench::json()) {
     j->meta("workload", "left table swept, right = classbench router(128)");
     j->meta("threads", static_cast<double>(threads));
+    j->meta("threads_effective",
+            static_cast<double>(util::effective_workers(threads)));
     j->meta("parallel_cutoff", static_cast<double>(compiler::kCompileParallelCutoff));
   }
 
@@ -113,6 +116,10 @@ int main(int argc, char** argv) {
 
       CompileOptions par;
       par.n_threads = threads;
+      // Smoke is the equivalence gate: force the pool path even on a
+      // single-core host. The timed sweep keeps the production clamp, so
+      // parallel_ms reflects what a user would actually get here.
+      par.clamp_to_hardware = !smoke;
       const double parallel_ms = timed_rebuild(par);
       const CompileSnapshot parallel_snap = node.snapshot();
 

@@ -131,6 +131,9 @@ int main(int argc, char** argv) {
         j->field("ack_p99_ms", report.ack_ms.p99());
         j->field("channel_p50_ms", report.channel_ms.median());
         j->field("tcam_p50_ms", report.tcam_ms.median());
+        j->field("entry_writes", static_cast<double>(report.entry_writes));
+        j->field("moves", static_cast<double>(report.moves));
+        j->field("entry_writes_per_epoch", report.entry_writes_per_epoch());
         j->field("frames", static_cast<double>(report.data_frames_sent));
         j->field("retransmits", static_cast<double>(report.retransmits));
         j->field("resyncs", static_cast<double>(report.resyncs));

@@ -526,7 +526,10 @@ void ComposedNode::resolve_sequential_megas_around(RuleId left_src, UpdateBuilde
 void ComposedNode::build_cross_product(const std::vector<Rule>& left_rules,
                                        UpdateBuilder& out) {
   const size_t n = left_rules.size();
-  const bool parallel = opts_.n_threads > 1 && n >= opts_.parallel_cutoff;
+  const size_t workers = opts_.clamp_to_hardware
+                             ? util::effective_workers(opts_.n_threads)
+                             : opts_.n_threads;
+  const bool parallel = workers > 1 && n >= opts_.parallel_cutoff;
   if (!parallel) {
     for (const Rule& l : left_rules) {
       const TernaryMatch probe = right_probe(l.match, l.actions);
@@ -552,8 +555,8 @@ void ComposedNode::build_cross_product(const std::vector<Rule>& left_rules,
     RuleId right_src;
   };
   std::vector<std::vector<Composed>> per_left(n);
-  util::ChunkCursor cursor(0, n, util::ChunkCursor::suggest_chunk(n, opts_.n_threads));
-  util::ThreadPool pool(opts_.n_threads);
+  util::ChunkCursor cursor(0, n, util::ChunkCursor::suggest_chunk(n, workers));
+  util::ThreadPool pool(workers);
   util::run_on_workers(pool, [&] {
     return [&] {
       size_t begin, end;
@@ -633,7 +636,10 @@ void ComposedNode::stitch_sequential(const std::vector<Rule>& left_rules,
   // Phase 1: evaluate the (read-only) predicate for every candidate pair,
   // sharded across workers when opts_ asks for it.
   std::vector<std::vector<size_t>> uppers(n);
-  const bool parallel = opts_.n_threads > 1 && n >= opts_.parallel_cutoff;
+  const size_t workers = opts_.clamp_to_hardware
+                             ? util::effective_workers(opts_.n_threads)
+                             : opts_.n_threads;
+  const bool parallel = workers > 1 && n >= opts_.parallel_cutoff;
   if (!parallel) {
     std::vector<size_t> cand;
     for (size_t j = 1; j < n; ++j) {
@@ -646,8 +652,8 @@ void ComposedNode::stitch_sequential(const std::vector<Rule>& left_rules,
       }
     }
   } else {
-    util::ChunkCursor cursor(1, n, util::ChunkCursor::suggest_chunk(n, opts_.n_threads));
-    util::ThreadPool pool(opts_.n_threads);
+    util::ChunkCursor cursor(1, n, util::ChunkCursor::suggest_chunk(n, workers));
+    util::ThreadPool pool(workers);
     util::run_on_workers(pool, [&] {
       return [&] {
         StitchScratch scratch;

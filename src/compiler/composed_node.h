@@ -60,6 +60,12 @@ struct CompileOptions {
   /// overlap index over the left rules. Same resulting state, measured by
   /// bench/composition_scaling as the speedup baseline.
   bool legacy_stitch = false;
+  /// Clamp n_threads to the machine's core count before deciding whether —
+  /// and how wide — to shard (util::effective_workers). On a single-core
+  /// host the compile then stays serial no matter what n_threads says.
+  /// Equivalence tests disable this to force the pool path and its
+  /// interleavings even where there is nothing to gain from them.
+  bool clamp_to_hardware = true;
 };
 
 /// Process-wide default compile options, used by the two-argument

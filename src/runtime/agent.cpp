@@ -43,6 +43,8 @@ SwitchAgent::Ingest SwitchAgent::on_data(
     applied.ok = m.ok && fenced;
     applied.firmware_ms = m.firmware_ms;
     applied.tcam_ms = m.tcam_ms;
+    applied.entry_writes = m.entry_writes;
+    applied.moves = m.moves;
     // Virtual cost of applying: per-message parse/dispatch plus the
     // modelled TCAM write time (wall-clock firmware time stays diagnostic
     // so virtual timelines are reproducible).

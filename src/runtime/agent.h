@@ -28,6 +28,8 @@ class SwitchAgent {
     double firmware_ms = 0.0;  // wall-clock schedule computation (diagnostic)
     double tcam_ms = 0.0;      // modelled entry writes x 0.6 ms
     double apply_ms = 0.0;     // virtual time the application occupied
+    size_t entry_writes = 0;   // real per-epoch TCAM writes (installs + moves)
+    size_t moves = 0;          // relocation subset — the schedule-dependent cost
     size_t messages = 0;
     bool ok = true;
   };

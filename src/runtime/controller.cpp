@@ -79,6 +79,8 @@ RuntimeReport Controller::run(const std::vector<proto::MessageBatch>& epoch_batc
     report.timeouts += s.timeouts;
     report.duplicates += s.duplicates;
     report.apply_failures += s.apply_failures;
+    report.entry_writes += s.entry_writes;
+    report.moves += s.moves;
     report.makespan_ms = std::max(report.makespan_ms, s.makespan_ms);
     report.all_converged = report.all_converged && s.converged;
     report.ack_ms.merge(s.ack_ms);

@@ -28,6 +28,8 @@ struct RuntimeReport {
   size_t timeouts = 0;
   size_t duplicates = 0;
   size_t apply_failures = 0;
+  size_t entry_writes = 0;   // fleet-wide TCAM writes actually performed
+  size_t moves = 0;          // relocation subset (the DAG-schedule cost)
   double makespan_ms = 0.0;  // max session makespan (virtual)
   bool all_converged = true;
   util::Histogram ack_ms;
@@ -40,6 +42,15 @@ struct RuntimeReport {
   double updates_per_s() const {
     if (makespan_ms <= 0.0) return 0.0;
     return static_cast<double>(sessions.size() * epochs) / (makespan_ms / 1000.0);
+  }
+
+  /// Average TCAM entry writes one committed epoch cost — the real,
+  /// schedule-dependent charge behind the tcam_ms histogram (writes x
+  /// 0.6 ms), not a flat per-update constant.
+  double entry_writes_per_epoch() const {
+    const size_t applied = sessions.size() * epochs;
+    if (applied == 0) return 0.0;
+    return static_cast<double>(entry_writes) / static_cast<double>(applied);
   }
 };
 

@@ -85,6 +85,8 @@ void SwitchSession::on_data_delivered(uint64_t epoch, double send_ms) {
   for (const SwitchAgent::AppliedEpoch& applied : ingest.applied) {
     stats_.firmware_ms.add(applied.firmware_ms);
     stats_.tcam_ms.add(applied.tcam_ms);
+    stats_.entry_writes += applied.entry_writes;
+    stats_.moves += applied.moves;
     if (!applied.ok) ++stats_.apply_failures;
   }
   // Cumulative ack after every data frame, barrier-anchored at the last

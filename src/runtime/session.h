@@ -59,6 +59,8 @@ struct SessionStats {
   size_t duplicates = 0;        // frames the agent discarded as already applied
   size_t acks = 0;              // ack frames received
   size_t apply_failures = 0;    // firmware rejections (should be 0)
+  size_t entry_writes = 0;      // total TCAM entry writes across applied epochs
+  size_t moves = 0;             // relocation subset: what the DAG schedule costs
   FaultyWire::Counters wire;    // raw wire-level fault counters
   double makespan_ms = 0.0;     // virtual time until every epoch was committed
   bool completed = false;       // log drained before the virtual deadline

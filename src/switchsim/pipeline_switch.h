@@ -21,6 +21,7 @@
 #include "switchsim/switch.h"
 #include "tcam/dag_scheduler.h"
 #include "tcam/tcam.h"
+#include "util/thread_pool.h"
 
 namespace ruletris::switchsim {
 
@@ -39,6 +40,34 @@ class MultiTableSwitch {
   /// Applies a barrier-fenced update batch to one stage.
   UpdateMetrics deliver(size_t stage, const proto::MessageBatch& batch);
 
+  /// Per-pipeline update report from deliver_all: metrics index-aligned
+  /// with the stages, plus their deterministic stage-order sum and the
+  /// modelled critical path (stages update concurrently in hardware, so the
+  /// pipeline-wide latency is the slowest stage, not the sum).
+  struct PipelineUpdateMetrics {
+    std::vector<UpdateMetrics> stages;
+    UpdateMetrics total;
+    double critical_path_ms = 0.0;  // max over stages of channel_ms + tcam_ms
+    bool ok = true;                 // every stage applied cleanly
+  };
+
+  /// Applies one update batch per stage (index-aligned; `batches` may be
+  /// shorter than the stage count — missing stages are skipped). Stages are
+  /// independent — each owns its TCAM and scheduler — so when
+  /// set_apply_threads(n > 1) was called the per-stage applies run on a
+  /// ThreadPool; results land in per-stage slots and are merged in stage
+  /// order, so everything except the wall-clock firmware_ms diagnostic is
+  /// bit-identical across thread counts.
+  PipelineUpdateMetrics deliver_all(const std::vector<proto::MessageBatch>& batches);
+
+  /// Worker count for deliver_all (1 = serial, the default). By default the
+  /// count is clamped to the machine's core count (util::effective_workers):
+  /// stage applies are CPU-bound, so oversubscription can only lose, and on
+  /// a single-core host the pool path degenerates to the serial loop.
+  /// Determinism tests pass clamp_to_hardware = false to force the pool and
+  /// its interleavings regardless of the hardware.
+  void set_apply_threads(size_t n, bool clamp_to_hardware = true);
+
   /// End-to-end pipeline decision: the packet flows through every stage,
   /// each stage's winner rewriting the header for the next; the returned
   /// action list merges the stages with sequential semantics. A stage miss
@@ -51,8 +80,12 @@ class MultiTableSwitch {
     std::unique_ptr<tcam::DagScheduler> scheduler;
   };
 
+  UpdateMetrics apply_to_stage(Stage& stage, const proto::MessageBatch& batch);
+
   proto::ChannelModel channel_;
   std::vector<Stage> stages_;
+  size_t apply_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace ruletris::switchsim

@@ -1,0 +1,130 @@
+#include "tcam/cap_index.h"
+
+namespace ruletris::tcam {
+
+using flowspace::RuleId;
+
+CapIndex::CapIndex(size_t capacity)
+    : capacity_(capacity),
+      lo_succ_(capacity, static_cast<long long>(capacity)),
+      hi_pred_(capacity, -1) {}
+
+void CapIndex::rebuild(const Tcam& tcam, const dag::DependencyGraph& graph) {
+  caps_.clear();
+  lo_succ_.assign(capacity_, static_cast<long long>(capacity_));
+  hi_pred_.assign(capacity_, -1);
+  for (const auto& [u, v] : graph.edges()) {
+    if (tcam.contains(v)) caps_[u].succ_addrs.insert(tcam.address_of(v));
+    if (tcam.contains(u)) caps_[v].pred_addrs.insert(tcam.address_of(u));
+  }
+  for (const auto& [id, caps] : caps_) {
+    if (tcam.contains(id)) refresh_cells_at(tcam.address_of(id), caps);
+  }
+}
+
+std::pair<long long, long long> CapIndex::bounds_of(RuleId id) const {
+  auto it = caps_.find(id);
+  if (it == caps_.end()) return {-1, static_cast<long long>(capacity_)};
+  const VertexCaps& c = it->second;
+  const long long lo =
+      c.pred_addrs.empty() ? -1 : static_cast<long long>(*c.pred_addrs.rbegin());
+  const long long hi = c.succ_addrs.empty()
+                           ? static_cast<long long>(capacity_)
+                           : static_cast<long long>(*c.succ_addrs.begin());
+  return {lo, hi};
+}
+
+void CapIndex::refresh_cells_at(size_t addr, const VertexCaps& caps) {
+  lo_succ_[addr] = caps.succ_addrs.empty()
+                       ? static_cast<long long>(capacity_)
+                       : static_cast<long long>(*caps.succ_addrs.begin());
+  hi_pred_[addr] = caps.pred_addrs.empty()
+                       ? -1
+                       : static_cast<long long>(*caps.pred_addrs.rbegin());
+}
+
+void CapIndex::refresh_cells(RuleId id, const Tcam& tcam) {
+  if (!tcam.contains(id)) return;
+  refresh_cells_at(tcam.address_of(id), caps_[id]);
+}
+
+void CapIndex::on_write(RuleId id, size_t addr,
+                        const dag::DependencyGraph& graph, const Tcam& tcam) {
+  // `id` became an installed predecessor of its successors and an installed
+  // successor of its predecessors.
+  for (RuleId succ : graph.successors(id)) {
+    caps_[succ].pred_addrs.insert(addr);
+    refresh_cells(succ, tcam);
+  }
+  for (RuleId pred : graph.predecessors(id)) {
+    caps_[pred].succ_addrs.insert(addr);
+    refresh_cells(pred, tcam);
+  }
+  refresh_cells_at(addr, caps_[id]);
+}
+
+void CapIndex::on_move(size_t from, size_t to, const dag::DependencyGraph& graph,
+                       const Tcam& tcam) {
+  const RuleId id = *tcam.at(to);
+  for (RuleId succ : graph.successors(id)) {
+    VertexCaps& c = caps_[succ];
+    c.pred_addrs.erase(from);
+    c.pred_addrs.insert(to);
+    refresh_cells(succ, tcam);
+  }
+  for (RuleId pred : graph.predecessors(id)) {
+    VertexCaps& c = caps_[pred];
+    c.succ_addrs.erase(from);
+    c.succ_addrs.insert(to);
+    refresh_cells(pred, tcam);
+  }
+  lo_succ_[from] = static_cast<long long>(capacity_);
+  hi_pred_[from] = -1;
+  refresh_cells_at(to, caps_[id]);
+}
+
+void CapIndex::on_erase(RuleId id, size_t addr,
+                        const dag::DependencyGraph& graph, const Tcam& tcam) {
+  for (RuleId succ : graph.successors(id)) {
+    caps_[succ].pred_addrs.erase(addr);
+    refresh_cells(succ, tcam);
+  }
+  for (RuleId pred : graph.predecessors(id)) {
+    caps_[pred].succ_addrs.erase(addr);
+    refresh_cells(pred, tcam);
+  }
+  lo_succ_[addr] = static_cast<long long>(capacity_);
+  hi_pred_[addr] = -1;
+  // caps_[id] survives: the addresses of still-installed neighbours stay
+  // valid, so a later reinsert gets O(1) bounds.
+}
+
+void CapIndex::on_add_edge(RuleId u, RuleId v, const Tcam& tcam) {
+  if (tcam.contains(v)) {
+    caps_[u].succ_addrs.insert(tcam.address_of(v));
+    refresh_cells(u, tcam);
+  }
+  if (tcam.contains(u)) {
+    caps_[v].pred_addrs.insert(tcam.address_of(u));
+    refresh_cells(v, tcam);
+  }
+}
+
+void CapIndex::on_remove_edge(RuleId u, RuleId v, const Tcam& tcam) {
+  if (tcam.contains(v)) {
+    auto it = caps_.find(u);
+    if (it != caps_.end()) {
+      it->second.succ_addrs.erase(tcam.address_of(v));
+      refresh_cells(u, tcam);
+    }
+  }
+  if (tcam.contains(u)) {
+    auto it = caps_.find(v);
+    if (it != caps_.end()) {
+      it->second.pred_addrs.erase(tcam.address_of(u));
+      refresh_cells(v, tcam);
+    }
+  }
+}
+
+}  // namespace ruletris::tcam

@@ -1,0 +1,83 @@
+// Incrementally maintained dependency caps for the DAG scheduler.
+//
+// Algorithm 1's chain search probes, for the entry at address a, the lowest
+// installed-successor address (upward landing cap) and the highest
+// installed-predecessor address (downward cap). Scanning the graph on every
+// probe costs O(degree) — fatal when a default-like rule has degree O(n).
+// This index keeps, per vertex, the ordered set of its installed neighbour
+// addresses, and mirrors the min/max into two address-indexed arrays, so
+//
+//   * every BFS probe is one array load (O(1)),
+//   * insert_bounds() is one hash lookup + set min/max (O(1)),
+//   * each TCAM primitive (write/move/erase) and each graph-edge change
+//     costs O(degree_of_touched_vertex · log) to maintain — paid once per
+//     mutation instead of once per probe.
+//
+// The per-vertex sets are kept for *uninstalled* vertices too: an
+// evict + reinsert of a high-degree rule then re-derives its insert bounds
+// in O(1) instead of rescanning every neighbour.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "tcam/tcam.h"
+
+namespace ruletris::tcam {
+
+class CapIndex {
+ public:
+  explicit CapIndex(size_t capacity);
+
+  /// Recomputes everything from scratch — used after external (test-driven)
+  /// mutation of the scheduler's graph, and at construction. O(V + E log).
+  void rebuild(const Tcam& tcam, const dag::DependencyGraph& graph);
+
+  /// Lowest installed-successor address of the entry at `addr`
+  /// (capacity sentinel when unconstrained). The entry must be installed.
+  long long lo_succ_at(size_t addr) const { return lo_succ_[addr]; }
+  /// Highest installed-predecessor address of the entry at `addr`
+  /// (-1 sentinel when unconstrained).
+  long long hi_pred_at(size_t addr) const { return hi_pred_[addr]; }
+
+  /// Exclusive insert bounds (highest predecessor, lowest successor) for a
+  /// rule that may or may not be installed.
+  std::pair<long long, long long> bounds_of(flowspace::RuleId id) const;
+
+  // Entry lifecycle — call AFTER the corresponding Tcam mutation.
+  void on_write(flowspace::RuleId id, size_t addr,
+                const dag::DependencyGraph& graph, const Tcam& tcam);
+  void on_move(size_t from, size_t to, const dag::DependencyGraph& graph,
+               const Tcam& tcam);
+  void on_erase(flowspace::RuleId id, size_t addr,
+                const dag::DependencyGraph& graph, const Tcam& tcam);
+
+  // Graph deltas — order relative to the graph mutation does not matter
+  // (only TCAM addresses are consulted).
+  void on_add_edge(flowspace::RuleId u, flowspace::RuleId v, const Tcam& tcam);
+  void on_remove_edge(flowspace::RuleId u, flowspace::RuleId v, const Tcam& tcam);
+  /// Call after the entry was erased (if installed) and the graph vertex
+  /// removed; drops the per-vertex record.
+  void on_remove_vertex(flowspace::RuleId v) { caps_.erase(v); }
+
+ private:
+  struct VertexCaps {
+    std::set<size_t> succ_addrs;  // addresses of installed successors
+    std::set<size_t> pred_addrs;  // addresses of installed predecessors
+  };
+
+  /// Refreshes the address-array cells for `id` if it is installed.
+  void refresh_cells(flowspace::RuleId id, const Tcam& tcam);
+  void refresh_cells_at(size_t addr, const VertexCaps& caps);
+
+  size_t capacity_;
+  std::unordered_map<flowspace::RuleId, VertexCaps> caps_;
+  std::vector<long long> lo_succ_;  // per address; capacity_ when unconstrained
+  std::vector<long long> hi_pred_;  // per address; -1 when unconstrained
+};
+
+}  // namespace ruletris::tcam

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/logging.h"
 
@@ -10,11 +11,58 @@ namespace ruletris::tcam {
 
 using flowspace::RuleId;
 
-DagScheduler::DagScheduler(Tcam& tcam, Placement placement)
-    : tcam_(tcam), occupancy_(tcam.capacity()), placement_(placement) {
+DagScheduler::DagScheduler(Tcam& tcam, Placement placement, SearchMode mode)
+    : tcam_(tcam),
+      occupancy_(tcam.capacity()),
+      placement_(placement),
+      mode_(mode),
+      caps_(tcam.capacity()) {
   for (size_t a = 0; a < tcam.capacity(); ++a) {
     if (!tcam.is_free(a)) occupancy_.set_occupied(a, true);
   }
+  if (mode_ == SearchMode::kCached) caps_.rebuild(tcam_, graph_);
+}
+
+void DagScheduler::sync_caps() {
+  if (mode_ == SearchMode::kCached && caps_dirty_) {
+    caps_.rebuild(tcam_, graph_);
+    caps_dirty_ = false;
+  }
+}
+
+void DagScheduler::do_write(size_t addr, const Rule& rule) {
+  tcam_.write(addr, rule);
+  occupancy_.set_occupied(addr, true);
+  if (caps_live()) caps_.on_write(rule.id, addr, graph_, tcam_);
+}
+
+void DagScheduler::do_move(size_t from, size_t to) {
+  tcam_.move(from, to);
+  occupancy_.set_occupied(from, false);
+  occupancy_.set_occupied(to, true);
+  if (caps_live()) caps_.on_move(from, to, graph_, tcam_);
+}
+
+void DagScheduler::do_erase(size_t addr) {
+  const RuleId id = *tcam_.at(addr);
+  tcam_.erase(addr);
+  occupancy_.set_occupied(addr, false);
+  if (caps_live()) caps_.on_erase(id, addr, graph_, tcam_);
+}
+
+void DagScheduler::add_edge_internal(RuleId u, RuleId v) {
+  graph_.add_edge(u, v);
+  if (caps_live()) caps_.on_add_edge(u, v, tcam_);
+}
+
+void DagScheduler::remove_edge_internal(RuleId u, RuleId v) {
+  graph_.remove_edge(u, v);
+  if (caps_live()) caps_.on_remove_edge(u, v, tcam_);
+}
+
+void DagScheduler::remove_vertex_internal(RuleId v) {
+  graph_.remove_vertex(v);
+  if (caps_live()) caps_.on_remove_vertex(v);
 }
 
 std::pair<long long, long long> DagScheduler::insert_bounds(RuleId id) const {
@@ -51,8 +99,20 @@ long long DagScheduler::highest_predecessor_addr(size_t addr) const {
   return out;
 }
 
-std::optional<DagScheduler::Chain> DagScheduler::find_chain_up(long long lo_bound,
-                                                               long long hi_bound) const {
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_up(
+    long long lo_bound, long long hi_bound) const {
+  return caps_live() ? find_chain_up_cached(lo_bound, hi_bound)
+                     : find_chain_up_legacy(lo_bound, hi_bound);
+}
+
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_down(
+    long long lo_bound, long long hi_bound) const {
+  return caps_live() ? find_chain_down_cached(lo_bound, hi_bound)
+                     : find_chain_down_legacy(lo_bound, hi_bound);
+}
+
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_up_legacy(
+    long long lo_bound, long long hi_bound) const {
   // Nearest free slot above the (full) insert range.
   auto d_opt = occupancy_.nearest_free_at_or_above(static_cast<size_t>(lo_bound + 1));
   if (!d_opt) return std::nullopt;
@@ -98,8 +158,8 @@ std::optional<DagScheduler::Chain> DagScheduler::find_chain_up(long long lo_boun
   return std::nullopt;
 }
 
-std::optional<DagScheduler::Chain> DagScheduler::find_chain_down(long long lo_bound,
-                                                                 long long hi_bound) const {
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_down_legacy(
+    long long lo_bound, long long hi_bound) const {
   if (hi_bound <= 0) return std::nullopt;
   auto d_opt = occupancy_.nearest_free_at_or_below(static_cast<size_t>(hi_bound - 1));
   if (!d_opt) return std::nullopt;
@@ -139,16 +199,102 @@ std::optional<DagScheduler::Chain> DagScheduler::find_chain_down(long long lo_bo
   return std::nullopt;
 }
 
+// The cached searches mirror the legacy traversal order exactly — same
+// seeds, same FIFO discipline, same water-mark extension — so both modes
+// discover the same chains. They differ only in the data structures:
+//
+//   * each probe is one CapIndex array load instead of an O(degree) scan;
+//   * parent links live in an offset-indexed arena (address − range base)
+//     and the FIFO is a flat vector with a head cursor. Addresses get their
+//     parent written before being enqueued and only enqueued addresses are
+//     ever read back, so the arena needs no clearing between searches —
+//     resize-only reuse makes steady-state inserts allocation-free.
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_up_cached(
+    long long lo_bound, long long hi_bound) const {
+  auto d_opt = occupancy_.nearest_free_at_or_above(static_cast<size_t>(lo_bound + 1));
+  if (!d_opt) return std::nullopt;
+  const long long d = static_cast<long long>(*d_opt);
+  const long long start_hi = std::min(hi_bound, d - 1);
+  if (start_hi <= lo_bound) return std::nullopt;
+
+  const long long base = lo_bound + 1;  // candidate hop addresses: [base, d)
+  const size_t span = static_cast<size_t>(d - base);
+  if (arena_parent_.size() < span) arena_parent_.resize(span);
+  arena_queue_.clear();
+  for (long long a = base; a <= start_hi; ++a) {
+    arena_parent_[static_cast<size_t>(a - base)] = -1;
+    arena_queue_.push_back(a);
+  }
+  long long hwm = start_hi;
+  for (size_t head = 0; head < arena_queue_.size(); ++head) {
+    const long long a = arena_queue_[head];
+    const long long cap = std::min(caps_.lo_succ_at(static_cast<size_t>(a)), d);
+    if (cap >= d) {
+      Chain chain;
+      for (long long cur = a; cur != -1;
+           cur = arena_parent_[static_cast<size_t>(cur - base)]) {
+        chain.hops.push_back(static_cast<size_t>(cur));
+      }
+      std::reverse(chain.hops.begin(), chain.hops.end());
+      chain.free_slot = static_cast<size_t>(d);
+      return chain;
+    }
+    for (long long j = hwm + 1; j <= cap; ++j) {
+      arena_parent_[static_cast<size_t>(j - base)] = a;
+      arena_queue_.push_back(j);
+    }
+    hwm = std::max(hwm, cap);
+  }
+  return std::nullopt;
+}
+
+std::optional<DagScheduler::Chain> DagScheduler::find_chain_down_cached(
+    long long lo_bound, long long hi_bound) const {
+  if (hi_bound <= 0) return std::nullopt;
+  auto d_opt = occupancy_.nearest_free_at_or_below(static_cast<size_t>(hi_bound - 1));
+  if (!d_opt) return std::nullopt;
+  const long long d = static_cast<long long>(*d_opt);
+  const long long start_lo = std::max(lo_bound, d + 1);
+  if (start_lo >= hi_bound) return std::nullopt;
+
+  const long long base = d + 1;  // candidate hop addresses: (d, hi_bound)
+  const size_t span = static_cast<size_t>(hi_bound - base);
+  if (arena_parent_.size() < span) arena_parent_.resize(span);
+  arena_queue_.clear();
+  for (long long a = hi_bound - 1; a >= start_lo; --a) {
+    arena_parent_[static_cast<size_t>(a - base)] = -2;
+    arena_queue_.push_back(a);
+  }
+  long long lwm = start_lo;
+  for (size_t head = 0; head < arena_queue_.size(); ++head) {
+    const long long a = arena_queue_[head];
+    const long long cap = std::max(caps_.hi_pred_at(static_cast<size_t>(a)), d);
+    if (cap <= d) {
+      Chain chain;
+      for (long long cur = a; cur != -2;
+           cur = arena_parent_[static_cast<size_t>(cur - base)]) {
+        chain.hops.push_back(static_cast<size_t>(cur));
+      }
+      std::reverse(chain.hops.begin(), chain.hops.end());
+      chain.free_slot = static_cast<size_t>(d);
+      return chain;
+    }
+    for (long long j = lwm - 1; j >= cap; --j) {
+      arena_parent_[static_cast<size_t>(j - base)] = a;
+      arena_queue_.push_back(j);
+    }
+    lwm = std::min(lwm, cap);
+  }
+  return std::nullopt;
+}
+
 void DagScheduler::execute_up(const Chain& chain, const Rule& rule) {
   size_t target = chain.free_slot;
   for (size_t i = chain.hops.size(); i-- > 0;) {
-    tcam_.move(chain.hops[i], target);
-    occupancy_.set_occupied(chain.hops[i], false);
-    occupancy_.set_occupied(target, true);
+    do_move(chain.hops[i], target);
     target = chain.hops[i];
   }
-  tcam_.write(target, rule);
-  occupancy_.set_occupied(target, true);
+  do_write(target, rule);
   last_chain_moves_ = chain.hops.size();
 }
 
@@ -157,11 +303,21 @@ void DagScheduler::execute_down(const Chain& chain, const Rule& rule) {
   execute_up(chain, rule);
 }
 
-bool DagScheduler::insert(const Rule& rule) { return insert_impl(rule, 0); }
+bool DagScheduler::insert(const Rule& rule) {
+  sync_caps();
+  return insert_impl(rule, 0);
+}
+
+bool DagScheduler::evict(RuleId id) {
+  if (!tcam_.contains(id)) return false;
+  do_erase(tcam_.address_of(id));
+  return true;
+}
 
 bool DagScheduler::insert_impl(const Rule& rule, int depth) {
   graph_.add_vertex(rule.id);
-  const auto [lo, hi] = insert_bounds(rule.id);
+  const auto [lo, hi] =
+      caps_live() ? caps_.bounds_of(rule.id) : insert_bounds(rule.id);
   last_chain_moves_ = 0;
 
   if (lo >= hi) {
@@ -182,9 +338,7 @@ bool DagScheduler::insert_impl(const Rule& rule, int depth) {
       }
     }
     for (const Rule& d : displaced) {
-      const size_t addr = tcam_.address_of(d.id);
-      tcam_.erase(addr);
-      occupancy_.set_occupied(addr, false);
+      do_erase(tcam_.address_of(d.id));
     }
     if (!insert_impl(rule, depth + 1)) return false;
     // Re-insert in dependency order among the displaced rules: a rule whose
@@ -242,8 +396,7 @@ bool DagScheduler::insert_impl(const Rule& rule, int depth) {
       }
     }
     if (best) {
-      tcam_.write(*best, rule);
-      occupancy_.set_occupied(*best, true);
+      do_write(*best, rule);
       return true;
     }
   }
@@ -264,18 +417,17 @@ bool DagScheduler::insert_impl(const Rule& rule, int depth) {
 
 void DagScheduler::remove(RuleId id) {
   if (tcam_.contains(id)) {
-    const size_t addr = tcam_.address_of(id);
-    tcam_.erase(addr);
-    occupancy_.set_occupied(addr, false);
+    do_erase(tcam_.address_of(id));
   }
-  graph_.remove_vertex(id);
+  remove_vertex_internal(id);
 }
 
 bool DagScheduler::apply(const BackendUpdate& update) {
-  for (const auto& [u, v] : update.dag.removed_edges) graph_.remove_edge(u, v);
+  sync_caps();
+  for (const auto& [u, v] : update.dag.removed_edges) remove_edge_internal(u, v);
   for (RuleId id : update.removed) remove(id);
   for (RuleId v : update.dag.added_vertices) graph_.add_vertex(v);
-  for (const auto& [u, v] : update.dag.added_edges) graph_.add_edge(u, v);
+  for (const auto& [u, v] : update.dag.added_edges) add_edge_internal(u, v);
 
   if (update.added.size() <= 1) {
     for (const Rule& r : update.added) {

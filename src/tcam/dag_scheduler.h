@@ -10,6 +10,13 @@
 //      directions — a BFS where an entry at address a may hop to any slot
 //      strictly below its own lowest successor (upward) or strictly above
 //      its highest predecessor (downward) — and executes the shorter chain.
+//
+// Two search implementations coexist (see DESIGN.md "TCAM firmware fast
+// path"). kCached (default) answers every bound/probe from an incrementally
+// maintained CapIndex in O(1) and runs the BFS in a reusable flat arena;
+// kLegacy scans the graph per probe (O(degree)) and BFSes through an
+// unordered_map — kept for the --legacy-search ablation and the equivalence
+// tests. Both produce bit-identical chains and layouts.
 #pragma once
 
 #include <optional>
@@ -17,6 +24,7 @@
 
 #include "dag/dependency_graph.h"
 #include "tcam/backend_update.h"
+#include "tcam/cap_index.h"
 #include "tcam/occupancy.h"
 #include "tcam/tcam.h"
 
@@ -32,7 +40,12 @@ class DagScheduler {
   /// (naive firmware behaviour, kept for the ablation bench).
   enum class Placement { kBalanced, kFirstFree };
 
-  explicit DagScheduler(Tcam& tcam, Placement placement = Placement::kBalanced);
+  /// kCached: O(1) cap probes + flat-arena BFS. kLegacy: the original
+  /// O(degree)-per-probe search, for ablation/equivalence.
+  enum class SearchMode { kCached, kLegacy };
+
+  explicit DagScheduler(Tcam& tcam, Placement placement = Placement::kBalanced,
+                        SearchMode mode = SearchMode::kCached);
 
   /// Applies one incremental update: edge removals, rule deletions, DAG
   /// additions, then rule inserts in dependency order. Returns false (and
@@ -42,12 +55,21 @@ class DagScheduler {
   /// Inserts one rule whose vertex/edges are already in the graph.
   bool insert(const Rule& rule);
 
-
+  /// Erases the rule's TCAM entry but keeps its vertex and edges — the
+  /// CacheFlow-style eviction primitive. Returns false if not installed.
+  bool evict(flowspace::RuleId id);
 
   void remove(flowspace::RuleId id);
 
   const DependencyGraph& graph() const { return graph_; }
-  DependencyGraph& graph() { return graph_; }
+  /// Mutable graph access for tests/adapters that edit the DAG directly.
+  /// Invalidates the cap cache; the next insert/apply rebuilds it.
+  DependencyGraph& graph() {
+    caps_dirty_ = true;
+    return graph_;
+  }
+
+  SearchMode search_mode() const { return mode_; }
 
   /// Length (number of entry moves, excluding the final new-entry write) of
   /// the chain the last insert executed. For diagnostics and optimality
@@ -75,6 +97,14 @@ class DagScheduler {
 
   std::optional<Chain> find_chain_up(long long lo_bound, long long hi_bound) const;
   std::optional<Chain> find_chain_down(long long lo_bound, long long hi_bound) const;
+  std::optional<Chain> find_chain_up_legacy(long long lo_bound,
+                                            long long hi_bound) const;
+  std::optional<Chain> find_chain_down_legacy(long long lo_bound,
+                                              long long hi_bound) const;
+  std::optional<Chain> find_chain_up_cached(long long lo_bound,
+                                            long long hi_bound) const;
+  std::optional<Chain> find_chain_down_cached(long long lo_bound,
+                                              long long hi_bound) const;
 
   /// Lowest successor address of the entry at `addr` (upward landing cap).
   long long lowest_successor_addr(size_t addr) const;
@@ -84,11 +114,32 @@ class DagScheduler {
   void execute_up(const Chain& chain, const Rule& rule);
   void execute_down(const Chain& chain, const Rule& rule);
 
+  // All TCAM/graph mutations funnel through these so occupancy and the cap
+  // cache stay exact (hooks no-op in kLegacy mode or while the cache is
+  // dirty from external graph() edits).
+  void do_write(size_t addr, const Rule& rule);
+  void do_move(size_t from, size_t to);
+  void do_erase(size_t addr);
+  void add_edge_internal(flowspace::RuleId u, flowspace::RuleId v);
+  void remove_edge_internal(flowspace::RuleId u, flowspace::RuleId v);
+  void remove_vertex_internal(flowspace::RuleId v);
+  bool caps_live() const { return mode_ == SearchMode::kCached && !caps_dirty_; }
+  void sync_caps();
+
   Tcam& tcam_;
   OccupancyIndex occupancy_;
   DependencyGraph graph_;
   Placement placement_ = Placement::kBalanced;
+  SearchMode mode_ = SearchMode::kCached;
+  CapIndex caps_;
+  bool caps_dirty_ = false;
   size_t last_chain_moves_ = 0;
+
+  // Reusable flat-arena BFS state: offset-indexed parent slots plus a flat
+  // FIFO (head cursor instead of pop_front). assign()/clear() never shrink
+  // capacity, so steady-state inserts allocate nothing.
+  mutable std::vector<long long> arena_parent_;
+  mutable std::vector<long long> arena_queue_;
 };
 
 }  // namespace ruletris::tcam

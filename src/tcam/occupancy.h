@@ -88,22 +88,29 @@ class OccupancyIndex {
   }
 
  private:
-  /// Address of the k-th free slot (0-based ascending).
+  /// Address of the k-th free slot (0-based ascending). Fenwick descent:
+  /// a node at pos+mask covers the address range (pos, pos+mask], which
+  /// holds mask - tree_[pos+mask] free slots, so the search walks down the
+  /// implicit tree in O(log n) instead of binary-searching over O(log n)
+  /// prefix sums.
   std::optional<size_t> kth_free(size_t k) const {
     const size_t total_free = capacity_ - occupied_count();
     if (k >= total_free) return std::nullopt;
-    // Binary search over addresses: free slots in [0, a] = a+1 - prefix(a+1).
-    size_t lo = 0, hi = capacity_ - 1;
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      const size_t free_through = (mid + 1) - prefix(mid + 1);
-      if (free_through >= k + 1) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
+    size_t pos = 0;
+    size_t remaining = k + 1;
+    size_t mask = highest_bit_;
+    while (mask != 0) {
+      const size_t next = pos + mask;
+      if (next <= capacity_) {
+        const size_t free_in_subtree = mask - tree_[next];
+        if (free_in_subtree < remaining) {
+          pos = next;
+          remaining -= free_in_subtree;
+        }
       }
+      mask >>= 1;
     }
-    return lo;
+    return pos;  // pos is the 0-based address (tree is 1-indexed internally)
   }
 
   size_t prefix(size_t n) const {  // occupied in [0, n)

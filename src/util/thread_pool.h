@@ -18,6 +18,16 @@
 
 namespace ruletris::util {
 
+/// Workers that can actually run concurrently: `requested` clamped to the
+/// machine's core count (hardware_concurrency() == 0 reads as 1). Data-
+/// parallel perf paths clamp through this — oversubscribing cores only adds
+/// context-switch and cache-migration cost — while determinism tests build
+/// oversubscribed pools deliberately to widen the interleaving space.
+inline size_t effective_workers(size_t requested) {
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  return std::min(std::max<size_t>(1, requested), hw);
+}
+
 class ThreadPool {
  public:
   /// Spawns `n_threads` workers (0 is clamped to 1).

@@ -138,5 +138,77 @@ TEST(Pipeline, MetricsAndChannelAccounting) {
   EXPECT_EQ(pipeline.tcam(1).occupied(), 0u);
 }
 
+/// deliver_all with a thread pool must be bit-identical to the serial path:
+/// same per-stage writes/moves, same final layouts, same deterministic
+/// totals (only the wall-clock firmware_ms diagnostic may differ).
+TEST(Pipeline, ParallelDeliverAllMatchesSequential) {
+  Rng rng(35);
+
+  auto build_stage_batches = [](Rng& rng) {
+    // Four independent stages, each with its own leaf table and churn.
+    std::vector<LeafNode> leaves;
+    std::vector<std::vector<proto::MessageBatch>> rounds;
+    std::vector<proto::MessageBatch> initial;
+    for (size_t s = 0; s < 4; ++s) {
+      const auto router = classbench::generate_router(40, rng);
+      leaves.emplace_back(FlowTable{router});
+      TableUpdate update;
+      update.added = leaves.back().visible_rules_in_order();
+      for (const Rule& r : update.added) update.dag.added_vertices.push_back(r.id);
+      update.dag.added_edges = leaves.back().visible_graph().edges();
+      initial.push_back(to_messages(update));
+    }
+    rounds.push_back(std::move(initial));
+    for (int round = 0; round < 6; ++round) {
+      std::vector<proto::MessageBatch> batches;
+      for (size_t s = 0; s < 4; ++s) {
+        const Rule fresh = testutil::random_rule(rng, 50 + round);
+        const auto update = leaves[s].insert(fresh);
+        batches.push_back(to_messages(update));
+      }
+      rounds.push_back(std::move(batches));
+    }
+    return rounds;
+  };
+  // One batch stream, applied to both switches — the encoded updates are
+  // value objects, so serial and parallel see byte-identical input.
+  const auto rounds = build_stage_batches(rng);
+
+  MultiTableSwitch serial({64, 64, 64, 64});
+  MultiTableSwitch parallel({64, 64, 64, 64});
+  // clamp_to_hardware = false: this test is about pool determinism, so the
+  // pool must actually run even on a single-core CI host.
+  parallel.set_apply_threads(4, /*clamp_to_hardware=*/false);
+
+  for (size_t round = 0; round < rounds.size(); ++round) {
+    const auto ms = serial.deliver_all(rounds[round]);
+    const auto mp = parallel.deliver_all(rounds[round]);
+    ASSERT_TRUE(ms.ok);
+    ASSERT_TRUE(mp.ok);
+    ASSERT_EQ(ms.stages.size(), mp.stages.size());
+    for (size_t s = 0; s < ms.stages.size(); ++s) {
+      EXPECT_EQ(ms.stages[s].entry_writes, mp.stages[s].entry_writes);
+      EXPECT_EQ(ms.stages[s].moves, mp.stages[s].moves);
+      EXPECT_EQ(ms.stages[s].wire_bytes, mp.stages[s].wire_bytes);
+      EXPECT_DOUBLE_EQ(ms.stages[s].channel_ms, mp.stages[s].channel_ms);
+    }
+    EXPECT_EQ(ms.total.entry_writes, mp.total.entry_writes);
+    EXPECT_EQ(ms.total.moves, mp.total.moves);
+    EXPECT_DOUBLE_EQ(ms.critical_path_ms, mp.critical_path_ms);
+  }
+
+  // Final device state matches slot for slot.
+  for (size_t s = 0; s < 4; ++s) {
+    const auto& ta = serial.tcam(s);
+    const auto& tb = parallel.tcam(s);
+    ASSERT_EQ(ta.capacity(), tb.capacity());
+    for (size_t a = 0; a < ta.capacity(); ++a) {
+      ASSERT_EQ(ta.at(a), tb.at(a)) << "stage " << s << " addr " << a;
+    }
+    EXPECT_TRUE(serial.firmware(s).layout_valid());
+    EXPECT_TRUE(parallel.firmware(s).layout_valid());
+  }
+}
+
 }  // namespace
 }  // namespace ruletris

@@ -266,5 +266,69 @@ TEST(DagScheduler, MoveCountMatchesExhaustiveOracle) {
   EXPECT_GT(exercised, 30);
 }
 
+/// The O(n)-degree hotspot: every rule depends on one default rule, so the
+/// default's dependency fan-out is the whole table. The chain length must
+/// still match the exhaustive minimum (Claim 1 does not degrade with
+/// degree), whichever search implementation runs.
+TEST(DagScheduler, MoveCountMatchesOracleOnDefaultRuleStar) {
+  Rng rng(17);
+  int exercised = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 4 + rng.next_below(3);  // specific rules
+    std::vector<Rule> specifics;
+    for (size_t i = 0; i < n; ++i) {
+      specifics.push_back(make_rule(static_cast<uint32_t>(100 + i)));
+    }
+    const Rule def = make_rule(1);      // the default: depends on everyone
+    const Rule probe = make_rule(2);    // inserted last, between def and one specific
+
+    DependencyGraph g;
+    for (const Rule& s : specifics) g.add_edge(def.id, s.id);
+    g.add_edge(def.id, probe.id);
+    // probe must also sit below one random specific (a tight range).
+    g.add_edge(probe.id, specifics[rng.next_below(n)].id);
+
+    Tcam tcam(n + 2);  // one free slot once everything but `probe` is in
+    DagScheduler scheduler(tcam);
+    scheduler.graph() = g;
+    for (const Rule& s : specifics) ASSERT_TRUE(scheduler.insert(s));
+    ASSERT_TRUE(scheduler.insert(def));
+
+    const int oracle = oracle_min_moves(tcam, g, probe.id);
+    if (!scheduler.insert(probe)) continue;  // range collapsed: skip trial
+    ASSERT_TRUE(scheduler.layout_valid());
+    ASSERT_GE(oracle, 0);
+    EXPECT_EQ(static_cast<int>(scheduler.last_chain_moves()), oracle)
+        << "trial " << trial;
+    ++exercised;
+  }
+  EXPECT_GT(exercised, 10);
+}
+
+/// evict() is the CacheFlow-style primitive: the TCAM entry goes away, the
+/// vertex and its edges stay, and a reinsert honours the same bounds.
+TEST(DagScheduler, EvictKeepsGraphAndReinsertHonoursBounds) {
+  Tcam tcam(8);
+  DagScheduler scheduler(tcam);
+  Rule top = make_rule(1);
+  Rule mid = make_rule(2);
+  Rule bot = make_rule(3);
+  scheduler.graph().add_edge(mid.id, top.id);  // mid below top
+  scheduler.graph().add_edge(bot.id, mid.id);  // bot below mid
+  ASSERT_TRUE(scheduler.insert(top));
+  ASSERT_TRUE(scheduler.insert(mid));
+  ASSERT_TRUE(scheduler.insert(bot));
+
+  ASSERT_TRUE(scheduler.evict(mid.id));
+  EXPECT_FALSE(tcam.contains(mid.id));
+  EXPECT_TRUE(scheduler.graph().has_vertex(mid.id));
+  EXPECT_FALSE(scheduler.evict(mid.id)) << "double evict must report false";
+
+  ASSERT_TRUE(scheduler.insert(mid));
+  EXPECT_TRUE(scheduler.layout_valid());
+  EXPECT_GT(tcam.address_of(mid.id), tcam.address_of(bot.id));
+  EXPECT_LT(tcam.address_of(mid.id), tcam.address_of(top.id));
+}
+
 }  // namespace
 }  // namespace ruletris

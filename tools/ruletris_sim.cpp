@@ -299,6 +299,9 @@ int main(int argc, char** argv) {
                   report.ack_ms.summary("").c_str(), report.ack_ms.p99());
       std::printf("  channel      : %s ms\n", report.channel_ms.summary("").c_str());
       std::printf("  tcam         : %s ms\n", report.tcam_ms.summary("").c_str());
+      std::printf("  tcam writes  : %zu (%zu moves), %.2f writes/epoch\n",
+                  report.entry_writes, report.moves,
+                  report.entry_writes_per_epoch());
       std::printf("  firmware(wall): %s ms\n",
                   report.firmware_ms.summary("").c_str());
       std::printf("  frames %zu (retransmits %zu, resync replays %zu), "
@@ -328,6 +331,9 @@ int main(int argc, char** argv) {
         j->field("ack_p99_ms", report.ack_ms.p99());
         j->field("channel_p50_ms", report.channel_ms.median());
         j->field("tcam_p50_ms", report.tcam_ms.median());
+        j->field("entry_writes", static_cast<double>(report.entry_writes));
+        j->field("moves", static_cast<double>(report.moves));
+        j->field("entry_writes_per_epoch", report.entry_writes_per_epoch());
         j->field("frames", static_cast<double>(report.data_frames_sent));
         j->field("retransmits", static_cast<double>(report.retransmits));
         j->field("resyncs", static_cast<double>(report.resyncs));
