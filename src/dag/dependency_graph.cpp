@@ -17,7 +17,9 @@ bool DependencyGraph::has_edge(RuleId u, RuleId v) const {
   return it != nodes_.end() && it->second.out.count(v) != 0;
 }
 
-void DependencyGraph::add_vertex(RuleId v) { nodes_.try_emplace(v); }
+bool DependencyGraph::add_vertex(RuleId v) {
+  return nodes_.try_emplace(v).second;
+}
 
 void DependencyGraph::remove_vertex(RuleId v) {
   auto it = nodes_.find(v);
@@ -33,23 +35,28 @@ void DependencyGraph::remove_vertex(RuleId v) {
   nodes_.erase(it);
 }
 
-void DependencyGraph::add_edge(RuleId u, RuleId v) {
+DependencyGraph::EdgeAdd DependencyGraph::add_edge(RuleId u, RuleId v) {
   if (u == v) throw std::invalid_argument("DependencyGraph: self edge");
-  add_vertex(u);
-  add_vertex(v);
+  EdgeAdd result;
+  result.created_u = nodes_.try_emplace(u).second;
+  result.created_v = nodes_.try_emplace(v).second;
   if (nodes_[u].out.insert(v).second) {
     nodes_[v].in.insert(u);
     ++edge_count_;
+    result.added = true;
   }
+  return result;
 }
 
-void DependencyGraph::remove_edge(RuleId u, RuleId v) {
+bool DependencyGraph::remove_edge(RuleId u, RuleId v) {
   auto it = nodes_.find(u);
-  if (it == nodes_.end()) return;
+  if (it == nodes_.end()) return false;
   if (it->second.out.erase(v)) {
     nodes_[v].in.erase(u);
     --edge_count_;
+    return true;
   }
+  return false;
 }
 
 const DependencyGraph::Node& DependencyGraph::node(RuleId v) const {

@@ -49,16 +49,27 @@ class DependencyGraph {
   bool has_vertex(RuleId v) const { return nodes_.count(v) != 0; }
   bool has_edge(RuleId u, RuleId v) const;
 
-  void add_vertex(RuleId v);
+  /// Returns true when the vertex was created (false: already present).
+  bool add_vertex(RuleId v);
 
   /// Removes the vertex and all incident edges.
   void remove_vertex(RuleId v);
 
+  /// What an add_edge call actually changed — the journaled scheduler
+  /// needs this to log exactly the mutations a rollback must invert,
+  /// without paying separate existence probes on the apply fast path.
+  struct EdgeAdd {
+    bool added = false;      // the edge itself was new
+    bool created_u = false;  // endpoint u was created implicitly
+    bool created_v = false;  // endpoint v was created implicitly
+  };
+
   /// Adds u -> v ("v must be matched before u"). Adds missing vertices.
   /// No-op if the edge exists. Self-edges are rejected.
-  void add_edge(RuleId u, RuleId v);
+  EdgeAdd add_edge(RuleId u, RuleId v);
 
-  void remove_edge(RuleId u, RuleId v);
+  /// Returns true when the edge existed and was removed.
+  bool remove_edge(RuleId u, RuleId v);
 
   /// Out-neighbours of u: the rules u depends on (placed above u).
   const std::unordered_set<RuleId>& successors(RuleId u) const;

@@ -86,9 +86,10 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const Bytes& in) : in_(in) {}
+  /// Parses `in[0, limit)`; the bytes past `limit` are the CRC trailer.
+  Reader(const Bytes& in, size_t limit) : in_(in), limit_(limit) {}
 
-  bool done() const { return pos_ == in_.size(); }
+  bool done() const { return pos_ == limit_; }
 
   uint8_t u8() { return in_.at(require(1)); }
   uint16_t u16() { return read<uint16_t>(); }
@@ -155,17 +156,39 @@ class Reader {
   }
 
   size_t require(size_t n) {
-    if (pos_ + n > in_.size()) throw std::runtime_error("codec: truncated message");
+    if (pos_ + n > limit_) throw std::runtime_error("codec: truncated message");
     const size_t at = pos_;
     pos_ += n;
     return at;
   }
 
   const Bytes& in_;
+  size_t limit_;
   size_t pos_ = 0;
 };
 
 }  // namespace
+
+uint32_t crc32(const uint8_t* data, size_t len) {
+  // Byte-at-a-time table-free CRC32 (reflected 0xEDB88320): frames are a
+  // few KB at most and encoding cost is dominated by the body writes.
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool checksum_ok(const Bytes& bytes) {
+  if (bytes.size() < 4) return false;
+  const size_t body = bytes.size() - 4;
+  uint32_t stored;
+  std::memcpy(&stored, bytes.data() + body, 4);
+  return stored == crc32(bytes.data(), body);
+}
 
 Bytes encode_batch(const MessageBatch& batch) {
   Bytes out;
@@ -193,11 +216,16 @@ Bytes encode_batch(const MessageBatch& batch) {
         },
         msg);
   }
+  const uint32_t crc = crc32(out.data(), out.size());
+  Writer(out).u32(crc);
   return out;
 }
 
 MessageBatch decode_batch(const Bytes& bytes) {
-  Reader r(bytes);
+  // Verify the frame before parsing a single field: a flipped bit anywhere
+  // (body or trailer) fails here instead of reaching the message decoders.
+  if (!checksum_ok(bytes)) throw std::runtime_error("codec: checksum mismatch");
+  Reader r(bytes, bytes.size() - 4);
   MessageBatch batch;
   const uint32_t count = r.u32();
   batch.reserve(count);

@@ -1,6 +1,7 @@
 // Switch-agent endpoint of the asynchronous runtime.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,6 +10,8 @@
 #include "proto/channel.h"
 #include "proto/codec.h"
 #include "switchsim/switch.h"
+#include "tcam/apply_journal.h"
+#include "util/rng.h"
 
 namespace ruletris::runtime {
 
@@ -19,9 +22,17 @@ namespace ruletris::runtime {
 /// The cumulative applied epoch anchors both acks and resync. A restart
 /// models the agent process dying: the volatile reorder buffer is lost, the
 /// applied TCAM/firmware state — hardware — survives.
+///
+/// Crash consistency: every apply runs as a write-ahead-journaled firmware
+/// transaction. With crash_p > 0 a seeded per-op crash can tear a move
+/// chain mid-flight; the agent goes down (dropping frames) until its
+/// restart path runs journal recovery — rollback for a torn chain,
+/// roll-forward for a sealed one — before the barrier-anchored resync.
+/// Frames whose CRC32 fails are NACKed for retransmission, never parsed.
 class SwitchAgent {
  public:
-  SwitchAgent(size_t tcam_capacity, const proto::ChannelModel& channel);
+  SwitchAgent(size_t tcam_capacity, const proto::ChannelModel& channel,
+              double crash_p = 0.0, uint64_t crash_seed = 0);
 
   struct AppliedEpoch {
     uint64_t epoch = 0;
@@ -32,11 +43,15 @@ class SwitchAgent {
     size_t moves = 0;          // relocation subset — the schedule-dependent cost
     size_t messages = 0;
     bool ok = true;
+    tcam::ApplyStatus status = tcam::ApplyStatus::kOk;
   };
 
   struct Ingest {
     std::vector<AppliedEpoch> applied;  // epochs applied by this frame, in order
     bool duplicate = false;  // frame carried an epoch at or below last_applied
+    bool corrupt = false;    // frame failed its CRC32; NACK for retransmit
+    bool crashed = false;    // firmware died mid-apply; recovery required
+    bool dropped = false;    // agent is down (crashed, not yet recovered)
     double done_ms = 0.0;    // virtual time the agent finished (ack send time)
   };
 
@@ -46,13 +61,38 @@ class SwitchAgent {
   Ingest on_data(uint64_t epoch, const std::shared_ptr<const proto::Bytes>& payload,
                  double now_ms);
 
-  /// Restart: drops the reorder buffer; applied state survives.
+  /// Restart: drops the reorder buffer; applied state survives. The restart
+  /// path always runs journal recovery first (a no-op when the journal is
+  /// clean) — a restart racing a torn transaction must repair it before the
+  /// resync anchor is read.
   void restart();
+
+  struct Recovery {
+    bool rolled_forward = false;  // sealed txn: crashed epoch counts applied
+    size_t undone_ops = 0;
+    size_t undone_writes = 0;     // TCAM writes spent undoing the torn chain
+    double recovery_ms = 0.0;     // modelled cost: undone writes x 0.6 ms
+  };
+
+  /// Crash recovery (phase 1): replays the journal, repairs the TCAM and
+  /// advances last_applied on roll-forward. The agent stays down — call
+  /// power_on() once the modelled recovery time has elapsed.
+  Recovery recover_and_restart();
+
+  /// Crash recovery (phase 2): the rebooted agent accepts frames again at
+  /// virtual time `now_ms` (the crash time plus the modelled recovery cost).
+  void power_on(double now_ms) {
+    down_ = false;
+    busy_until_ms_ = std::max(busy_until_ms_, now_ms);
+  }
+  bool down() const { return down_; }
 
   uint64_t last_applied() const { return last_applied_; }
   size_t buffered() const { return buffer_.size(); }
   size_t restarts() const { return restarts_; }
   size_t duplicates() const { return duplicates_; }
+  size_t crashes() const { return crashes_; }
+  size_t corrupt_frames() const { return corrupt_frames_; }
 
   const switchsim::SimulatedSwitch& device() const { return switch_; }
   switchsim::SimulatedSwitch& device() { return switch_; }
@@ -60,11 +100,18 @@ class SwitchAgent {
  private:
   switchsim::SimulatedSwitch switch_;
   proto::ChannelModel channel_;
+  tcam::ApplyJournal journal_;
   std::map<uint64_t, std::shared_ptr<const proto::Bytes>> buffer_;
   uint64_t last_applied_ = 0;
   double busy_until_ms_ = 0.0;
   size_t restarts_ = 0;
   size_t duplicates_ = 0;
+  size_t crashes_ = 0;
+  size_t corrupt_frames_ = 0;
+  bool down_ = false;
+  uint64_t crash_epoch_ = 0;  // epoch being applied when the crash hit
+  double crash_p_ = 0.0;
+  util::Rng crash_rng_;
 };
 
 }  // namespace ruletris::runtime

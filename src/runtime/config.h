@@ -20,9 +20,18 @@ struct FaultSpec {
   /// A restart drops the agent's volatile reorder buffer and triggers the
   /// barrier-anchored resync path; applied TCAM state survives (hardware).
   double restart_every_ms = 0.0;
+  /// Per-journaled-op probability that the agent's firmware crashes
+  /// mid-transaction (mid move chain included). The torn TCAM persists
+  /// until journal recovery runs on the agent's restart path.
+  double crash_p = 0.0;
+  /// Per-frame probability of a single-bit flip in transit. Corrupted data
+  /// frames fail the codec CRC32 and are NACKed for retransmission;
+  /// corrupted header-only frames (acks/resyncs/nacks) are discarded.
+  double corrupt_p = 0.0;
 
   bool any() const {
-    return drop_p > 0 || duplicate_p > 0 || delay_p > 0 || restart_every_ms > 0;
+    return drop_p > 0 || duplicate_p > 0 || delay_p > 0 ||
+           restart_every_ms > 0 || crash_p > 0 || corrupt_p > 0;
   }
 
   /// The default non-trivial mix used by `--fault-seed` and the soak test.
@@ -33,6 +42,15 @@ struct FaultSpec {
     f.delay_p = 0.25;
     f.delay_ms = 6.0;
     f.restart_every_ms = 400.0;
+    return f;
+  }
+
+  /// chaos() plus firmware crashes and frame corruption — the full
+  /// robustness gauntlet the recovery soak runs.
+  static FaultSpec crashy() {
+    FaultSpec f = chaos();
+    f.crash_p = 0.002;
+    f.corrupt_p = 0.05;
     return f;
   }
 };

@@ -75,10 +75,18 @@ RuntimeReport Controller::run(const std::vector<proto::MessageBatch>& epoch_batc
     report.retransmits += s.retransmits;
     report.resync_replays += s.resync_replays;
     report.resyncs += s.resyncs;
+    report.stale_resyncs += s.stale_resyncs;
     report.restarts += s.restarts;
     report.timeouts += s.timeouts;
     report.duplicates += s.duplicates;
+    report.nacks += s.nacks;
+    report.nack_retransmits += s.nack_retransmits;
+    report.crashes += s.crashes;
+    report.roll_forwards += s.roll_forwards;
+    report.recovered_writes += s.recovered_writes;
     report.apply_failures += s.apply_failures;
+    report.table_full += s.table_full;
+    report.rolled_back += s.rolled_back;
     report.entry_writes += s.entry_writes;
     report.moves += s.moves;
     report.makespan_ms = std::max(report.makespan_ms, s.makespan_ms);

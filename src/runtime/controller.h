@@ -24,10 +24,18 @@ struct RuntimeReport {
   size_t retransmits = 0;
   size_t resync_replays = 0;
   size_t resyncs = 0;
+  size_t stale_resyncs = 0;
   size_t restarts = 0;
   size_t timeouts = 0;
   size_t duplicates = 0;
+  size_t nacks = 0;             // corrupted data frames NACKed fleet-wide
+  size_t nack_retransmits = 0;
+  size_t crashes = 0;           // firmware crashes mid-transaction
+  size_t roll_forwards = 0;     // recoveries that committed a sealed txn
+  size_t recovered_writes = 0;  // TCAM writes spent undoing torn chains
   size_t apply_failures = 0;
+  size_t table_full = 0;        // updates rejected with ApplyStatus::kTableFull
+  size_t rolled_back = 0;       // updates undone with ApplyStatus::kRolledBack
   size_t entry_writes = 0;   // fleet-wide TCAM writes actually performed
   size_t moves = 0;          // relocation subset (the DAG-schedule cost)
   double makespan_ms = 0.0;  // max session makespan (virtual)

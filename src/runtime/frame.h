@@ -20,6 +20,7 @@ enum class FrameKind : uint8_t {
   kData = 1,    // controller -> agent: one barrier-fenced epoch batch
   kAck = 2,     // agent -> controller: cumulative "applied through epoch"
   kResync = 3,  // agent -> controller: restarted; last applied epoch enclosed
+  kNack = 4,    // agent -> controller: epoch frame failed its CRC; resend
 };
 
 inline constexpr size_t kFrameHeaderBytes = 9;  // u8 kind + u64 epoch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tcam/auditor.h"
 #include "tcam/tcam.h"
 #include "util/hash.h"
 
@@ -15,7 +16,11 @@ SwitchSession::SwitchSession(const SessionConfig& config,
       // A separate restart stream: restart times must not shift when the
       // frame count changes (different window sizes, retransmit patterns).
       restart_rng_(util::mix64(config.seed ^ 0x7e57a27)),
-      agent_(config.tcam_capacity, config.channel) {
+      // The crash stream is separate again: one Bernoulli per journaled
+      // firmware op, a pure function of the session seed and the op
+      // sequence, independent of wire traffic.
+      agent_(config.tcam_capacity, config.channel, config.faults.crash_p,
+             util::mix64(config.seed ^ 0xc4a54)) {
   if (cfg_.window == 0) cfg_.window = 1;
   first_send_ms_.assign(epochs_.size() + 1, -1.0);
   stats_.epochs = epochs_.size();
@@ -52,6 +57,7 @@ void SwitchSession::send_epoch(uint64_t epoch, SendKind kind) {
   ++stats_.data_frames_sent;
   if (kind == SendKind::kRetransmit) ++stats_.retransmits;
   if (kind == SendKind::kResyncReplay) ++stats_.resync_replays;
+  if (kind == SendKind::kNackResend) ++stats_.nack_retransmits;
 
   const double now = events_.now();
   if (first_send_ms_[epoch] < 0.0) first_send_ms_[epoch] = now;
@@ -60,38 +66,107 @@ void SwitchSession::send_epoch(uint64_t epoch, SendKind kind) {
   frame.kind = FrameKind::kData;
   frame.epoch = epoch;
   frame.payload = epochs_[epoch - 1].wire;
-  for (double at : wire_.arrivals(now, frame.wire_bytes())) {
-    events_.post(at, [this, epoch, now] { on_data_delivered(epoch, now); });
-  }
-}
-
-void SwitchSession::send_ack_frame(FrameKind kind, uint64_t epoch, double at_ms) {
-  for (double at : wire_.arrivals(at_ms, kFrameHeaderBytes)) {
-    if (kind == FrameKind::kAck) {
-      events_.post(at, [this, epoch] { on_ack(epoch); });
+  for (const FaultyWire::Delivery& d : wire_.arrivals(now, frame.wire_bytes())) {
+    if (d.corrupted) {
+      // The frame arrives damaged: one seeded bit of the wire image is
+      // flipped in a private copy (the shared log bytes stay pristine for
+      // every other delivery and retransmit).
+      const uint64_t bits = d.corrupt_bits;
+      events_.post(d.at_ms, [this, epoch, now, bits] {
+        const proto::Bytes& pristine = *epochs_[epoch - 1].wire;
+        auto damaged = std::make_shared<proto::Bytes>(pristine);
+        if (!damaged->empty()) {
+          const size_t bit = static_cast<size_t>(bits % (damaged->size() * 8));
+          (*damaged)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        }
+        on_data_delivered(epoch, now, std::move(damaged));
+      });
     } else {
-      events_.post(at, [this, epoch] { on_resync(epoch); });
+      events_.post(d.at_ms, [this, epoch, now] {
+        on_data_delivered(epoch, now, epochs_[epoch - 1].wire);
+      });
     }
   }
 }
 
-void SwitchSession::on_data_delivered(uint64_t epoch, double send_ms) {
+void SwitchSession::send_ack_frame(FrameKind kind, uint64_t epoch, double at_ms) {
+  for (const FaultyWire::Delivery& d : wire_.arrivals(at_ms, kFrameHeaderBytes)) {
+    // A corrupted header-only frame fails its integrity check at the
+    // controller and is discarded: corruption degenerates to loss.
+    if (d.corrupted) continue;
+    switch (kind) {
+      case FrameKind::kAck:
+        events_.post(d.at_ms, [this, epoch] { on_ack(epoch); });
+        break;
+      case FrameKind::kResync:
+        events_.post(d.at_ms, [this, epoch] { on_resync(epoch); });
+        break;
+      case FrameKind::kNack:
+        events_.post(d.at_ms, [this, epoch] { on_nack(epoch); });
+        break;
+      case FrameKind::kData:
+        break;  // not an agent->controller frame
+    }
+  }
+}
+
+void SwitchSession::on_data_delivered(
+    uint64_t epoch, double send_ms,
+    const std::shared_ptr<const proto::Bytes>& payload) {
   if (done_) return;
   const double now = events_.now();
   stats_.channel_ms.add(now - send_ms);
+  handle_ingest(epoch, agent_.on_data(epoch, payload, now));
+}
 
-  const SwitchAgent::Ingest ingest =
-      agent_.on_data(epoch, epochs_[epoch - 1].wire, now);
+void SwitchSession::handle_ingest(uint64_t epoch,
+                                  const SwitchAgent::Ingest& ingest) {
+  if (ingest.dropped) return;  // agent down mid-recovery; the frame is gone
+  if (ingest.corrupt) {
+    // Caught by the CRC before parsing: ask for the pristine bytes again
+    // instead of waiting out a full retry timeout.
+    ++stats_.nacks;
+    send_ack_frame(FrameKind::kNack, epoch, ingest.done_ms);
+    return;
+  }
+  // Epochs that applied before a crash in the same drain still count.
   for (const SwitchAgent::AppliedEpoch& applied : ingest.applied) {
     stats_.firmware_ms.add(applied.firmware_ms);
     stats_.tcam_ms.add(applied.tcam_ms);
     stats_.entry_writes += applied.entry_writes;
     stats_.moves += applied.moves;
     if (!applied.ok) ++stats_.apply_failures;
+    if (applied.status == tcam::ApplyStatus::kTableFull) ++stats_.table_full;
+    if (applied.status == tcam::ApplyStatus::kRolledBack) ++stats_.rolled_back;
+  }
+  if (ingest.crashed) {
+    on_crash(ingest.done_ms);
+    return;
   }
   // Cumulative ack after every data frame, barrier-anchored at the last
   // applied fence. Duplicates re-ack so a lost ack cannot wedge the window.
   send_ack_frame(FrameKind::kAck, agent_.last_applied(), ingest.done_ms);
+}
+
+void SwitchSession::on_crash(double crash_ms) {
+  ++stats_.crashes;
+  // Journal recovery runs as the first step of the agent's restart path:
+  // rollback restores the pre-update TCAM (each undone move is a real
+  // entry write), roll-forward just commits a sealed transaction.
+  const SwitchAgent::Recovery recovery = agent_.recover_and_restart();
+  stats_.recovered_writes += recovery.undone_writes;
+  if (recovery.rolled_forward) ++stats_.roll_forwards;
+  // The agent stays down for the modelled repair time; frames delivered in
+  // the gap are dropped like against any dead process.
+  events_.post(crash_ms + recovery.recovery_ms, [this] { on_recovered(); });
+}
+
+void SwitchSession::on_recovered() {
+  if (done_) return;
+  agent_.power_on(events_.now());
+  // Only after recovery does the resync anchor mean anything: the TCAM now
+  // equals a committed prefix of the epoch log.
+  send_ack_frame(FrameKind::kResync, agent_.last_applied(), events_.now());
 }
 
 void SwitchSession::on_ack(uint64_t acked) {
@@ -103,6 +178,15 @@ void SwitchSession::on_ack(uint64_t acked) {
   if (progress) {
     send_window();
     arm_timer();
+  }
+}
+
+void SwitchSession::on_nack(uint64_t epoch) {
+  if (done_) return;
+  // Resend only if the epoch is still in flight; a NACK for a committed
+  // epoch is stale (a duplicate of the pristine frame got through first).
+  if (epoch >= base_ && epoch < next_to_send_) {
+    send_epoch(epoch, SendKind::kNackResend);
   }
 }
 
@@ -145,6 +229,12 @@ void SwitchSession::schedule_restart() {
 
 void SwitchSession::on_restart() {
   if (done_) return;
+  if (agent_.down()) {
+    // The agent is already dead, mid crash-recovery: restarting a dead
+    // process is a no-op, and the recovery path will send the resync.
+    schedule_restart();
+    return;
+  }
   agent_.restart();
   // The restarted agent announces where it stands; frames that were in its
   // reorder buffer are gone and will be replayed from the log.
@@ -155,13 +245,20 @@ void SwitchSession::on_restart() {
 void SwitchSession::on_resync(uint64_t last_applied) {
   if (done_) return;
   ++stats_.resyncs;
+  // A resync anchored below the committed frontier lost a race: the agent
+  // restarted again (or reordering inverted two resyncs) while an earlier
+  // replay was still in flight.
+  if (last_applied + 1 < base_) ++stats_.stale_resyncs;
   // The report doubles as a cumulative ack: everything at or below it is
   // durably applied.
   advance_base(last_applied);
   if (done_) return;
-  // Replay every uncommitted epoch already sent; the window then refills
-  // from the log as usual.
-  for (uint64_t e = base_; e < next_to_send_; ++e) {
+  // Replay from the *min* anchor: a racing second restart may have wiped a
+  // reorder buffer that held epochs the first resync's replay already
+  // covered, so replaying only [base_, next) could strand them until a
+  // timeout. Epochs the agent does hold are discarded as duplicates.
+  const uint64_t replay_from = std::min<uint64_t>(last_applied + 1, base_);
+  for (uint64_t e = replay_from; e < next_to_send_; ++e) {
     send_epoch(e, SendKind::kResyncReplay);
   }
   send_window();
@@ -177,22 +274,12 @@ void SwitchSession::finish() {
 
 void SwitchSession::verify(const std::vector<flowspace::Rule>& expected) {
   bool ok = stats_.completed && stats_.apply_failures == 0;
-  const tcam::Tcam& tcam = agent_.device().tcam();
-  ok = ok && tcam.occupied() == expected.size();
-  if (ok) {
-    for (const flowspace::Rule& rule : expected) {
-      if (!tcam.contains(rule.id)) {
-        ok = false;
-        break;
-      }
-      const flowspace::Rule& installed = tcam.rule(rule.id);
-      if (!(installed.match == rule.match) ||
-          !(installed.actions == rule.actions)) {
-        ok = false;
-        break;
-      }
-    }
-  }
+  // The firmware state auditor checks all three invariants: address-ordered
+  // DAG edges, exact expected-set match, no duplicate/orphan slots.
+  const tcam::AuditReport audit =
+      tcam::audit_state(agent_.device().tcam(),
+                        agent_.device().dag_firmware().graph(), expected);
+  ok = ok && audit.clean();
   ok = ok && agent_.device().dag_firmware().layout_valid();
   stats_.converged = ok;
 }

@@ -54,11 +54,19 @@ struct SessionStats {
   size_t retransmits = 0;       // timeout-driven re-sends
   size_t resync_replays = 0;    // frames re-sent on the resync path
   size_t resyncs = 0;           // resync requests received
+  size_t stale_resyncs = 0;     // resyncs anchored below base_ (racing restarts)
   size_t restarts = 0;          // agent restarts
   size_t timeouts = 0;          // retry timer firings that found unacked epochs
   size_t duplicates = 0;        // frames the agent discarded as already applied
   size_t acks = 0;              // ack frames received
+  size_t nacks = 0;             // corrupted data frames the agent NACKed
+  size_t nack_retransmits = 0;  // re-sends triggered by NACKs
+  size_t crashes = 0;           // firmware crashes mid-transaction
+  size_t roll_forwards = 0;     // recoveries that committed a sealed txn
+  size_t recovered_writes = 0;  // TCAM writes spent undoing torn chains
   size_t apply_failures = 0;    // firmware rejections (should be 0)
+  size_t table_full = 0;        // updates rejected with ApplyStatus::kTableFull
+  size_t rolled_back = 0;       // updates undone with ApplyStatus::kRolledBack
   size_t entry_writes = 0;      // total TCAM entry writes across applied epochs
   size_t moves = 0;             // relocation subset: what the DAG schedule costs
   FaultyWire::Counters wire;    // raw wire-level fault counters
@@ -90,11 +98,16 @@ class SwitchSession {
 
  private:
   void send_window();
-  enum class SendKind { kFirst, kRetransmit, kResyncReplay };
+  enum class SendKind { kFirst, kRetransmit, kResyncReplay, kNackResend };
   void send_epoch(uint64_t epoch, SendKind kind);
   void send_ack_frame(FrameKind kind, uint64_t epoch, double at_ms);
-  void on_data_delivered(uint64_t epoch, double send_ms);
+  void on_data_delivered(uint64_t epoch, double send_ms,
+                         const std::shared_ptr<const proto::Bytes>& payload);
+  void handle_ingest(uint64_t epoch, const SwitchAgent::Ingest& ingest);
+  void on_crash(double crash_ms);
+  void on_recovered();
   void on_ack(uint64_t acked);
+  void on_nack(uint64_t epoch);
   void on_resync(uint64_t last_applied);
   void advance_base(uint64_t acked);
   void arm_timer();

@@ -4,15 +4,21 @@
 
 namespace ruletris::runtime {
 
-std::vector<double> FaultyWire::arrivals(double now_ms, size_t wire_bytes) {
+std::vector<FaultyWire::Delivery> FaultyWire::arrivals(double now_ms,
+                                                       size_t wire_bytes) {
   ++counters_.sent;
   // Fixed draw count per send: fault decisions stay aligned with the send
-  // sequence no matter which faults fire.
+  // sequence no matter which faults fire. Corruption draws are consumed for
+  // the primary and the duplicate copy even when neither fires.
   const double drop_d = rng_.next_double();
   const double dup_d = rng_.next_double();
   const double delay_d = rng_.next_double();
   const double jitter_d = rng_.next_double();
   const double dup_jitter_d = rng_.next_double();
+  const double corrupt_d = rng_.next_double();
+  const uint64_t corrupt_bits = rng_.next_u64();
+  const double dup_corrupt_d = rng_.next_double();
+  const uint64_t dup_corrupt_bits = rng_.next_u64();
 
   if (drop_d < faults_.drop_p) {
     ++counters_.dropped;
@@ -26,13 +32,27 @@ std::vector<double> FaultyWire::arrivals(double now_ms, size_t wire_bytes) {
     arrive += jitter_d * faults_.delay_ms;
   }
 
-  std::vector<double> out{arrive};
+  Delivery primary{arrive, false, 0};
+  if (corrupt_d < faults_.corrupt_p) {
+    ++counters_.corrupted;
+    primary.corrupted = true;
+    primary.corrupt_bits = corrupt_bits;
+  }
+
+  std::vector<Delivery> out{primary};
   if (dup_d < faults_.duplicate_p) {
     ++counters_.duplicated;
     // The stray copy trails the original by up to one delay quantum (at
     // least a millisecond, so the duplicate path is exercised even when
-    // delay_ms is configured to 0).
-    out.push_back(arrive + dup_jitter_d * std::max(faults_.delay_ms, 1.0));
+    // delay_ms is configured to 0). It rolls its own corruption fate.
+    Delivery copy{arrive + dup_jitter_d * std::max(faults_.delay_ms, 1.0),
+                  false, 0};
+    if (dup_corrupt_d < faults_.corrupt_p) {
+      ++counters_.corrupted;
+      copy.corrupted = true;
+      copy.corrupt_bits = dup_corrupt_bits;
+    }
+    out.push_back(copy);
   }
   return out;
 }

@@ -24,16 +24,28 @@ class FaultyWire {
              uint64_t seed)
       : channel_(channel), faults_(faults), rng_(seed) {}
 
-  /// Far-end arrival times for a frame of `wire_bytes` sent at `now_ms`:
+  /// One far-end delivery of a sent frame. A corrupted delivery arrives on
+  /// time but damaged: `corrupt_bits` seeds which bit of the frame flipped
+  /// in transit (the receiver decides what that means for its frame type).
+  struct Delivery {
+    double at_ms = 0.0;
+    bool corrupted = false;
+    uint64_t corrupt_bits = 0;
+
+    bool operator==(const Delivery&) const = default;
+  };
+
+  /// Far-end deliveries for a frame of `wire_bytes` sent at `now_ms`:
   /// empty = dropped, two entries = duplicated. Arrivals of successive
   /// sends may interleave (delay jitter => reordering).
-  std::vector<double> arrivals(double now_ms, size_t wire_bytes);
+  std::vector<Delivery> arrivals(double now_ms, size_t wire_bytes);
 
   struct Counters {
     size_t sent = 0;
     size_t dropped = 0;
     size_t duplicated = 0;
     size_t delayed = 0;
+    size_t corrupted = 0;
 
     bool operator==(const Counters&) const = default;
   };

@@ -59,7 +59,8 @@ UpdateMetrics MultiTableSwitch::apply_to_stage(Stage& stage, const MessageBatch&
                            in.added_edges.end());
     }
   }
-  metrics.ok = stage.scheduler->apply(update);
+  metrics.status = stage.scheduler->apply_status(update);
+  metrics.ok = metrics.status == tcam::ApplyStatus::kOk;
   metrics.firmware_ms = watch.elapsed_ms();
 
   const auto after = stage.tcam->stats();
@@ -109,6 +110,10 @@ MultiTableSwitch::PipelineUpdateMetrics MultiTableSwitch::deliver_all(
   for (const UpdateMetrics& m : report.stages) {
     report.ok = report.ok && m.ok;
     report.total.ok = report.ok;
+    if (m.status != tcam::ApplyStatus::kOk &&
+        report.total.status == tcam::ApplyStatus::kOk) {
+      report.total.status = m.status;  // first failing stage wins
+    }
     report.total.entry_writes += m.entry_writes;
     report.total.moves += m.moves;
     report.total.wire_bytes += m.wire_bytes;

@@ -30,6 +30,11 @@ tcam::DagScheduler& SimulatedSwitch::dag_firmware() {
   return *dag_;
 }
 
+const tcam::DagScheduler& SimulatedSwitch::dag_firmware() const {
+  if (!dag_) throw std::logic_error("switch runs the priority firmware");
+  return *dag_;
+}
+
 tcam::PriorityFirmware& SimulatedSwitch::priority_firmware() {
   if (!priority_) throw std::logic_error("switch runs the DAG firmware");
   return *priority_;
@@ -76,7 +81,8 @@ UpdateMetrics SimulatedSwitch::apply(const MessageBatch& batch) {
                              in.added_edges.end());
       }
     }
-    metrics.ok = dag_->apply(update);
+    metrics.status = dag_->apply_status(update);
+    metrics.ok = metrics.status == tcam::ApplyStatus::kOk;
   } else {
     compiler::PrioritizedUpdate update;
     for (const Message& msg : batch) {
@@ -89,6 +95,9 @@ UpdateMetrics SimulatedSwitch::apply(const MessageBatch& batch) {
       }
     }
     metrics.ok = priority_->apply(update);
+    // The priority firmware only fails on exhaustion; surface it as such.
+    metrics.status =
+        metrics.ok ? tcam::ApplyStatus::kOk : tcam::ApplyStatus::kTableFull;
   }
 
   metrics.firmware_ms = watch.elapsed_ms();

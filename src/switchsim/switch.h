@@ -24,7 +24,10 @@ namespace ruletris::switchsim {
 enum class FirmwareMode { kDag, kPriority };
 
 struct UpdateMetrics {
-  bool ok = true;
+  bool ok = true;  // status == kOk; kept for the many boolean call sites
+  /// Structured firmware outcome: kTableFull / kRolledBack distinguish a
+  /// capacity rejection (reportable) from a corrupted request (rolled back).
+  tcam::ApplyStatus status = tcam::ApplyStatus::kOk;
   double channel_ms = 0.0;   // modelled transfer latency (actual encoded bytes)
   double firmware_ms = 0.0;  // measured schedule computation time
   double tcam_ms = 0.0;      // modelled: entry writes x 0.6 ms
@@ -56,6 +59,7 @@ class SimulatedSwitch {
   const tcam::Tcam& tcam() const { return *tcam_; }
 
   tcam::DagScheduler& dag_firmware();
+  const tcam::DagScheduler& dag_firmware() const;
   tcam::PriorityFirmware& priority_firmware();
 
  private:

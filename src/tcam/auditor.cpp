@@ -1,0 +1,112 @@
+#include "tcam/auditor.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ruletris::tcam {
+
+using flowspace::Rule;
+using flowspace::RuleId;
+
+namespace {
+
+void append(AuditReport& report, const std::string& violation) {
+  report.violations.push_back(violation);
+}
+
+std::string slot_str(size_t addr) {
+  return "slot " + std::to_string(addr);
+}
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::ostringstream out;
+  out << "audit: " << entries_checked << " entries, " << edges_checked
+      << " edges, "
+      << (clean() ? "clean" : std::to_string(violations.size()) + " violations");
+  for (const std::string& v : violations) out << "\n  " << v;
+  return out.str();
+}
+
+AuditReport audit_state(const Tcam& tcam, const dag::DependencyGraph& graph) {
+  AuditReport report;
+
+  // Invariant 3: one slot per id, consistent slot/index maps, no entry
+  // without a DAG vertex.
+  std::unordered_set<RuleId> seen;
+  size_t occupied_slots = 0;
+  for (size_t addr = 0; addr < tcam.capacity(); ++addr) {
+    const std::optional<RuleId> id = tcam.at(addr);
+    if (!id) continue;
+    ++occupied_slots;
+    ++report.entries_checked;
+    if (!seen.insert(*id).second) {
+      append(report, "duplicate rule " + std::to_string(*id) + " at " +
+                         slot_str(addr));
+      continue;
+    }
+    if (!tcam.contains(*id) || tcam.address_of(*id) != addr) {
+      append(report, "index mismatch for rule " + std::to_string(*id) +
+                         " at " + slot_str(addr));
+    }
+    if (!graph.has_vertex(*id)) {
+      append(report, "orphan entry: rule " + std::to_string(*id) + " at " +
+                         slot_str(addr) + " has no DAG vertex");
+    }
+  }
+  if (occupied_slots != tcam.occupied()) {
+    append(report, "occupancy mismatch: " + std::to_string(occupied_slots) +
+                       " occupied slots vs occupied() = " +
+                       std::to_string(tcam.occupied()));
+  }
+
+  // Invariant 1: installed dependency endpoints are address-ordered.
+  for (const auto& [u, v] : graph.edges()) {
+    if (!tcam.contains(u) || !tcam.contains(v)) continue;
+    ++report.edges_checked;
+    if (tcam.address_of(v) <= tcam.address_of(u)) {
+      append(report, "edge " + std::to_string(u) + " -> " + std::to_string(v) +
+                         " violates address order: " +
+                         slot_str(tcam.address_of(u)) + " !< " +
+                         slot_str(tcam.address_of(v)));
+    }
+  }
+  return report;
+}
+
+AuditReport audit_state(const Tcam& tcam, const dag::DependencyGraph& graph,
+                        const std::vector<Rule>& expected) {
+  AuditReport report = audit_state(tcam, graph);
+
+  // Invariant 2: installed entries are exactly the expected set.
+  std::unordered_map<RuleId, const Rule*> want;
+  for (const Rule& r : expected) want.emplace(r.id, &r);
+  if (tcam.occupied() != want.size()) {
+    append(report, "entry count " + std::to_string(tcam.occupied()) +
+                       " != expected " + std::to_string(want.size()));
+  }
+  for (const auto& [id, rule] : want) {
+    if (!tcam.contains(id)) {
+      append(report, "expected rule " + std::to_string(id) + " not installed");
+      continue;
+    }
+    const Rule& installed = tcam.rule(id);
+    if (!(installed.match == rule->match) ||
+        !(installed.actions == rule->actions)) {
+      append(report, "rule " + std::to_string(id) +
+                         " installed with different match/actions");
+    }
+  }
+  for (size_t addr = 0; addr < tcam.capacity(); ++addr) {
+    const std::optional<RuleId> id = tcam.at(addr);
+    if (id && !want.count(*id)) {
+      append(report, "unexpected rule " + std::to_string(*id) + " at " +
+                         slot_str(addr));
+    }
+  }
+  return report;
+}
+
+}  // namespace ruletris::tcam

@@ -1,0 +1,43 @@
+// Firmware state auditor: post-recovery invariant checks.
+//
+// After any crash recovery (and after rejected updates roll back) the
+// TCAM + DAG pair must still satisfy the three invariants RuleTris's
+// correctness rests on:
+//   1. Every DAG edge u -> v with both endpoints installed is
+//      address-ordered: addr(v) > addr(u) (dependency priority is encoded
+//      in physical addresses, Sec. II).
+//   2. When the caller knows the expected rule set, the installed entries
+//      match it exactly — same ids, same match fields, same actions; no
+//      rule silently lost or resurrected by a torn chain.
+//   3. No duplicate or orphan slots: each rule id occupies exactly one
+//      slot, the slot/index maps agree, and every installed entry has a
+//      DAG vertex.
+// The auditor reads only the public device/graph API — it is the external
+// checker a recovery path must satisfy, not part of the path itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/dependency_graph.h"
+#include "tcam/tcam.h"
+
+namespace ruletris::tcam {
+
+struct AuditReport {
+  std::vector<std::string> violations;
+  size_t entries_checked = 0;
+  size_t edges_checked = 0;
+
+  bool clean() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Structural audit: invariants (1) and (3).
+AuditReport audit_state(const Tcam& tcam, const dag::DependencyGraph& graph);
+
+/// Full audit: additionally checks invariant (2) against `expected`.
+AuditReport audit_state(const Tcam& tcam, const dag::DependencyGraph& graph,
+                        const std::vector<flowspace::Rule>& expected);
+
+}  // namespace ruletris::tcam

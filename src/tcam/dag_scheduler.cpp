@@ -30,39 +30,260 @@ void DagScheduler::sync_caps() {
   }
 }
 
+void DagScheduler::fire_crash_hook() {
+  if (crash_hook_()) {
+    throw CrashError("DagScheduler: injected crash inside transaction");
+  }
+}
+
+// Journaled funnels all follow the same shape: consult the crash hook,
+// execute the primitive, then journal it as applied. Crashes are injected
+// only at hook consultations, so nothing can tear between the execution
+// and its journal entry — the log a crash finds always lists exactly the
+// completed prefix, which is what write-ahead intent guarantees, without
+// paying existence pre-probes or a second journal touch per op.
+
 void DagScheduler::do_write(size_t addr, const Rule& rule) {
+  const bool journaled = journaling();
+  if (journaled) maybe_crash();
   tcam_.write(addr, rule);
   occupancy_.set_occupied(addr, true);
   if (caps_live()) caps_.on_write(rule.id, addr, graph_, tcam_);
+  if (journaled) {
+    ApplyJournal::Op op;
+    op.kind = ApplyJournal::OpKind::kWrite;
+    op.applied = true;
+    op.to = addr;
+    op.u = rule.id;
+    journal_->record(op);
+  }
 }
 
 void DagScheduler::do_move(size_t from, size_t to) {
+  const bool journaled = journaling();
+  if (journaled) maybe_crash();
   tcam_.move(from, to);
   occupancy_.set_occupied(from, false);
   occupancy_.set_occupied(to, true);
   if (caps_live()) caps_.on_move(from, to, graph_, tcam_);
+  if (journaled) {
+    ApplyJournal::Op op;
+    op.kind = ApplyJournal::OpKind::kMove;
+    op.applied = true;
+    op.from = from;
+    op.to = to;
+    journal_->record(op);
+  }
 }
 
 void DagScheduler::do_erase(size_t addr) {
   const RuleId id = *tcam_.at(addr);
+  if (journaling()) {
+    maybe_crash();
+    // take() moves the dropped entry straight into the journal: the
+    // inverse is a fresh write of data the device no longer holds.
+    Rule snapshot = tcam_.take(addr);
+    occupancy_.set_occupied(addr, false);
+    if (caps_live()) caps_.on_erase(id, addr, graph_, tcam_);
+    ApplyJournal::Op op;
+    op.kind = ApplyJournal::OpKind::kErase;
+    op.applied = true;
+    op.from = addr;
+    op.u = id;
+    journal_->record(op, std::move(snapshot));
+    return;
+  }
   tcam_.erase(addr);
   occupancy_.set_occupied(addr, false);
   if (caps_live()) caps_.on_erase(id, addr, graph_, tcam_);
 }
 
+void DagScheduler::add_vertex_internal(RuleId v) {
+  if (journaling()) {
+    maybe_crash();
+    if (graph_.add_vertex(v)) {
+      ApplyJournal::Op op;
+      op.kind = ApplyJournal::OpKind::kAddVertex;
+      op.applied = true;
+      op.u = v;
+      journal_->record(op);
+    }
+    return;
+  }
+  graph_.add_vertex(v);
+}
+
 void DagScheduler::add_edge_internal(RuleId u, RuleId v) {
+  if (journaling()) {
+    maybe_crash();
+    // add_edge reports exactly what it changed; implicit endpoint creation
+    // is journaled as explicit vertex adds (before the edge, so the
+    // reverse-order rollback removes the edge first) and a no-op add
+    // journals nothing — its rollback must not strip a pre-existing edge.
+    const dag::DependencyGraph::EdgeAdd added = graph_.add_edge(u, v);
+    ApplyJournal::Op op;
+    op.applied = true;
+    if (added.created_u) {
+      op.kind = ApplyJournal::OpKind::kAddVertex;
+      op.u = u;
+      journal_->record(op);
+    }
+    if (added.created_v) {
+      op.kind = ApplyJournal::OpKind::kAddVertex;
+      op.u = v;
+      journal_->record(op);
+    }
+    if (added.added) {
+      if (caps_live()) caps_.on_add_edge(u, v, tcam_);
+      op.kind = ApplyJournal::OpKind::kAddEdge;
+      op.u = u;
+      op.v = v;
+      journal_->record(op);
+    }
+    return;
+  }
   graph_.add_edge(u, v);
   if (caps_live()) caps_.on_add_edge(u, v, tcam_);
 }
 
 void DagScheduler::remove_edge_internal(RuleId u, RuleId v) {
+  if (journaling()) {
+    maybe_crash();
+    if (graph_.remove_edge(u, v)) {
+      if (caps_live()) caps_.on_remove_edge(u, v, tcam_);
+      ApplyJournal::Op op;
+      op.kind = ApplyJournal::OpKind::kRemoveEdge;
+      op.applied = true;
+      op.u = u;
+      op.v = v;
+      journal_->record(op);
+    }
+    return;
+  }
   graph_.remove_edge(u, v);
   if (caps_live()) caps_.on_remove_edge(u, v, tcam_);
 }
 
 void DagScheduler::remove_vertex_internal(RuleId v) {
+  if (journaling()) {
+    if (!graph_.has_vertex(v)) return;
+    // remove_vertex drops incident edges implicitly; journal each one as an
+    // explicit removal first so the rollback can restore them exactly. The
+    // removal itself then executes wholesale as one composite primitive —
+    // recording does not mutate the graph, so the edge sets are iterated in
+    // place, and the bulk cap-cache update is the same one the unjournaled
+    // path pays (not a per-edge teardown).
+    for (RuleId p : graph_.predecessors(v)) {
+      ApplyJournal::Op op;
+      op.kind = ApplyJournal::OpKind::kRemoveEdge;
+      op.u = p;
+      op.v = v;
+      journal_->record(op);
+    }
+    for (RuleId s : graph_.successors(v)) {
+      ApplyJournal::Op op;
+      op.kind = ApplyJournal::OpKind::kRemoveEdge;
+      op.u = v;
+      op.v = s;
+      journal_->record(op);
+    }
+    ApplyJournal::Op op;
+    op.kind = ApplyJournal::OpKind::kRemoveVertex;
+    op.u = v;
+    journal_->record(op);
+    maybe_crash();
+    graph_.remove_vertex(v);
+    if (caps_live()) caps_.on_remove_vertex(v);
+    journal_->mark_applied_all();
+    return;
+  }
   graph_.remove_vertex(v);
   if (caps_live()) caps_.on_remove_vertex(v);
+}
+
+bool DagScheduler::begin_txn() {
+  if (journal_ == nullptr || journal_->open()) return false;
+  journal_->begin(++txn_counter_);
+  return true;
+}
+
+void DagScheduler::commit_txn(bool owns) {
+  if (!owns) return;
+  journal_->seal();
+  // Crash point at the frame boundary: every op executed, commit pending.
+  // Recovery rolls forward (the device already holds the final state).
+  maybe_crash();
+  journal_->commit();
+}
+
+ApplyStatus DagScheduler::fail_txn(bool owns) {
+  if (!owns) return ApplyStatus::kTableFull;
+  return rollback_open_txn() > 0 ? ApplyStatus::kRolledBack
+                                 : ApplyStatus::kTableFull;
+}
+
+size_t DagScheduler::rollback_open_txn(size_t* undone_writes) {
+  const std::vector<ApplyJournal::Op>& ops = journal_->ops();
+  size_t undone = 0;
+  size_t writes = 0;
+  // The undo uses the raw device/graph (not the do_* funnels): undo ops are
+  // not re-journaled and must not re-fire the crash hook. The cap cache is
+  // rebuilt lazily instead of tracking each inverse op.
+  caps_dirty_ = true;
+  for (size_t i = ops.size(); i-- > 0;) {
+    const ApplyJournal::Op& op = ops[i];
+    if (!op.applied) continue;
+    ++undone;
+    switch (op.kind) {
+      case ApplyJournal::OpKind::kWrite:
+        tcam_.erase(op.to);
+        occupancy_.set_occupied(op.to, false);
+        break;
+      case ApplyJournal::OpKind::kMove:
+        tcam_.move(op.to, op.from);
+        occupancy_.set_occupied(op.to, false);
+        occupancy_.set_occupied(op.from, true);
+        ++writes;
+        break;
+      case ApplyJournal::OpKind::kErase:
+        tcam_.write(op.from, journal_->snapshot(op));
+        occupancy_.set_occupied(op.from, true);
+        ++writes;
+        break;
+      case ApplyJournal::OpKind::kAddVertex:
+        // Later-journaled incident edges were already undone above, so the
+        // vertex is isolated again.
+        graph_.remove_vertex(op.u);
+        break;
+      case ApplyJournal::OpKind::kRemoveVertex:
+        graph_.add_vertex(op.u);
+        break;
+      case ApplyJournal::OpKind::kAddEdge:
+        graph_.remove_edge(op.u, op.v);
+        break;
+      case ApplyJournal::OpKind::kRemoveEdge:
+        graph_.add_edge(op.u, op.v);
+        break;
+    }
+  }
+  journal_->commit();
+  if (undone_writes != nullptr) *undone_writes = writes;
+  return undone;
+}
+
+DagScheduler::RecoveryResult DagScheduler::recover() {
+  RecoveryResult result;
+  if (journal_ == nullptr || !journal_->open()) return result;
+  if (journal_->sealed()) {
+    // Crash fell between seal and commit: every op executed, so the device
+    // already holds the fully-applied state. Discard the log.
+    journal_->commit();
+    result.outcome = RecoveryResult::Outcome::kRolledForward;
+    return result;
+  }
+  result.undone_ops = rollback_open_txn(&result.undone_writes);
+  result.outcome = RecoveryResult::Outcome::kRolledBack;
+  return result;
 }
 
 std::pair<long long, long long> DagScheduler::insert_bounds(RuleId id) const {
@@ -303,19 +524,24 @@ void DagScheduler::execute_down(const Chain& chain, const Rule& rule) {
   execute_up(chain, rule);
 }
 
-bool DagScheduler::insert(const Rule& rule) {
+ApplyStatus DagScheduler::insert_status(const Rule& rule) {
   sync_caps();
-  return insert_impl(rule, 0);
+  const bool owns = begin_txn();
+  if (!insert_impl(rule, 0)) return fail_txn(owns);
+  commit_txn(owns);
+  return ApplyStatus::kOk;
 }
 
 bool DagScheduler::evict(RuleId id) {
   if (!tcam_.contains(id)) return false;
+  const bool owns = begin_txn();
   do_erase(tcam_.address_of(id));
+  commit_txn(owns);
   return true;
 }
 
 bool DagScheduler::insert_impl(const Rule& rule, int depth) {
-  graph_.add_vertex(rule.id);
+  add_vertex_internal(rule.id);
   const auto [lo, hi] =
       caps_live() ? caps_.bounds_of(rule.id) : insert_bounds(rule.id);
   last_chain_moves_ = 0;
@@ -416,24 +642,31 @@ bool DagScheduler::insert_impl(const Rule& rule, int depth) {
 }
 
 void DagScheduler::remove(RuleId id) {
+  const bool owns = begin_txn();
   if (tcam_.contains(id)) {
     do_erase(tcam_.address_of(id));
   }
   remove_vertex_internal(id);
+  commit_txn(owns);
 }
 
-bool DagScheduler::apply(const BackendUpdate& update) {
+ApplyStatus DagScheduler::apply_status(const BackendUpdate& update) {
   sync_caps();
+  const bool owns = begin_txn();
   for (const auto& [u, v] : update.dag.removed_edges) remove_edge_internal(u, v);
-  for (RuleId id : update.removed) remove(id);
-  for (RuleId v : update.dag.added_vertices) graph_.add_vertex(v);
+  for (RuleId id : update.removed) {
+    if (tcam_.contains(id)) do_erase(tcam_.address_of(id));
+    remove_vertex_internal(id);
+  }
+  for (RuleId v : update.dag.added_vertices) add_vertex_internal(v);
   for (const auto& [u, v] : update.dag.added_edges) add_edge_internal(u, v);
 
   if (update.added.size() <= 1) {
     for (const Rule& r : update.added) {
-      if (!insert(r)) return false;
+      if (!insert_impl(r, 0)) return fail_txn(owns);
     }
-    return true;
+    commit_txn(owns);
+    return ApplyStatus::kOk;
   }
 
   // Install in dependency order: if a -> b among the new rules, b must be
@@ -454,7 +687,7 @@ bool DagScheduler::apply(const BackendUpdate& update) {
   while (!ready.empty()) {
     const RuleId id = ready.front();
     ready.pop_front();
-    if (!insert(*pending.at(id))) return false;
+    if (!insert_impl(*pending.at(id), 0)) return fail_txn(owns);
     ++installed;
     for (RuleId pred : graph_.predecessors(id)) {
       auto it = deps.find(pred);
@@ -463,9 +696,10 @@ bool DagScheduler::apply(const BackendUpdate& update) {
   }
   if (installed != update.added.size()) {
     util::log_error("DagScheduler: cyclic dependency among inserted rules");
-    return false;
+    return fail_txn(owns);
   }
-  return true;
+  commit_txn(owns);
+  return ApplyStatus::kOk;
 }
 
 bool DagScheduler::layout_valid() const {

@@ -19,10 +19,12 @@
 // tests. Both produce bit-identical chains and layouts.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "dag/dependency_graph.h"
+#include "tcam/apply_journal.h"
 #include "tcam/backend_update.h"
 #include "tcam/cap_index.h"
 #include "tcam/occupancy.h"
@@ -31,6 +33,22 @@
 namespace ruletris::tcam {
 
 using dag::DependencyGraph;
+
+/// Structured outcome of an update transaction. kTableFull: the update was
+/// infeasible and the device was left untouched (with a journal attached) or
+/// partially applied up to the failing insert (legacy, journal-less mode).
+/// kRolledBack: part of the update had executed before it failed; the
+/// journal undid it, so the device equals its pre-update state.
+enum class ApplyStatus : uint8_t { kOk = 0, kTableFull = 1, kRolledBack = 2 };
+
+inline const char* to_string(ApplyStatus s) {
+  switch (s) {
+    case ApplyStatus::kOk: return "ok";
+    case ApplyStatus::kTableFull: return "table_full";
+    case ApplyStatus::kRolledBack: return "rolled_back";
+  }
+  return "?";
+}
 
 class DagScheduler {
  public:
@@ -48,12 +66,54 @@ class DagScheduler {
                         SearchMode mode = SearchMode::kCached);
 
   /// Applies one incremental update: edge removals, rule deletions, DAG
-  /// additions, then rule inserts in dependency order. Returns false (and
-  /// stops) if the TCAM cannot fit an insert.
-  bool apply(const BackendUpdate& update);
+  /// additions, then rule inserts in dependency order. With a journal
+  /// attached the whole update is one recoverable transaction: on an
+  /// infeasible insert every executed op is undone (kRolledBack, or
+  /// kTableFull when nothing had executed) and the device is exactly its
+  /// pre-update state. Without a journal a failure stops mid-update
+  /// (kTableFull), preserving the legacy partial-stop behaviour.
+  ApplyStatus apply_status(const BackendUpdate& update);
+  bool apply(const BackendUpdate& update) {
+    return apply_status(update) == ApplyStatus::kOk;
+  }
 
   /// Inserts one rule whose vertex/edges are already in the graph.
-  bool insert(const Rule& rule);
+  ApplyStatus insert_status(const Rule& rule);
+  bool insert(const Rule& rule) {
+    return insert_status(rule) == ApplyStatus::kOk;
+  }
+
+  /// Attaches (or detaches, with nullptr) the write-ahead journal; not
+  /// owned. With a journal every apply/insert/evict/remove runs as a
+  /// recoverable transaction. Direct graph() edits bypass the journal and
+  /// are not crash-protected.
+  void set_journal(ApplyJournal* journal) { journal_ = journal; }
+  ApplyJournal* journal() const { return journal_; }
+
+  /// Crash-injection hook, consulted once per journaled op (after its
+  /// intent is recorded, before it executes) and once at the commit point
+  /// (after seal). Returning true throws CrashError, leaving the torn
+  /// transaction for recover(). Only consulted while a journal transaction
+  /// is open.
+  void set_crash_hook(std::function<bool()> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+  struct RecoveryResult {
+    enum class Outcome {
+      kClean,          // no torn transaction; nothing to do
+      kRolledBack,     // unsealed txn undone; device == pre-update state
+      kRolledForward,  // sealed txn committed; device == fully-applied state
+    };
+    Outcome outcome = Outcome::kClean;
+    size_t undone_ops = 0;     // journal ops undone (TCAM + DAG)
+    size_t undone_writes = 0;  // TCAM entry writes the undo cost (x 0.6 ms)
+  };
+
+  /// Replays the journal after a crash: commits a sealed transaction
+  /// (roll-forward) or undoes an unsealed one in reverse (rollback),
+  /// restoring occupancy and invalidating the cap cache for lazy rebuild.
+  RecoveryResult recover();
 
   /// Erases the rule's TCAM entry but keeps its vertex and edges — the
   /// CacheFlow-style eviction primitive. Returns false if not installed.
@@ -116,15 +176,39 @@ class DagScheduler {
 
   // All TCAM/graph mutations funnel through these so occupancy and the cap
   // cache stay exact (hooks no-op in kLegacy mode or while the cache is
-  // dirty from external graph() edits).
+  // dirty from external graph() edits) and so every op is journaled while a
+  // transaction is open.
   void do_write(size_t addr, const Rule& rule);
   void do_move(size_t from, size_t to);
   void do_erase(size_t addr);
+  void add_vertex_internal(flowspace::RuleId v);
   void add_edge_internal(flowspace::RuleId u, flowspace::RuleId v);
   void remove_edge_internal(flowspace::RuleId u, flowspace::RuleId v);
   void remove_vertex_internal(flowspace::RuleId v);
   bool caps_live() const { return mode_ == SearchMode::kCached && !caps_dirty_; }
   void sync_caps();
+
+  bool journaling() const { return journal_ != nullptr && journal_->open(); }
+  /// Fires the crash hook inside an open transaction; throws CrashError.
+  /// Inline fast path: the hook is usually unset, and this sits on every
+  /// journaled primitive.
+  void maybe_crash() {
+    if (crash_hook_) fire_crash_hook();
+  }
+  void fire_crash_hook();
+  /// Opens a journal transaction if a journal is attached and none is open.
+  /// Returns whether this call owns (and must close) the transaction.
+  bool begin_txn();
+  /// Seals and commits an owned transaction; the seal->commit gap is a
+  /// crash point (recovery then rolls forward).
+  void commit_txn(bool owns);
+  /// Failure path: rolls back an owned open transaction and maps the result
+  /// to kRolledBack (work was undone) or kTableFull (nothing had executed).
+  ApplyStatus fail_txn(bool owns);
+  /// Undoes every applied op of the open transaction in reverse, then
+  /// clears it. Returns the op count undone; `undone_writes` (optional)
+  /// receives the TCAM entry writes the undo itself cost.
+  size_t rollback_open_txn(size_t* undone_writes = nullptr);
 
   Tcam& tcam_;
   OccupancyIndex occupancy_;
@@ -134,6 +218,9 @@ class DagScheduler {
   CapIndex caps_;
   bool caps_dirty_ = false;
   size_t last_chain_moves_ = 0;
+  ApplyJournal* journal_ = nullptr;  // not owned
+  std::function<bool()> crash_hook_;
+  uint64_t txn_counter_ = 0;
 
   // Reusable flat-arena BFS state: offset-indexed parent slots plus a flat
   // FIFO (head cursor instead of pop_front). assign()/clear() never shrink

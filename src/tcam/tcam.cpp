@@ -57,6 +57,16 @@ void Tcam::erase(size_t addr) {
   notify(Op::kErase, addr);
 }
 
+Rule Tcam::take(size_t addr) {
+  if (is_free(addr)) throw std::logic_error("Tcam::take: slot free");
+  Rule out = std::move(*slots_[addr]);
+  by_id_.erase(out.id);
+  slots_[addr].reset();
+  ++stats_.erases;
+  notify(Op::kErase, addr);
+  return out;
+}
+
 void Tcam::modify_actions(RuleId id, flowspace::ActionList actions) {
   const size_t addr = address_of(id);
   slots_[addr]->actions = std::move(actions);

@@ -52,6 +52,10 @@ class Tcam {
   /// Invalidates the entry at `addr` (free).
   void erase(size_t addr);
 
+  /// erase() that moves the dropped entry out — the journal snapshots it
+  /// for the inverse write without a rule copy on the apply fast path.
+  Rule take(size_t addr);
+
   /// Rewrites the actions of an installed entry in place (1 entry write).
   void modify_actions(RuleId id, flowspace::ActionList actions);
 

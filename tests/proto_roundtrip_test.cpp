@@ -215,5 +215,59 @@ TEST(ProtoRoundTrip, StrictPrefixesOfManyRandomBatchesThrow) {
   }
 }
 
+TEST(ProtoChecksum, ChecksumOkAcceptsPristineAndRejectsTruncated) {
+  Rng rng(77);
+  MessageBatch batch = random_batch(rng, 8);
+  batch.push_back(proto::Barrier{});
+  const Bytes wire = proto::encode_batch(batch);
+
+  EXPECT_TRUE(proto::checksum_ok(wire));
+  for (size_t len = 0; len < 4; ++len) {
+    EXPECT_FALSE(proto::checksum_ok(Bytes(wire.begin(), wire.begin() + len)));
+  }
+}
+
+/// Corruption fuzz (the CRC32 trailer): flipping every single bit of every
+/// byte of an encoded batch must make decode_batch throw — a single-bit
+/// error can never be parsed into a different batch. CRC32 detects all
+/// single-bit errors, so this is exhaustive, not probabilistic.
+TEST(ProtoChecksum, EverySingleBitFlipIsDetected) {
+  Rng rng(88);
+  MessageBatch batch = random_batch(rng, 6);
+  batch.push_back(proto::Barrier{});
+  const Bytes wire = proto::encode_batch(batch);
+
+  for (size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes damaged = wire;
+      damaged[i] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(proto::checksum_ok(damaged)) << "byte " << i << " bit " << bit;
+      EXPECT_THROW(proto::decode_batch(damaged), std::runtime_error)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+/// Whole-byte corruption across many random batches: parse must either
+/// throw (the CRC catches it) or — never — succeed on damaged bytes. The
+/// undamaged wire must keep decoding bit-identically afterwards.
+TEST(ProtoChecksum, RandomByteCorruptionNeverYieldsGarbage) {
+  for (uint64_t seed = 500; seed < 520; ++seed) {
+    Rng rng(seed);
+    MessageBatch batch = random_batch(rng, 6);
+    batch.push_back(random_message(rng));
+    const Bytes wire = proto::encode_batch(batch);
+
+    for (size_t i = 0; i < wire.size(); ++i) {
+      Bytes damaged = wire;
+      damaged[i] ^= static_cast<uint8_t>(1 + rng.next_below(255));  // never 0
+      EXPECT_THROW(proto::decode_batch(damaged), std::runtime_error)
+          << "seed " << seed << " byte " << i;
+    }
+    // The pristine bytes still round-trip after all that abuse.
+    EXPECT_EQ(proto::encode_batch(proto::decode_batch(wire)), wire);
+  }
+}
+
 }  // namespace
 }  // namespace ruletris

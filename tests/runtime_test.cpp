@@ -20,6 +20,8 @@
 #include "runtime/wire.h"
 #include "runtime/workload.h"
 #include "switchsim/adapters.h"
+#include "tcam/auditor.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace ruletris {
@@ -75,7 +77,8 @@ TEST(FaultyWire, FaultFreeDeliversExactlyOnceAtOneWayLatency) {
   FaultyWire wire(channel, FaultSpec{}, 42);
   const auto arrivals = wire.arrivals(100.0, 1000);
   ASSERT_EQ(arrivals.size(), 1u);
-  EXPECT_DOUBLE_EQ(arrivals[0], 100.0 + channel.one_way_ms(1000));
+  EXPECT_DOUBLE_EQ(arrivals[0].at_ms, 100.0 + channel.one_way_ms(1000));
+  EXPECT_FALSE(arrivals[0].corrupted);
   EXPECT_EQ(wire.counters().sent, 1u);
   EXPECT_EQ(wire.counters().dropped, 0u);
 }
@@ -284,7 +287,15 @@ void expect_reports_identical(const RuntimeReport& a, const RuntimeReport& b) {
   EXPECT_EQ(a.restarts, b.restarts);
   EXPECT_EQ(a.timeouts, b.timeouts);
   EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.stale_resyncs, b.stale_resyncs);
+  EXPECT_EQ(a.nacks, b.nacks);
+  EXPECT_EQ(a.nack_retransmits, b.nack_retransmits);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.roll_forwards, b.roll_forwards);
+  EXPECT_EQ(a.recovered_writes, b.recovered_writes);
   EXPECT_EQ(a.apply_failures, b.apply_failures);
+  EXPECT_EQ(a.table_full, b.table_full);
+  EXPECT_EQ(a.rolled_back, b.rolled_back);
   EXPECT_EQ(a.makespan_ms, b.makespan_ms);  // exact: virtual time
   EXPECT_EQ(a.all_converged, b.all_converged);
   EXPECT_TRUE(a.ack_ms == b.ack_ms);
@@ -331,6 +342,144 @@ TEST(Controller, FanOutConvergesAndIsDeterministicAcrossThreadCounts) {
 
   const RuntimeReport again = run_with_threads(4);
   expect_reports_identical(serial, again);
+}
+
+TEST(SwitchAgent, CorruptFrameIsNackedNeverParsed) {
+  SwitchAgent agent(64, proto::ChannelModel{});
+  const EncodedEpoch e1 = make_single_rule_epoch(1);
+  proto::Bytes damaged = *e1.wire;
+  damaged[damaged.size() / 2] ^= 0x40;  // one flipped bit in transit
+
+  const auto in = agent.on_data(
+      1, std::make_shared<const proto::Bytes>(damaged), 1.0);
+  EXPECT_TRUE(in.corrupt);
+  EXPECT_TRUE(in.applied.empty());
+  EXPECT_EQ(agent.buffered(), 0u);  // never parsed, never buffered
+  EXPECT_EQ(agent.last_applied(), 0u);
+  EXPECT_EQ(agent.corrupt_frames(), 1u);
+
+  // The pristine retransmit then applies normally.
+  const auto retry = agent.on_data(1, e1.wire, 2.0);
+  ASSERT_EQ(retry.applied.size(), 1u);
+  EXPECT_EQ(agent.last_applied(), 1u);
+}
+
+TEST(SwitchAgent, CrashTearsApplyAndRecoveryRestoresService) {
+  SwitchAgent agent(64, proto::ChannelModel{});
+  // Arm a one-shot crash on the first journaled op of the next apply.
+  bool armed = true;
+  agent.device().dag_firmware().set_crash_hook([&armed] {
+    if (!armed) return false;
+    armed = false;
+    return true;
+  });
+
+  const EncodedEpoch e1 = make_single_rule_epoch(1);
+  const auto in = agent.on_data(1, e1.wire, 1.0);
+  EXPECT_TRUE(in.crashed);
+  EXPECT_TRUE(in.applied.empty());
+  EXPECT_TRUE(agent.down());
+  EXPECT_EQ(agent.crashes(), 1u);
+  EXPECT_EQ(agent.device().tcam().occupied(), 0u);  // nothing half-written
+
+  // Down agents drop frames on the floor.
+  const auto while_down = agent.on_data(1, e1.wire, 2.0);
+  EXPECT_TRUE(while_down.dropped);
+
+  const auto recovery = agent.recover_and_restart();
+  EXPECT_FALSE(recovery.rolled_forward);  // intent logged, op never executed
+  EXPECT_TRUE(agent.down());              // still down until power_on
+  agent.power_on(5.0);
+  EXPECT_FALSE(agent.down());
+
+  const auto retry = agent.on_data(1, e1.wire, 6.0);
+  ASSERT_EQ(retry.applied.size(), 1u);
+  EXPECT_EQ(agent.last_applied(), 1u);
+  EXPECT_EQ(agent.device().tcam().occupied(), 1u);
+  EXPECT_EQ(agent.restarts(), 1u);
+}
+
+TEST(SwitchSession, CorruptedFramesAreNackedAndRetransmitted) {
+  const CompiledWorkload wl = small_workload(40, 17);
+  const std::vector<EncodedEpoch> log = encode_log(wl);
+
+  SessionConfig cfg;
+  cfg.window = 4;
+  cfg.retry_timeout_ms = 500.0;  // NACKs, not timeouts, must drive recovery
+  cfg.faults.corrupt_p = 0.2;
+  cfg.seed = 3;
+  cfg.tcam_capacity = wl.suggested_capacity();
+  SwitchSession session(cfg, log);
+  const SessionStats stats = session.run(wl.final_rules);
+
+  EXPECT_TRUE(stats.completed);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GT(stats.wire.corrupted, 0u);
+  EXPECT_GT(stats.nacks, 0u);
+  EXPECT_GT(stats.nack_retransmits, 0u);
+  EXPECT_EQ(stats.apply_failures, 0u);
+  EXPECT_EQ(stats.crashes, 0u);
+}
+
+/// Regression for the double-restart window: the agent restarts again while
+/// the resync replay for its first restart is still in flight, so a resync
+/// anchored below the committed frontier arrives late. The controller must
+/// take the min anchor and replay, never strand the tail of the log.
+TEST(SwitchSession, DoubleRestartDuringResyncReplayStillConverges) {
+  const CompiledWorkload wl = small_workload(40, 18);
+  const std::vector<EncodedEpoch> log = encode_log(wl);
+
+  size_t stale_total = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SessionConfig cfg;
+    cfg.window = 6;
+    cfg.faults.restart_every_ms = 15.0;  // restarts race the replays
+    cfg.faults.delay_p = 0.4;            // delayed frames invert orderings
+    cfg.faults.delay_ms = 12.0;
+    cfg.seed = seed;
+    cfg.tcam_capacity = wl.suggested_capacity();
+    SwitchSession session(cfg, log);
+    const SessionStats stats = session.run(wl.final_rules);
+    EXPECT_TRUE(stats.completed) << "seed " << seed;
+    EXPECT_TRUE(stats.converged) << "seed " << seed;
+    EXPECT_GT(stats.restarts, 1u) << "seed " << seed;
+    stale_total += stats.stale_resyncs;
+  }
+  // The race actually occurred somewhere in the sweep — the min-anchor
+  // handling was exercised, not just reachable.
+  EXPECT_GT(stale_total, 0u);
+}
+
+/// Satellite: table-full is a structured outcome, not a crash. A session
+/// whose TCAM cannot hold the workload completes (rejections are acked),
+/// reports the rejections as kTableFull/kRolledBack, and leaves the device
+/// auditor-clean — rejected updates never tear the TCAM.
+TEST(SwitchSession, CapacityExhaustionRejectsCleanlyAndAuditsClean) {
+  const CompiledWorkload wl = small_workload(40, 19);
+  const std::vector<EncodedEpoch> log = encode_log(wl);
+
+  SessionConfig cfg;
+  cfg.window = 4;
+  // Deliberately below the table's high-water mark, so some update in the
+  // stream must be rejected for capacity.
+  cfg.tcam_capacity = wl.peak_visible - wl.peak_visible / 4;
+  SwitchSession session(cfg, log);
+  util::set_log_level(util::LogLevel::kOff);  // rejections are the point
+  const SessionStats stats = session.run(wl.final_rules);
+  util::set_log_level(util::LogLevel::kWarn);
+
+  EXPECT_TRUE(stats.completed);   // rejected epochs still ack and advance
+  EXPECT_FALSE(stats.converged);  // but the expected table cannot fit
+  EXPECT_GT(stats.apply_failures, 0u);
+  EXPECT_GT(stats.table_full + stats.rolled_back, 0u);
+  EXPECT_EQ(stats.apply_failures, stats.table_full + stats.rolled_back);
+
+  // Structural invariants survive every rejection.
+  const auto& device = session.agent().device();
+  const auto audit =
+      tcam::audit_state(device.tcam(), device.dag_firmware().graph());
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
+  EXPECT_TRUE(device.dag_firmware().layout_valid());
 }
 
 TEST(Controller, SessionsDrawIndependentFaultStreams) {

@@ -71,6 +71,8 @@ struct Options {
   size_t switches = 8;                    // --switches
   size_t window = 4;                      // --window (in-flight epochs)
   std::optional<uint64_t> fault_seed;     // --fault-seed: enables chaos mix
+  std::optional<double> crash_p;          // --crash-p: firmware crash per journaled op
+  std::optional<double> corrupt_p;        // --corrupt-p: per-frame bit flip
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -82,12 +84,19 @@ struct Options {
                "          [--compile-threads N] [--verbose]\n"
                "          [--trace FILE | --emit-trace FILE] [--json FILE]\n"
                "          [--runtime] [--switches N] [--window W] [--fault-seed S]\n"
+               "          [--crash-p P] [--corrupt-p P]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
                "          gen:nat:N | file:PATH\n"
                "  --runtime replicates the compiled update stream to N\n"
                "  concurrent switch sessions over a simulated wire; with\n"
                "  --fault-seed the wire drops/duplicates/delays frames and\n"
-               "  restarts agents (deterministically, from the seed).\n",
+               "  restarts agents (deterministically, from the seed).\n"
+               "  --crash-p makes agent firmware crash mid-transaction with\n"
+               "  probability P per journaled op (journal recovery rolls the\n"
+               "  torn TCAM back or forward before resync); --corrupt-p flips\n"
+               "  a wire bit per frame with probability P (CRC-caught,\n"
+               "  NACK-retransmitted). Both imply faults even without\n"
+               "  --fault-seed.\n",
                argv0);
   std::exit(2);
 }
@@ -137,6 +146,10 @@ Options parse_args(int argc, char** argv) {
       opt.window = static_cast<size_t>(std::stoul(need_value(i)));
     } else if (arg == "--fault-seed") {
       opt.fault_seed = std::stoull(need_value(i));
+    } else if (arg == "--crash-p") {
+      opt.crash_p = std::stod(need_value(i));
+    } else if (arg == "--corrupt-p") {
+      opt.corrupt_p = std::stod(need_value(i));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
@@ -271,6 +284,13 @@ int main(int argc, char** argv) {
         cfg.faults = runtime::FaultSpec::chaos();
         cfg.fault_seed = *opt.fault_seed;
       }
+      if (opt.crash_p || opt.corrupt_p) {
+        // Crash/corruption layer on top of whatever wire mix is active
+        // (a clean wire unless --fault-seed picked the chaos mix).
+        if (!opt.fault_seed) cfg.fault_seed = opt.seed;
+        if (opt.crash_p) cfg.faults.crash_p = *opt.crash_p;
+        if (opt.corrupt_p) cfg.faults.corrupt_p = *opt.corrupt_p;
+      }
       cfg.n_threads = std::min<size_t>(
           opt.switches, std::max(1u, std::thread::hardware_concurrency()));
       cfg.tcam_capacity = opt.capacity.value_or(workload.suggested_capacity());
@@ -286,11 +306,19 @@ int main(int argc, char** argv) {
         if (s.converged) ++converged;
         dropped += s.wire.dropped;
       }
+      std::string wire_desc =
+          opt.fault_seed
+              ? "chaos faults (seed " + std::to_string(*opt.fault_seed) + ")"
+              : "fault-free wire";
+      if (opt.crash_p) {
+        wire_desc += ", crash_p " + std::to_string(*opt.crash_p);
+      }
+      if (opt.corrupt_p) {
+        wire_desc += ", corrupt_p " + std::to_string(*opt.corrupt_p);
+      }
       std::printf("\nruntime: %zu switches, window %zu, %zu epochs, %s\n",
                   report.sessions.size(), cfg.window, report.epochs,
-                  opt.fault_seed
-                      ? ("chaos faults (seed " + std::to_string(*opt.fault_seed) + ")").c_str()
-                      : "fault-free wire");
+                  wire_desc.c_str());
       std::printf("  compiled %zu epochs in %.1f ms; replicated in %.1f ms wall\n",
                   report.epochs, compile_wall_ms, wall_ms);
       std::printf("  virtual makespan : %.2f ms   throughput : %.0f updates/s\n",
@@ -310,6 +338,13 @@ int main(int argc, char** argv) {
                   report.resync_replays, dropped, report.duplicates);
       std::printf("  restarts %zu, resyncs %zu, timeouts %zu\n",
                   report.restarts, report.resyncs, report.timeouts);
+      if (cfg.faults.crash_p > 0 || cfg.faults.corrupt_p > 0) {
+        std::printf("  crashes %zu (roll-forwards %zu, recovered writes %zu); "
+                    "nacks %zu (resent %zu)\n",
+                    report.crashes, report.roll_forwards,
+                    report.recovered_writes, report.nacks,
+                    report.nack_retransmits);
+      }
       std::printf("  converged: %s (%zu/%zu)\n",
                   report.all_converged ? "yes" : "NO", converged,
                   report.sessions.size());
@@ -338,6 +373,9 @@ int main(int argc, char** argv) {
         j->field("retransmits", static_cast<double>(report.retransmits));
         j->field("resyncs", static_cast<double>(report.resyncs));
         j->field("restarts", static_cast<double>(report.restarts));
+        j->field("crashes", static_cast<double>(report.crashes));
+        j->field("roll_forwards", static_cast<double>(report.roll_forwards));
+        j->field("nacks", static_cast<double>(report.nacks));
         j->field("converged", report.all_converged ? 1.0 : 0.0);
         bench::write_json();
       }
