@@ -1,25 +1,79 @@
 // Figure 11: rule update overhead of single rule swap with CacheFlow.
 //
-// A 1000-rule L3 forwarding database backs a 256-entry TCAM cache. For each
-// first-level load factor in {0.80 .. 1.00}, a random swap-in/swap-out
-// stream is replayed against both back-ends: the RuleTris DAG firmware and
-// the priority-based firmware. Prints TCAM update time (Fig. 11a) and
-// firmware time (Fig. 11b) per swap.
+// A 1000-rule L3 forwarding database backs a 256-entry TCAM cache. The swap
+// stream is no longer synthetic: a traffic engine drives Zipf-skewed flows
+// with churn against a scratch cache, and the FDRC planner's swap decisions
+// (measured hit density vs victim density) are recorded as the workload.
+// That identical flow-driven trace is then replayed, per first-level load
+// factor in {0.80 .. 1.00}, against both back-ends — the RuleTris DAG
+// firmware and the priority-based firmware — timing each swap. Prints TCAM
+// update time (Fig. 11a) and firmware time (Fig. 11b) per swap; `--json
+// PATH` mirrors the rows machine-readably.
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "classbench/generator.h"
 #include "dag/builder.h"
+#include "switchsim/traffic_engine.h"
 #include "tcam/cacheflow.h"
 #include "util/logging.h"
+#include "util/strfmt.h"
 #include "util/timer.h"
 
-int main() {
-  using namespace ruletris;
-  using tcam::CacheFlowManager;
+namespace {
 
+using namespace ruletris;
+using tcam::CacheFlowManager;
+
+struct SwapEvent {
+  flowspace::RuleId out;
+  flowspace::RuleId in;
+};
+
+/// Records a flow-driven swap trace at the given warm target: a scratch
+/// DAG-mode cache takes real traffic epoch by epoch, and every swap the FDRC
+/// planner executes is logged. The scratch manager applies each swap so the
+/// next epoch plans against the evolved cache, exactly like a live switch.
+std::vector<SwapEvent> record_trace(const flowspace::FlowTable& fib,
+                                    const dag::DependencyGraph& graph,
+                                    size_t capacity, size_t warm_target,
+                                    size_t want_swaps) {
+  CacheFlowManager scratch(fib.rules(), graph,
+                           CacheFlowManager::Mode::kDagFirmware, capacity);
+  switchsim::TrafficConfig cfg;
+  cfg.flows = 200000;
+  cfg.zipf_alpha = 1.1;
+  cfg.churn_rate = 0.02;  // flow turnover keeps the hot set moving -> swaps
+  cfg.packets_per_epoch = 20000;
+  cfg.seed = 0xf1611;
+  switchsim::TrafficEngine engine(scratch, fib.rules(), cfg);
+
+  scratch.warm(CacheFlowManager::AdmissionPolicy::kStaticDag, warm_target);
+
+  std::vector<SwapEvent> trace;
+  for (uint64_t e = 0; trace.size() < want_swaps && e < 200; ++e) {
+    engine.run_lookup_epoch(e);
+    for (const auto& s : scratch.plan_swaps(want_swaps - trace.size())) {
+      if (!scratch.swap(s.out, s.in)) {
+        scratch.install(s.out);
+        continue;
+      }
+      trace.push_back(SwapEvent{s.out, s.in});
+    }
+    scratch.age_hits();
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kOff);
-  std::printf("\n=== Fig. 11: CacheFlow single rule swap (1000-rule FIB, 256-entry TCAM) ===\n");
+  bench::init_json(argc, argv, "fig11_cacheflow");
+
+  std::printf("\n=== Fig. 11: CacheFlow single rule swap "
+              "(1000-rule FIB, 256-entry TCAM, flow-driven swap trace) ===\n");
   std::printf("%-10s %-9s | per-swap medians [p10, p90]\n", "config", "backend");
   const size_t updates = bench::updates_per_run(1000);
   constexpr size_t kCapacity = 256;
@@ -28,53 +82,41 @@ int main() {
   util::Rng gen(0xcafe);
   const flowspace::FlowTable fib{classbench::generate_router(1000, gen)};
   const auto fib_dag = dag::build_min_dag(fib);
-  std::vector<flowspace::RuleId> all_ids;
-  for (const auto& r : fib.rules()) all_ids.push_back(r.id);
+
+  if (auto* j = bench::json()) {
+    j->meta("fib_rules", static_cast<double>(fib.size()));
+    j->meta("tcam_capacity", static_cast<double>(kCapacity));
+    j->meta("updates", static_cast<double>(updates));
+    j->meta("workload", "traffic-engine fdrc swap trace");
+  }
 
   for (const double load : {0.80, 0.85, 0.90, 0.95, 1.00}) {
+    const size_t target = static_cast<size_t>(load * kCapacity);
+    const auto trace = record_trace(fib, fib_dag, kCapacity, target, updates);
+
     for (const auto mode : {CacheFlowManager::Mode::kDagFirmware,
                             CacheFlowManager::Mode::kPriorityFirmware}) {
       CacheFlowManager mgr(fib.rules(), fib_dag, mode, kCapacity);
-      util::Rng rng(0xbeef);  // identical stream across modes and loads
-
-      // Fill the first level (cover rules included) to the target load.
-      const size_t target = static_cast<size_t>(load * kCapacity);
-      std::vector<flowspace::RuleId> cached;
-      size_t stuck = 0;
-      while (mgr.tcam().occupied() < target && stuck < 5000) {
-        const auto pick = all_ids[rng.next_below(all_ids.size())];
-        if (mgr.is_cached(pick) || !mgr.install(pick)) {
-          ++stuck;
-          continue;
-        }
-        cached.push_back(pick);
-      }
+      // Reproduce the recorder's starting layout, then replay its swaps.
+      mgr.warm(CacheFlowManager::AdmissionPolicy::kStaticDag, target);
 
       bench::MetricSet metrics;
       size_t skipped = 0;
-      for (size_t u = 0; u < updates; ++u) {
-        const size_t out_idx = rng.next_below(cached.size());
-        flowspace::RuleId in = all_ids[rng.next_below(all_ids.size())];
-        int guard = 0;
-        while ((mgr.is_cached(in) || in == cached[out_idx]) && guard++ < 500) {
-          in = all_ids[rng.next_below(all_ids.size())];
-        }
-        if (mgr.is_cached(in) || in == cached[out_idx]) continue;
-
+      for (const SwapEvent& ev : trace) {
         const auto writes_before = mgr.tcam().stats().entry_writes;
         util::Stopwatch watch;
-        const bool ok = mgr.swap(cached[out_idx], in);
-        double firmware_ms = watch.elapsed_ms();
+        const bool ok = mgr.swap(ev.out, ev.in);
+        const double firmware_ms = watch.elapsed_ms();
         if (!ok) {
           // Full (covers included): restore the evicted rule and count the
           // skip; the paper's stream at load 1.0 has the same corner.
-          mgr.install(cached[out_idx]);
+          mgr.install(ev.out);
           ++skipped;
           continue;
         }
-        cached[out_idx] = in;
         const size_t writes = mgr.tcam().stats().entry_writes - writes_before;
-        metrics.add(0.0, firmware_ms, static_cast<double>(writes) * tcam::kEntryWriteMs);
+        metrics.add(0.0, firmware_ms,
+                    static_cast<double>(writes) * tcam::kEntryWriteMs);
       }
 
       const char* name = mode == CacheFlowManager::Mode::kDagFirmware
@@ -86,7 +128,22 @@ int main() {
       if (skipped != 0) std::printf("  (%zu swaps skipped: cache full)", skipped);
       std::printf("\n");
       std::fflush(stdout);
+
+      if (auto* j = bench::json()) {
+        j->begin_row();
+        j->field("load", load);
+        j->field("backend", name);
+        j->field("swaps", static_cast<double>(trace.size() - skipped));
+        j->field("skipped", static_cast<double>(skipped));
+        j->field("tcam_med_ms", metrics.tcam_ms.median());
+        j->field("tcam_p10_ms", metrics.tcam_ms.p10());
+        j->field("tcam_p90_ms", metrics.tcam_ms.p90());
+        j->field("firmware_med_ms", metrics.firmware_ms.median());
+        j->field("firmware_p10_ms", metrics.firmware_ms.p10());
+        j->field("firmware_p90_ms", metrics.firmware_ms.p90());
+      }
     }
   }
+  bench::write_json();
   return 0;
 }

@@ -1,0 +1,249 @@
+// Data-plane traffic engine bench -> BENCH_traffic.json.
+//
+// Three sections, each with a built-in self-check (non-zero exit on
+// violation, so the --smoke ctest entry gates regressions):
+//
+//   admission — a Zipf flow stream drives the two-level cache under flow
+//     churn with both admission policies at equal TCAM capacity. Reports
+//     cache hit rate, lookup throughput (pkts/s), and the update latency
+//     (swap entry writes x 0.6 ms) the data plane sees between epochs.
+//     Check: flow-driven (FDRC) hit rate strictly beats the static
+//     DAG-position baseline, and no consistency violation ever.
+//
+//   determinism — the flow-driven run repeated with 1 and N lookup threads
+//     and re-run at the base thread count. Check: per-rule hit counts and
+//     final TCAM layouts are bit-identical (checksums) across all three.
+//
+//   slowpath — tuple-space SoftTable vs a linear full-table scan on the
+//     same packet sample, over growing rule counts. Check: identical
+//     winners everywhere; >= 10x speedup at >= 100k rules (full mode).
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "classbench/generator.h"
+#include "dag/builder.h"
+#include "switchsim/traffic_engine.h"
+#include "tcam/soft_table.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+using namespace ruletris;
+using switchsim::TrafficConfig;
+using switchsim::TrafficEngine;
+using switchsim::TrafficReport;
+using tcam::CacheFlowManager;
+using Policy = CacheFlowManager::AdmissionPolicy;
+
+namespace {
+
+struct Args {
+  bool smoke = false;
+  size_t threads = 3;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) a.smoke = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      a.threads = static_cast<size_t>(std::atol(argv[++i]));
+    }
+  }
+  if (a.threads == 0) a.threads = 1;
+  return a;
+}
+
+const char* policy_name(Policy p) {
+  return p == Policy::kFlowDriven ? "fdrc" : "static";
+}
+
+TrafficReport run_policy(const flowspace::FlowTable& fib,
+                         const dag::DependencyGraph& graph, size_t capacity,
+                         const TrafficConfig& base, Policy policy,
+                         size_t threads) {
+  CacheFlowManager mgr(fib.rules(), graph, CacheFlowManager::Mode::kDagFirmware,
+                       capacity);
+  TrafficConfig cfg = base;
+  cfg.policy = policy;
+  cfg.n_threads = threads;
+  TrafficEngine engine(mgr, fib.rules(), cfg);
+  return engine.run();
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "SELF-CHECK FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  util::set_log_level(util::LogLevel::kOff);
+  bench::init_json(argc, argv, "traffic_engine");
+
+  const size_t fib_rules = args.smoke ? 400 : 5000;
+  const size_t capacity = args.smoke ? 96 : 512;
+
+  TrafficConfig base;
+  base.flows = args.smoke ? 20000 : 1 << 20;
+  base.zipf_alpha = 1.1;
+  base.churn_rate = 0.01;
+  base.packets_per_epoch = args.smoke ? 20000 : 50000;
+  base.epochs = args.smoke ? 3 : 4;
+  base.seed = 0x7aff1c;
+  base.rebalance_swaps = args.smoke ? 48 : 96;
+
+  if (auto* j = bench::json()) {
+    j->meta("fib_rules", static_cast<double>(fib_rules));
+    j->meta("tcam_capacity", static_cast<double>(capacity));
+    j->meta("flows", static_cast<double>(base.flows));
+    j->meta("zipf_alpha", base.zipf_alpha);
+    j->meta("churn_rate", base.churn_rate);
+    j->meta("threads", static_cast<double>(args.threads));
+    j->meta("mode", args.smoke ? "smoke" : "full");
+  }
+
+  std::printf("=== traffic engine: Zipf flows over a %zu-rule FIB, "
+              "%zu-entry TCAM ===\n", fib_rules, capacity);
+  util::Rng gen(0xcafe);
+  const flowspace::FlowTable fib{classbench::generate_router(fib_rules, gen)};
+  const auto graph = dag::build_min_dag(fib);
+
+  // --- admission: flow-driven (FDRC) vs static DAG-position -------------
+  std::printf("\n[admission] %zu flows, alpha %.2f, churn %.3f/pkt, "
+              "%zux%zu pkts, %zu threads\n", base.flows, base.zipf_alpha,
+              base.churn_rate, base.epochs, base.packets_per_epoch, args.threads);
+  double hit_rate[2] = {0, 0};
+  for (const Policy policy : {Policy::kStaticDag, Policy::kFlowDriven}) {
+    const TrafficReport r =
+        run_policy(fib, graph, capacity, base, policy, args.threads);
+    util::Samples update_ms;
+    for (size_t e = 0; e < r.epochs.size(); ++e) {
+      update_ms.add(r.epochs[e].update_ms);
+      std::printf("    epoch %zu: hit rate %.4f, %zu swaps, %.1f update ms\n",
+                  e, r.epochs[e].hit_rate(), r.epochs[e].swaps,
+                  r.epochs[e].update_ms);
+    }
+    std::printf("  %-7s | hit rate %.4f | %10.0f pkts/s | swaps %zu | "
+                "update ms/epoch %s | churn %zu | violations %zu\n",
+                policy_name(policy), r.hit_rate(), r.pkts_per_s(), r.swaps,
+                update_ms.summary("").c_str(), r.churn_events,
+                r.consistency_violations);
+    hit_rate[policy == Policy::kFlowDriven] = r.hit_rate();
+    if (auto* j = bench::json()) {
+      j->begin_row();
+      j->field("section", "admission");
+      j->field("policy", policy_name(policy));
+      j->field("hit_rate", r.hit_rate());
+      j->field("pkts_per_s", r.pkts_per_s());
+      j->field("swaps", static_cast<double>(r.swaps));
+      j->field("entry_writes", static_cast<double>(r.entry_writes));
+      j->field("update_ms_med", update_ms.median());
+      j->field("update_ms_p90", update_ms.p90());
+      j->field("churn_events", static_cast<double>(r.churn_events));
+      j->field("consistency_violations",
+               static_cast<double>(r.consistency_violations));
+    }
+    if (r.consistency_violations != 0) return fail("lookup_consistent violated");
+  }
+  if (!(hit_rate[1] > hit_rate[0])) {
+    return fail("flow-driven admission must beat the static baseline on hit rate");
+  }
+  std::printf("  fdrc/static hit-rate gain: %.2fx\n", hit_rate[1] / hit_rate[0]);
+
+  // --- determinism: runs and thread counts -------------------------------
+  {
+    const TrafficReport a =
+        run_policy(fib, graph, capacity, base, Policy::kFlowDriven, 1);
+    const TrafficReport b =
+        run_policy(fib, graph, capacity, base, Policy::kFlowDriven, args.threads);
+    const TrafficReport c =
+        run_policy(fib, graph, capacity, base, Policy::kFlowDriven, args.threads);
+    std::printf("\n[determinism] hit checksum %016llx layout %016llx "
+                "(1 thread vs %zu threads vs rerun)\n",
+                static_cast<unsigned long long>(a.hit_checksum),
+                static_cast<unsigned long long>(a.layout_checksum), args.threads);
+    const bool ok = a.hit_checksum == b.hit_checksum &&
+                    b.hit_checksum == c.hit_checksum &&
+                    a.layout_checksum == b.layout_checksum &&
+                    b.layout_checksum == c.layout_checksum &&
+                    a.fast_hits == b.fast_hits;
+    if (auto* j = bench::json()) {
+      j->begin_row();
+      j->field("section", "determinism");
+      j->field("threads", static_cast<double>(args.threads));
+      j->field("bit_identical", ok ? 1.0 : 0.0);
+    }
+    if (!ok) return fail("reports must be bit-identical across runs and threads");
+  }
+
+  // --- slowpath: tuple-space vs linear scan ------------------------------
+  std::printf("\n[slowpath] tuple-space SoftTable vs linear full-table scan\n");
+  const std::vector<size_t> sweep =
+      args.smoke ? std::vector<size_t>{2000}
+                 : std::vector<size_t>{20000, 50000, 100000};
+  for (const size_t n : sweep) {
+    util::Rng rng(0xd00d ^ n);
+    const flowspace::FlowTable table{classbench::generate_router(n, rng)};
+    const tcam::SoftTable soft(table.rules());
+
+    const size_t n_check = args.smoke ? 400 : 1000;  // equivalence + linear timing
+    const size_t n_fast = args.smoke ? 20000 : 100000;  // soft-path timing
+    std::vector<flowspace::Packet> pkts;
+    pkts.reserve(n_fast);
+    for (size_t i = 0; i < n_fast; ++i) {
+      pkts.push_back(switchsim::synth_packet(
+          table.rules(), util::hash_pair(0x9ac4e7, i)));
+    }
+
+    for (size_t i = 0; i < n_check; ++i) {
+      const auto* lin = table.lookup(pkts[i]);
+      const auto* tss = soft.lookup(pkts[i]);
+      if ((lin == nullptr) != (tss == nullptr) ||
+          (lin != nullptr && lin->id != tss->id)) {
+        return fail("SoftTable diverged from the linear full-table scan");
+      }
+    }
+
+    util::Stopwatch lin_watch;
+    size_t lin_hits = 0;
+    for (size_t i = 0; i < n_check; ++i) {
+      if (table.lookup(pkts[i]) != nullptr) ++lin_hits;
+    }
+    const double lin_ns = lin_watch.elapsed_ms() * 1e6 / n_check;
+
+    util::Stopwatch tss_watch;
+    size_t tss_hits = 0;
+    for (const auto& p : pkts) {
+      if (soft.lookup(p) != nullptr) ++tss_hits;
+    }
+    const double tss_ns = tss_watch.elapsed_ms() * 1e6 / n_fast;
+    const double speedup = tss_ns > 0 ? lin_ns / tss_ns : 0.0;
+
+    std::printf("  %7zu rules | %3zu tuples | linear %9.0f ns/pkt | "
+                "tuple-space %7.0f ns/pkt | %6.1fx\n",
+                n, soft.tuple_count(), lin_ns, tss_ns, speedup);
+    if (auto* j = bench::json()) {
+      j->begin_row();
+      j->field("section", "slowpath");
+      j->field("rules", static_cast<double>(n));
+      j->field("tuples", static_cast<double>(soft.tuple_count()));
+      j->field("linear_ns_per_pkt", lin_ns);
+      j->field("tuple_ns_per_pkt", tss_ns);
+      j->field("speedup", speedup);
+    }
+    (void)lin_hits;
+    (void)tss_hits;
+    if (args.smoke) {
+      if (speedup < 1.5) return fail("tuple-space slower than expected in smoke");
+    } else if (n >= 100000 && speedup < 10.0) {
+      return fail("tuple-space must beat the linear scan >= 10x at >= 100k rules");
+    }
+  }
+
+  bench::write_json();
+  std::printf("\nall self-checks passed\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "switchsim/traffic_engine.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ruletris::switchsim {
+
+using flowspace::FieldId;
+using flowspace::kAllFields;
+using flowspace::Packet;
+using flowspace::Rule;
+using flowspace::RuleId;
+
+TrafficEngine::TrafficEngine(tcam::CacheFlowManager& manager,
+                             const std::vector<Rule>& rules, TrafficConfig config)
+    : manager_(manager),
+      rules_(rules),
+      config_(config),
+      stream_(config.seed, config.flows, config.zipf_alpha) {
+  if (rules_.empty()) throw std::invalid_argument("TrafficEngine: empty table");
+  dense_.reserve(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) dense_[rules_[i].id] = i;
+}
+
+Packet synth_packet(const std::vector<Rule>& rules, uint64_t flow_id) {
+  const size_t idx = static_cast<size_t>(flow_id % rules.size());
+  const Rule& target = rules[idx];
+  Packet p = target.match.sample_packet();
+  // Fill the wildcard bits from the flow's hash stream: flows targeting the
+  // same rule stay distinguishable, and a filled packet may legitimately
+  // fall into a more specific overlapping rule — realistic, and exactly the
+  // ambiguity the cover-set machinery must punt correctly.
+  util::Rng bits(util::hash_pair(flow_id, 0xb17f111ULL));
+  for (FieldId f : kAllFields) {
+    const auto& t = target.match.field(f);
+    const uint32_t full = flowspace::field_full_mask(f);
+    const uint32_t noise = bits.next_u32() & ~t.mask & full;
+    p.set(f, (p.get(f) & t.mask) | noise);
+  }
+  return p;
+}
+
+EpochStats TrafficEngine::run_lookup_epoch(uint64_t e) {
+  EpochStats stats;
+  stats.packets = config_.packets_per_epoch;
+
+  const size_t n_threads = std::max<size_t>(1, config_.n_threads);
+  const size_t n_rules = rules_.size();
+  // Per-worker dense hit counters; sums are order-independent integers, so
+  // any merge order gives the same totals as a serial run.
+  std::vector<std::vector<uint64_t>> shard_hits(
+      n_threads, std::vector<uint64_t>(n_rules, 0));
+  std::vector<uint64_t> shard_fast(n_threads, 0);
+
+  util::Stopwatch watch;
+  auto lookup_range = [&](size_t slot, size_t begin, size_t end) {
+    auto& hits = shard_hits[slot];
+    uint64_t fast = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const util::FlowStream::Event ev = stream_.at(e, i);
+      const Packet p = packet_for(ev.flow_id);
+      const auto out = manager_.classify(p);
+      if (out.rule != nullptr) ++hits[dense_.find(out.rule->id)->second];
+      if (out.fast_path) ++fast;
+    }
+    shard_fast[slot] += fast;
+  };
+  if (n_threads == 1) {
+    lookup_range(0, 0, config_.packets_per_epoch);
+  } else {
+    util::ThreadPool pool(n_threads);
+    util::ChunkCursor cursor(
+        0, config_.packets_per_epoch,
+        util::ChunkCursor::suggest_chunk(config_.packets_per_epoch, n_threads));
+    std::atomic<size_t> next_slot{0};
+    util::run_on_workers(pool, [&] {
+      return [&, slot = next_slot.fetch_add(1)] {
+        size_t b = 0, fin = 0;
+        while (cursor.next(b, fin)) lookup_range(slot, b, fin);
+      };
+    });
+  }
+  stats.lookup_wall_ms = watch.elapsed_ms();
+
+  // Deterministic merge: rule order, shard order.
+  for (size_t r = 0; r < n_rules; ++r) {
+    uint64_t total = 0;
+    for (size_t s = 0; s < n_threads; ++s) total += shard_hits[s][r];
+    if (total != 0) manager_.add_hits(rules_[r].id, total);
+  }
+  for (size_t s = 0; s < n_threads; ++s) stats.fast_hits += shard_fast[s];
+
+  // Flow expiry/arrival churn at the epoch boundary.
+  const size_t churn_events = static_cast<size_t>(
+      std::llround(config_.churn_rate * static_cast<double>(stats.packets)));
+  stats.churn_events = stream_.churn(e, churn_events);
+  return stats;
+}
+
+TrafficReport TrafficEngine::run() {
+  TrafficReport report;
+  manager_.warm(config_.policy,
+                static_cast<size_t>(config_.warm_fill *
+                                    static_cast<double>(manager_.tcam().capacity())));
+
+  for (uint64_t e = 0; e < config_.epochs; ++e) {
+    EpochStats stats = run_lookup_epoch(e);
+
+    // Admission maintenance under live traffic: the swap cost (TCAM entry
+    // writes x 0.6 ms) is the update latency the data plane experiences
+    // between this epoch and the next.
+    const size_t writes_before = manager_.tcam().stats().entry_writes;
+    stats.swaps = manager_.rebalance(config_.policy, config_.rebalance_swaps);
+    stats.entry_writes = manager_.tcam().stats().entry_writes - writes_before;
+    stats.update_ms = static_cast<double>(stats.entry_writes) * tcam::kEntryWriteMs;
+
+    // Fast-path/slow-path consistency on packets from the *post-churn,
+    // post-rebalance* state — the moment a stale cache would be caught.
+    for (size_t s = 0; s < config_.consistency_samples; ++s) {
+      const auto ev = stream_.at(e ^ 0x5a5a5a5aULL, s);
+      if (!manager_.lookup_consistent(packet_for(ev.flow_id))) {
+        ++report.consistency_violations;
+      }
+    }
+
+    manager_.age_hits();
+
+    report.packets += stats.packets;
+    report.fast_hits += stats.fast_hits;
+    report.churn_events += stats.churn_events;
+    report.swaps += stats.swaps;
+    report.entry_writes += stats.entry_writes;
+    report.update_ms += stats.update_ms;
+    report.lookup_wall_ms += stats.lookup_wall_ms;
+    report.epochs.push_back(stats);
+  }
+  finalize(report);
+  return report;
+}
+
+void TrafficEngine::finalize(TrafficReport& report) const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Rule& r : rules_) {
+    h = util::hash_pair(h, util::hash_pair(r.id, manager_.hits(r.id)));
+  }
+  report.hit_checksum = h;
+
+  uint64_t l = 0x2545f4914f6cdd1dULL;
+  const tcam::Tcam& t = manager_.tcam();
+  for (size_t addr = 0; addr < t.capacity(); ++addr) {
+    const auto id = t.at(addr);
+    // Covers are canonicalized to (target id, cover flag): their own ids
+    // come from the process-wide counter and vary run to run.
+    uint64_t canonical = 0, is_cover = 0;
+    if (id) {
+      const RuleId target = manager_.cover_target(*id);
+      is_cover = target != flowspace::kInvalidRuleId;
+      canonical = is_cover ? target : *id;
+    }
+    l = util::hash_pair(l, util::hash_pair(addr, canonical ^ (is_cover << 63)));
+  }
+  report.layout_checksum = l;
+}
+
+}  // namespace ruletris::switchsim

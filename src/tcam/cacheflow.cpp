@@ -1,5 +1,6 @@
 #include "tcam/cacheflow.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/logging.h"
@@ -16,8 +17,11 @@ using flowspace::RuleId;
 CacheFlowManager::CacheFlowManager(std::vector<Rule> rules, dag::DependencyGraph graph,
                                    Mode mode, size_t tcam_capacity)
     : full_graph_(std::move(graph)), mode_(mode), tcam_(std::make_unique<Tcam>(tcam_capacity)) {
+  rule_order_.reserve(rules.size());
   for (Rule& r : rules) {
     full_graph_.add_vertex(r.id);
+    rule_order_.push_back(r.id);
+    soft_.insert(r);  // ctor order == FlowTable tie order
     rules_.emplace(r.id, std::move(r));
   }
   if (mode_ == Mode::kDagFirmware) {
@@ -66,6 +70,7 @@ bool CacheFlowManager::ensure_cover(RuleId dep) {
     cover_refs_.erase(dep);
     return false;
   }
+  cover_targets_[cover.id] = dep;
   return true;
 }
 
@@ -74,6 +79,7 @@ void CacheFlowManager::release_cover(RuleId dep) {
   if (it == cover_refs_.end()) return;
   if (--it->second > 0) return;
   firmware_remove(cover_ids_.at(dep));
+  cover_targets_.erase(cover_ids_.at(dep));
   cover_ids_.erase(dep);
   cover_refs_.erase(it);
 }
@@ -119,6 +125,7 @@ bool CacheFlowManager::install(RuleId id) {
   auto cit = cover_ids_.find(id);
   if (cit != cover_ids_.end()) {
     firmware_remove(cit->second);
+    cover_targets_.erase(cit->second);
     cover_ids_.erase(cit);
     cover_refs_.erase(id);
   }
@@ -147,6 +154,8 @@ void CacheFlowManager::evict(RuleId id) {
       util::log_warn("CacheFlow: TCAM full while demoting rule to cover");
       cover_ids_.erase(id);
       cover_refs_.erase(id);
+    } else {
+      cover_targets_[cover.id] = id;
     }
   }
 
@@ -169,17 +178,154 @@ bool CacheFlowManager::lookup_consistent(const Packet& packet) const {
   if (hit == nullptr) return true;  // TCAM miss: default punt to software
   if (hit->actions.contains(ActionType::kToSoftware)) return true;  // explicit punt
 
-  // Fast-path hit: must agree with the full table's decision.
-  const Rule* truth = nullptr;
-  int32_t best = INT32_MIN;
-  for (const auto& [id, r] : rules_) {
+  // Fast-path hit: must agree with the full table's decision. The tuple-
+  // space slow path *is* the full table (FlowTable-equivalent semantics),
+  // so it serves as the oracle at O(#tuples) instead of O(rules).
+  const Rule* truth = soft_.lookup(packet);
+  return truth != nullptr && truth->id == hit->id;
+}
+
+CacheFlowManager::LookupOutcome CacheFlowManager::classify(const Packet& packet) const {
+  const Rule* hit = tcam_->lookup(packet);
+  if (hit != nullptr && !hit->actions.contains(ActionType::kToSoftware)) {
+    return LookupOutcome{hit, true};
+  }
+  // Miss or cover punt: the software path answers from the full table.
+  return LookupOutcome{soft_.lookup(packet), false};
+}
+
+CacheFlowManager::LookupOutcome CacheFlowManager::lookup(const Packet& packet) {
+  const LookupOutcome out = classify(packet);
+  if (out.rule != nullptr) ++hits_[out.rule->id];
+  return out;
+}
+
+uint64_t CacheFlowManager::hits(RuleId id) const {
+  auto it = hits_.find(id);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+void CacheFlowManager::age_hits() {
+  for (auto& [id, h] : hits_) {
     (void)id;
-    if (r.priority > best && r.match.matches(packet)) {
-      truth = &r;
-      best = r.priority;
+    h >>= 1;
+  }
+}
+
+size_t CacheFlowManager::install_cost(RuleId id) const {
+  if (cached_.count(id)) {
+    // Entries an eviction reclaims: the rule itself plus every cover held
+    // solely on its behalf (refcount 1 covers of its dependencies). A
+    // demotion-to-cover on evict would win one back, but dependents are the
+    // exception in hot sets, so the symmetric estimate keeps densities
+    // comparable in both directions.
+    size_t reclaim = 1;
+    for (RuleId dep : full_graph_.successors(id)) {
+      if (cached_.count(dep)) continue;
+      auto it = cover_refs_.find(dep);
+      if (it != cover_refs_.end() && it->second == 1) ++reclaim;
+    }
+    return reclaim;
+  }
+  size_t cost = 1;
+  for (RuleId dep : full_graph_.successors(id)) {
+    if (!cached_.count(dep) && !cover_refs_.count(dep)) ++cost;
+  }
+  return cost;
+}
+
+namespace {
+
+/// density(a) > density(b) with density(x) = hits(x) / cost(x), exactly and
+/// deterministically: cross-multiplied in 128 bits, no floating point.
+bool density_greater(uint64_t hits_a, size_t cost_a, uint64_t hits_b,
+                     size_t cost_b) {
+  return static_cast<unsigned __int128>(hits_a) * cost_b >
+         static_cast<unsigned __int128>(hits_b) * cost_a;
+}
+
+}  // namespace
+
+size_t CacheFlowManager::warm(AdmissionPolicy policy, size_t target_occupied) {
+  // Candidate order over uncached rules, in rule_order_ for determinism.
+  std::vector<RuleId> candidates;
+  candidates.reserve(rule_order_.size());
+  for (RuleId id : rule_order_) {
+    if (!cached_.count(id)) candidates.push_back(id);
+  }
+  if (policy == AdmissionPolicy::kStaticDag) {
+    // DAG position only: rules whose cover set is small cache cheaply; ties
+    // keep the matched-first order. Traffic never enters the ranking.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [this](RuleId a, RuleId b) {
+                       return full_graph_.successors(a).size() <
+                              full_graph_.successors(b).size();
+                     });
+  } else {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [this](RuleId a, RuleId b) {
+                       return density_greater(hits(a), install_cost(a), hits(b),
+                                              install_cost(b));
+                     });
+  }
+  size_t installed = 0;
+  for (RuleId id : candidates) {
+    if (tcam_->occupied() >= target_occupied) break;
+    if (tcam_->occupied() + install_cost(id) > tcam_->capacity()) continue;
+    if (install(id)) ++installed;
+  }
+  return installed;
+}
+
+std::vector<CacheFlowManager::SwapPlan> CacheFlowManager::plan_swaps(
+    size_t max_swaps) const {
+  std::vector<RuleId> in_rules, out_rules;
+  for (RuleId id : rule_order_) {
+    if (cached_.count(id)) {
+      out_rules.push_back(id);
+    } else if (hits(id) > 0) {
+      in_rules.push_back(id);
     }
   }
-  return truth != nullptr && truth->id == hit->id;
+  std::stable_sort(in_rules.begin(), in_rules.end(), [this](RuleId a, RuleId b) {
+    return density_greater(hits(a), install_cost(a), hits(b), install_cost(b));
+  });
+  std::stable_sort(out_rules.begin(), out_rules.end(), [this](RuleId a, RuleId b) {
+    return density_greater(hits(b), install_cost(b), hits(a), install_cost(a));
+  });
+
+  std::vector<SwapPlan> plan;
+  const size_t pairs = std::min({max_swaps, in_rules.size(), out_rules.size()});
+  for (size_t i = 0; i < pairs; ++i) {
+    const RuleId in = in_rules[i];
+    const RuleId out = out_rules[i];
+    // Swap only while the incoming density strictly beats the victim's —
+    // both lists are sorted, so the first non-improving pair ends the plan.
+    if (!density_greater(hits(in), install_cost(in), hits(out),
+                         install_cost(out))) {
+      break;
+    }
+    plan.push_back(SwapPlan{out, in});
+  }
+  return plan;
+}
+
+size_t CacheFlowManager::rebalance(AdmissionPolicy policy, size_t max_swaps) {
+  if (policy == AdmissionPolicy::kStaticDag) return 0;
+  size_t done = 0;
+  size_t consecutive_failures = 0;
+  for (const SwapPlan& s : plan_swaps(max_swaps)) {
+    if (swap(s.out, s.in)) {
+      ++done;
+      consecutive_failures = 0;
+      continue;
+    }
+    // Full TCAM (cover blow-up): restore the victim; a couple of failures
+    // in a row means the remaining (denser-cover) candidates won't fit.
+    install(s.out);
+    if (++consecutive_failures >= 2) break;
+  }
+  return done;
 }
 
 }  // namespace ruletris::tcam

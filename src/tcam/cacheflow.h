@@ -8,6 +8,13 @@
 // slow path. Swaps (evict one rule, install another) are driven either by
 // the DAG scheduler (RuleTris back-end) or by the priority firmware
 // (baseline), which is exactly the comparison of Fig. 11.
+//
+// The slow path is a SoftTable (tuple-space search), so a miss costs
+// O(#tuples) hash probes instead of a linear scan over the full table, and
+// admission is flow-driven per FDRC (PAPERS.md): per-rule hit counters from
+// real lookups, weighed against the cover-set installation cost of caching
+// the rule, pick what the TCAM holds — replacing the static DAG-position
+// ranking, which survives as the ablation baseline.
 #pragma once
 
 #include <memory>
@@ -19,6 +26,7 @@
 #include "flowspace/rule.h"
 #include "tcam/dag_scheduler.h"
 #include "tcam/priority_firmware.h"
+#include "tcam/soft_table.h"
 #include "tcam/tcam.h"
 
 namespace ruletris::tcam {
@@ -26,6 +34,12 @@ namespace ruletris::tcam {
 class CacheFlowManager {
  public:
   enum class Mode { kDagFirmware, kPriorityFirmware };
+
+  /// What picks the cached subset. kStaticDag ranks rules by DAG position
+  /// only (cover-set size, i.e. how cheaply they cache) — traffic-blind.
+  /// kFlowDriven ranks by measured hit density (hits / install cost), FDRC
+  /// style, and keeps adapting through rebalance().
+  enum class AdmissionPolicy { kStaticDag, kFlowDriven };
 
   /// `rules` is the full rule set (matched-first order with priorities set);
   /// `graph` its minimum DAG.
@@ -46,10 +60,76 @@ class CacheFlowManager {
   size_t cached_count() const { return cached_.size(); }
   size_t cover_count() const { return cover_ids_.size(); }
 
+  /// For a cover (punt) rule: the full-table rule it stands in for;
+  /// kInvalidRuleId otherwise. Cover rule ids come from the process-wide id
+  /// counter, so layout fingerprints canonicalize covers through this.
+  flowspace::RuleId cover_target(flowspace::RuleId cover_id) const {
+    auto it = cover_targets_.find(cover_id);
+    return it == cover_targets_.end() ? flowspace::kInvalidRuleId : it->second;
+  }
+
   Tcam& tcam() { return *tcam_; }
   const Tcam& tcam() const { return *tcam_; }
 
+  /// The software slow path over the full table.
+  const SoftTable& soft_table() const { return soft_; }
+
   std::vector<flowspace::RuleId> cached_rules() const;
+
+  /// Full rule set in the matched-first order the manager was built with —
+  /// the deterministic iteration order for policies and reports.
+  const std::vector<flowspace::RuleId>& rule_order() const { return rule_order_; }
+
+  // --- data-plane lookup -----------------------------------------------
+
+  struct LookupOutcome {
+    const Rule* rule = nullptr;  // the table's decision (never a cover)
+    bool fast_path = false;      // true: TCAM answered without punting
+  };
+
+  /// Classifies `packet` without touching hit counters: TCAM first; a miss
+  /// or a cover punt falls through to the tuple-space slow path. Strictly
+  /// const — reader shards may call it concurrently as long as no cache
+  /// mutation (install/evict/swap/rebalance) races.
+  LookupOutcome classify(const flowspace::Packet& packet) const;
+
+  /// classify() that also credits the winning rule's hit counter.
+  LookupOutcome lookup(const flowspace::Packet& packet);
+
+  /// Bulk hit credit — the traffic engine counts per shard and merges here.
+  void add_hits(flowspace::RuleId id, uint64_t n) { hits_[id] += n; }
+  uint64_t hits(flowspace::RuleId id) const;
+  /// Exponential aging: halves every counter (integer, deterministic).
+  void age_hits();
+
+  // --- admission policies -----------------------------------------------
+
+  /// Marginal TCAM cost of caching `id` right now: 1 entry for the rule
+  /// plus one cover entry per direct dependency that is neither cached nor
+  /// already covered. For a cached rule: the entries an eviction reclaims.
+  size_t install_cost(flowspace::RuleId id) const;
+
+  /// Fills the cache from the current state until the TCAM holds at least
+  /// `target_occupied` entries (covers included) or candidates run out.
+  /// kStaticDag installs in DAG-position order (cheapest cover-set first);
+  /// kFlowDriven in hit-density order. Returns rules installed.
+  size_t warm(AdmissionPolicy policy, size_t target_occupied);
+
+  struct SwapPlan {
+    flowspace::RuleId out = flowspace::kInvalidRuleId;
+    flowspace::RuleId in = flowspace::kInvalidRuleId;
+  };
+
+  /// FDRC plan: up to `max_swaps` (victim, candidate) pairs where the
+  /// candidate's hit density (hits / install cost) strictly beats the
+  /// victim's. Deterministic (integer cross-multiplied densities, id
+  /// tie-breaks); does not mutate the cache.
+  std::vector<SwapPlan> plan_swaps(size_t max_swaps) const;
+
+  /// Executes plan_swaps for kFlowDriven (kStaticDag is a no-op: its layout
+  /// is fixed by construction). Returns swaps performed; a failed install
+  /// (TCAM full of covers) restores the victim and moves on.
+  size_t rebalance(AdmissionPolicy policy, size_t max_swaps);
 
   /// Semantic check: for `packet`, the TCAM either returns the same decision
   /// as the full table or punts to software (never a wrong fast-path hit).
@@ -69,16 +149,20 @@ class CacheFlowManager {
   void firmware_remove(flowspace::RuleId id);
 
   std::unordered_map<flowspace::RuleId, Rule> rules_;  // the full table
+  std::vector<flowspace::RuleId> rule_order_;          // matched-first order
   dag::DependencyGraph full_graph_;
   Mode mode_;
 
   std::unique_ptr<Tcam> tcam_;
   std::unique_ptr<DagScheduler> dag_firmware_;
   std::unique_ptr<PriorityFirmware> priority_firmware_;
+  SoftTable soft_;  // slow path == full-table truth
 
   std::unordered_set<flowspace::RuleId> cached_;             // real rules in TCAM
   std::unordered_map<flowspace::RuleId, flowspace::RuleId> cover_ids_;  // dep -> cover id
+  std::unordered_map<flowspace::RuleId, flowspace::RuleId> cover_targets_;  // cover id -> dep
   std::unordered_map<flowspace::RuleId, size_t> cover_refs_;            // dep -> refcount
+  std::unordered_map<flowspace::RuleId, uint64_t> hits_;                // measured traffic
 };
 
 }  // namespace ruletris::tcam

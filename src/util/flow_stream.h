@@ -1,0 +1,74 @@
+// Deterministic Zipf-skewed flow arrival stream with expiry churn.
+//
+// The traffic engine's packet source, kept abstract (ranks and 64-bit flow
+// identities only — mapping a flow to a concrete packet header is the
+// engine's job, so util stays free of flowspace dependencies). The stream is
+// counter-based: packet `i` of epoch `e` is a pure function of
+// (seed, e, i, generation[rank]), never of a shared sequential RNG, so
+// worker threads can claim arbitrary index ranges and still produce the
+// bit-identical stream a single thread would. Churn — a flow expiring and a
+// new flow arriving in its popularity slot — bumps the slot's generation
+// counter at epoch boundaries, which keeps the in-epoch lookup phase
+// read-only and therefore safely shardable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace ruletris::util {
+
+class FlowStream {
+ public:
+  FlowStream(uint64_t seed, size_t n_flows, double alpha)
+      : seed_(seed), zipf_(n_flows, alpha), generation_(zipf_.universe(), 0) {}
+
+  size_t flows() const { return generation_.size(); }
+  double alpha() const { return zipf_.alpha(); }
+
+  struct Event {
+    size_t rank = 0;       // popularity slot (0 = hottest)
+    uint64_t flow_id = 0;  // identity of the flow currently in that slot
+  };
+
+  /// Packet `index` of `epoch`. Thread-safe while no churn() call is racing.
+  Event at(uint64_t epoch, uint64_t index) const {
+    Rng rng(hash_pair(seed_, hash_pair(epoch, index)));
+    Event ev;
+    ev.rank = zipf_.sample(rng);
+    ev.flow_id = flow_id(ev.rank);
+    return ev;
+  }
+
+  /// Identity of the flow occupying `rank` right now.
+  uint64_t flow_id(size_t rank) const {
+    return hash_pair(seed_ ^ 0xf10af10aULL, hash_pair(rank, generation_[rank]));
+  }
+
+  /// Applies `events` expiry/arrival pairs for the boundary after `epoch`:
+  /// each picks a uniformly random slot — any active flow completes with
+  /// equal probability, so hot "elephant" slots persist for many epochs
+  /// while the long tail turns over, which is what gives a flow-driven
+  /// cache a target worth learning — and replaces its occupant with a fresh
+  /// flow identity. Returns the number of slots remapped.
+  size_t churn(uint64_t epoch, size_t events) {
+    Rng rng(hash_pair(seed_ ^ 0xc4c4c4c4ULL, epoch));
+    size_t remapped = 0;
+    for (size_t i = 0; i < events; ++i) {
+      ++generation_[rng.next_below(generation_.size())];
+      ++remapped;
+    }
+    return remapped;
+  }
+
+ private:
+  uint64_t seed_;
+  ZipfSampler zipf_;
+  std::vector<uint32_t> generation_;
+};
+
+}  // namespace ruletris::util

@@ -1,0 +1,77 @@
+// Zipf-distributed rank sampling for the traffic plane.
+//
+// Flow popularity in real networks is heavy-tailed; the traffic engine
+// models it as Zipf(alpha) over a universe of N concurrent flows. N reaches
+// into the millions, so the sampler cannot precompute a CDF table — it uses
+// Hörmann's rejection-inversion method, which draws in O(1) expected time
+// and O(1) memory for any N and any alpha >= 0 (alpha == 0 degenerates to
+// uniform). Sampling is a pure function of the Rng stream handed in, so
+// callers that seed a private Rng per packet index get a bit-identical
+// arrival stream regardless of how packets are sharded across threads.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace ruletris::util {
+
+class ZipfSampler {
+ public:
+  /// Zipf over ranks [0, n) with exponent `alpha` (P(rank r) ~ 1/(r+1)^alpha).
+  ZipfSampler(size_t n, double alpha)
+      : n_(n == 0 ? 1 : n), alpha_(alpha < 0.0 ? 0.0 : alpha) {
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  size_t universe() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// Draws one rank in [0, n). Expected draws from `rng`: ~1.1.
+  size_t sample(Rng& rng) const {
+    for (;;) {
+      const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+      const double x = h_integral_inverse(u);
+      double k = std::floor(x + 0.5);
+      if (k < 1.0) k = 1.0;
+      if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+      if (k - x <= s_ || u >= h_integral(k + 0.5) - h(k)) {
+        return static_cast<size_t>(k) - 1;  // external ranks are 0-based
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of h, with h(x) = x^-alpha; stable near alpha == 1.
+  double h_integral(double x) const {
+    const double log_x = std::log(x);
+    return helper2((1.0 - alpha_) * log_x) * log_x;
+  }
+  double h(double x) const { return std::exp(-alpha_ * std::log(x)); }
+  double h_integral_inverse(double x) const {
+    double t = x * (1.0 - alpha_);
+    if (t < -1.0) t = -1.0;  // fp round-off guard near the left boundary
+    return std::exp(helper1(t) * x);
+  }
+  // log1p(x)/x and expm1(x)/x with series fallbacks at tiny |x|.
+  static double helper1(double x) {
+    if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+  }
+  static double helper2(double x) {
+    if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+    return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x));
+  }
+
+  size_t n_;
+  double alpha_;
+  double h_x1_ = 0.0;  // H(1.5) - 1
+  double h_n_ = 0.0;   // H(n + 0.5)
+  double s_ = 0.0;     // rejection shortcut threshold
+};
+
+}  // namespace ruletris::util

@@ -5,6 +5,7 @@
 
 #include "classbench/generator.h"
 #include "dag/builder.h"
+#include "switchsim/traffic_engine.h"
 #include "tcam/cacheflow.h"
 #include "test_util.h"
 
@@ -144,6 +145,74 @@ TEST_P(CacheFlowModeTest, RandomSwapsStayConsistent) {
       ASSERT_TRUE(mgr.lookup_consistent(router_packet(rng)))
           << "fast path returned a wrong decision after swap " << swap;
     }
+  }
+}
+
+TEST_P(CacheFlowModeTest, RandomChurnStreamStaysConsistent) {
+  // Mixed install/evict/swap/rebalance stream; after EVERY step the fast
+  // path must still never contradict the full table, and the combined
+  // two-level lookup (classify) must equal the full table's decision.
+  Rng rng(13);
+  const auto rules = generate_router(150, rng);
+  FlowTable table{rules};
+  CacheFlowManager mgr(table.rules(), build_min_dag(table), GetParam(), 72);
+
+  std::vector<RuleId> all;
+  for (const Rule& r : table.rules()) all.push_back(r.id);
+  mgr.warm(CacheFlowManager::AdmissionPolicy::kStaticDag, 50);
+
+  auto audit = [&](int step) {
+    for (int k = 0; k < 15; ++k) {
+      // Random headers plus packets aimed at a specific rule's region, so
+      // the audit exercises both covered and uncovered parts of the space.
+      const Packet p = k % 2 == 0
+                           ? router_packet(rng)
+                           : switchsim::synth_packet(
+                                 table.rules(),
+                                 rng.next_below(table.size() * 7));
+      ASSERT_TRUE(mgr.lookup_consistent(p)) << "step " << step;
+      const Rule* truth = table.lookup(p);
+      const auto out = mgr.classify(p);
+      ASSERT_EQ(truth == nullptr, out.rule == nullptr) << "step " << step;
+      if (truth != nullptr) {
+        ASSERT_EQ(truth->id, out.rule->id) << "step " << step;
+      }
+    }
+    ASSERT_LE(mgr.tcam().occupied(), mgr.tcam().capacity());
+  };
+
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.next_below(4)) {
+      case 0: {  // install a random uncached rule (may fail when full)
+        const RuleId pick = all[rng.next_below(all.size())];
+        if (!mgr.is_cached(pick)) mgr.install(pick);
+        break;
+      }
+      case 1: {  // evict a random cached rule
+        const auto cached = mgr.cached_rules();
+        if (!cached.empty()) mgr.evict(cached[rng.next_below(cached.size())]);
+        break;
+      }
+      case 2: {  // swap
+        const auto cached = mgr.cached_rules();
+        const RuleId in = all[rng.next_below(all.size())];
+        if (!cached.empty() && !mgr.is_cached(in)) {
+          const RuleId out = cached[rng.next_below(cached.size())];
+          if (!mgr.swap(out, in)) mgr.install(out);
+        }
+        break;
+      }
+      default: {  // traffic burst + flow-driven rebalance
+        for (int b = 0; b < 8; ++b) {
+          mgr.add_hits(all[rng.next_below(all.size())],
+                       1 + rng.next_below(64));
+        }
+        mgr.rebalance(CacheFlowManager::AdmissionPolicy::kFlowDriven, 4);
+        if (step % 3 == 0) mgr.age_hits();
+        break;
+      }
+    }
+    audit(step);
   }
 }
 

@@ -38,6 +38,8 @@
 #include "runtime/workload.h"
 #include "switchsim/adapters.h"
 #include "switchsim/switch.h"
+#include "switchsim/traffic_engine.h"
+#include "tcam/cacheflow.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -65,6 +67,17 @@ struct Options {
   std::string json_out;    // machine-readable report path
   bool verbose = false;
 
+  // Data-plane traffic mode (--traffic): instead of a rule-update stream,
+  // drive a Zipf flow workload through a CacheFlow'd TCAM + tuple-space
+  // slow path over the composed table and report hit rate / pkts per sec.
+  bool traffic = false;
+  size_t flows = 1 << 20;             // --flows
+  double zipf_alpha = 1.0;            // --zipf-alpha
+  std::optional<double> flow_churn;   // --flow-churn (or numeric --churn)
+  size_t packets = 50000;             // --packets (per epoch)
+  size_t epochs = 4;                  // --epochs
+  size_t threads = 1;                 // --threads (lookup shards)
+
   // Asynchronous runtime mode (--runtime): replicate the compiled epoch log
   // to N concurrent switch sessions instead of one synchronous switch.
   bool runtime = false;
@@ -85,6 +98,9 @@ struct Options {
                "          [--trace FILE | --emit-trace FILE] [--json FILE]\n"
                "          [--runtime] [--switches N] [--window W] [--fault-seed S]\n"
                "          [--crash-p P] [--corrupt-p P]\n"
+               "          [--traffic] [--flows N] [--zipf-alpha A]\n"
+               "          [--flow-churn R] [--packets N] [--epochs N]\n"
+               "          [--threads N]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
                "          gen:nat:N | file:PATH\n"
                "  --runtime replicates the compiled update stream to N\n"
@@ -96,7 +112,13 @@ struct Options {
                "  torn TCAM back or forward before resync); --corrupt-p flips\n"
                "  a wire bit per frame with probability P (CRC-caught,\n"
                "  NACK-retransmitted). Both imply faults even without\n"
-               "  --fault-seed.\n",
+               "  --fault-seed.\n"
+               "  --traffic replaces the update stream with a Zipf-skewed\n"
+               "  flow workload (N concurrent flows, skew A, flow expiry\n"
+               "  rate R per packet) against a CacheFlow'd TCAM backed by\n"
+               "  the tuple-space slow path; reports cache hit rate and\n"
+               "  packets/s. In traffic mode a numeric --churn value is\n"
+               "  read as the flow churn rate.\n",
                argv0);
   std::exit(2);
 }
@@ -150,6 +172,20 @@ Options parse_args(int argc, char** argv) {
       opt.crash_p = std::stod(need_value(i));
     } else if (arg == "--corrupt-p") {
       opt.corrupt_p = std::stod(need_value(i));
+    } else if (arg == "--traffic") {
+      opt.traffic = true;
+    } else if (arg == "--flows") {
+      opt.flows = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--zipf-alpha") {
+      opt.zipf_alpha = std::stod(need_value(i));
+    } else if (arg == "--flow-churn") {
+      opt.flow_churn = std::stod(need_value(i));
+    } else if (arg == "--packets") {
+      opt.packets = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--epochs") {
+      opt.epochs = static_cast<size_t>(std::stoul(need_value(i)));
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<size_t>(std::stoul(need_value(i)));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(argv[0]);
@@ -248,6 +284,83 @@ int main(int argc, char** argv) {
       for (const auto& [name, rules] : built) t.emplace(name, FlowTable{rules});
       return t;
     };
+
+    if (opt.traffic) {
+      // A numeric --churn is the flow churn rate in this mode.
+      double churn_rate = opt.flow_churn.value_or(0.0);
+      if (!opt.flow_churn && !opt.churn.empty()) {
+        try {
+          size_t used = 0;
+          const double v = std::stod(opt.churn, &used);
+          if (used == opt.churn.size()) churn_rate = v;
+        } catch (const std::exception&) {
+          // a table name; traffic mode ignores it
+        }
+      }
+
+      compiler::RuleTrisCompiler frontend(spec, tables_for());
+      const std::vector<Rule> composed = frontend.root().visible_rules_in_order();
+      const FlowTable composed_table{composed};
+      // A cache only makes sense when it is smaller than the table.
+      const size_t capacity =
+          opt.capacity.value_or(std::max<size_t>(64, composed.size() / 4));
+      tcam::CacheFlowManager mgr(composed_table.rules(),
+                                 frontend.root().visible_graph(),
+                                 tcam::CacheFlowManager::Mode::kDagFirmware,
+                                 capacity);
+
+      switchsim::TrafficConfig cfg;
+      cfg.flows = opt.flows;
+      cfg.zipf_alpha = opt.zipf_alpha;
+      cfg.churn_rate = churn_rate;
+      cfg.packets_per_epoch = opt.packets;
+      cfg.epochs = opt.epochs;
+      cfg.seed = opt.seed;
+      cfg.n_threads = std::max<size_t>(1, opt.threads);
+      switchsim::TrafficEngine engine(mgr, composed_table.rules(), cfg);
+      const switchsim::TrafficReport report = engine.run();
+
+      std::printf("\ntraffic: %zu flows (alpha %.2f, churn %.3f), "
+                  "%zu epochs x %zu packets, %zu lookup threads\n",
+                  opt.flows, opt.zipf_alpha, churn_rate, opt.epochs,
+                  opt.packets, cfg.n_threads);
+      std::printf("  composed table : %zu rules; TCAM capacity %zu "
+                  "(%zu cached, %zu covers)\n",
+                  composed.size(), capacity, mgr.cached_count(),
+                  mgr.cover_count());
+      std::printf("  cache hit rate : %.4f  (slow-path tuples: %zu)\n",
+                  report.hit_rate(), mgr.soft_table().tuple_count());
+      std::printf("  lookup rate    : %.0f pkts/s\n", report.pkts_per_s());
+      std::printf("  cache update   : %zu swaps, %zu entry writes, "
+                  "%.1f ms total TCAM time\n",
+                  report.swaps, report.entry_writes, report.update_ms);
+      std::printf("  flow churn     : %zu remaps\n", report.churn_events);
+      std::printf("  consistency    : %zu violations (must be 0)\n",
+                  report.consistency_violations);
+
+      if (auto* j = bench::json()) {
+        j->meta("policy", compiler::policy_to_string(spec));
+        j->meta("mode", "traffic");
+        j->meta("seed", static_cast<double>(opt.seed));
+        j->begin_row();
+        j->field("flows", static_cast<double>(opt.flows));
+        j->field("zipf_alpha", opt.zipf_alpha);
+        j->field("flow_churn", churn_rate);
+        j->field("packets", static_cast<double>(report.packets));
+        j->field("threads", static_cast<double>(cfg.n_threads));
+        j->field("tcam_capacity", static_cast<double>(capacity));
+        j->field("hit_rate", report.hit_rate());
+        j->field("pkts_per_s", report.pkts_per_s());
+        j->field("swaps", static_cast<double>(report.swaps));
+        j->field("entry_writes", static_cast<double>(report.entry_writes));
+        j->field("update_ms", report.update_ms);
+        j->field("churn_events", static_cast<double>(report.churn_events));
+        j->field("consistency_violations",
+                 static_cast<double>(report.consistency_violations));
+        bench::write_json();
+      }
+      return report.consistency_violations == 0 ? 0 : 1;
+    }
 
     const std::string churn =
         opt.churn.empty() ? spec.leaf_names().front() : opt.churn;
