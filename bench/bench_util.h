@@ -29,17 +29,27 @@ inline size_t updates_per_run(size_t fallback = 200) {
   return fallback;
 }
 
+/// Version of the emitted JSON document format. Bump when the envelope
+/// changes shape (fields added/renamed/moved), so downstream readers of the
+/// checked-in BENCH_*.json files can detect drift instead of misparsing.
+/// History: 1 = original unversioned {benchmark, meta, rows} envelope;
+/// 2 = adds schema_version + generator provenance.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
 /// Machine-readable benchmark output: a flat list of rows, each a list of
 /// key/value fields, emitted as JSON. Started from a `--json out.json`
 /// command-line flag (see init_json); rows printed through print_row are
 /// mirrored automatically, and benches with custom output record rows
 /// explicitly through `json()`. The emitted document is
-///   {"benchmark": ..., "meta": {...}, "rows": [{...}, ...]}
+///   {"benchmark": ..., "schema_version": N, "generator": ...,
+///    "meta": {...}, "rows": [{...}, ...]}
 /// so the perf trajectory under BENCH_*.json stays trivially diffable.
 class JsonReport {
  public:
   JsonReport(std::string benchmark, std::string path)
-      : benchmark_(std::move(benchmark)), path_(std::move(path)) {}
+      : benchmark_(std::move(benchmark)),
+        generator_("ruletris/bench/" + benchmark_),
+        path_(std::move(path)) {}
 
   void meta(const std::string& key, const std::string& value) {
     meta_.emplace_back(key, quote(value));
@@ -62,7 +72,9 @@ class JsonReport {
   bool write() const {
     std::ofstream out(path_);
     if (!out) return false;
-    out << "{\n  \"benchmark\": " << quote(benchmark_) << ",\n  \"meta\": {";
+    out << "{\n  \"benchmark\": " << quote(benchmark_)
+        << ",\n  \"schema_version\": " << kBenchJsonSchemaVersion
+        << ",\n  \"generator\": " << quote(generator_) << ",\n  \"meta\": {";
     for (size_t i = 0; i < meta_.size(); ++i) {
       out << (i ? ", " : "") << quote(meta_[i].first) << ": " << meta_[i].second;
     }
@@ -92,6 +104,7 @@ class JsonReport {
   }
 
   std::string benchmark_;
+  std::string generator_;  // provenance: which harness binary emitted this
   std::string path_;
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;

@@ -107,11 +107,25 @@ int main(int argc, char** argv) {
     // Crossover guard: below the direct cutoff, build_min_dag must not lose
     // to brute force by more than noise (the 2x + 1ms slack absorbs timer
     // jitter on sub-millisecond rows). Before the cutoff existed the indexed
-    // build was ~3.5x slower than brute at 250 rules.
-    if (direct && serial_ms > brute_ms * 2.0 + 1.0) {
+    // build was ~3.5x slower than brute at 250 rules. Both timings are
+    // sub-millisecond in smoke, so one preemption while ctest runs the suite
+    // in parallel can swamp either side — re-measure before calling it a
+    // regression.
+    double guard_brute = brute_ms;
+    double guard_serial = serial_ms;
+    for (int retry = 0;
+         direct && guard_serial > guard_brute * 2.0 + 1.0 && retry < 3; ++retry) {
+      util::Stopwatch bwatch;
+      (void)dag::build_min_dag_brute(table);
+      guard_brute = bwatch.elapsed_ms();
+      util::Stopwatch swatch;
+      (void)dag::build_min_dag(table);
+      guard_serial = swatch.elapsed_ms();
+    }
+    if (direct && guard_serial > guard_brute * 2.0 + 1.0) {
       std::fprintf(stderr,
                    "FAIL: direct path slower than brute at n=%zu (%.2fms vs %.2fms)\n",
-                   n, serial_ms, brute_ms);
+                   n, guard_serial, guard_brute);
       ok = false;
     }
 

@@ -1,6 +1,7 @@
 #include "compiler/composed_node.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "compiler/compose_ops.h"
@@ -21,14 +22,19 @@ const char* op_name(OpKind op) {
 }
 
 namespace {
+std::mutex g_default_opts_mutex;
 CompileOptions g_default_compile_options;
 }  // namespace
 
 void set_default_compile_options(const CompileOptions& opts) {
+  std::scoped_lock lock(g_default_opts_mutex);
   g_default_compile_options = opts;
 }
 
-const CompileOptions& default_compile_options() { return g_default_compile_options; }
+CompileOptions default_compile_options() {
+  std::scoped_lock lock(g_default_opts_mutex);
+  return g_default_compile_options;
+}
 
 ComposedNode::ComposedNode(OpKind op, std::unique_ptr<PolicyNode> left,
                            std::unique_ptr<PolicyNode> right)
@@ -1024,6 +1030,30 @@ CompileSnapshot ComposedNode::snapshot() const {
   }
   std::sort(snap.visible_edges.begin(), snap.visible_edges.end());
   return snap;
+}
+
+std::vector<ComposedNode::MemberView> ComposedNode::export_members() const {
+  std::vector<MemberView> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    out.push_back(MemberView{id, e.left_src, e.right_src, &e.match, &e.actions});
+  }
+  std::sort(out.begin(), out.end(), [](const MemberView& a, const MemberView& b) {
+    if (a.left_src != b.left_src) return a.left_src < b.left_src;
+    return a.right_src < b.right_src;
+  });
+  return out;
+}
+
+std::vector<RuleId> ComposedNode::representative_ids() const {
+  std::vector<RuleId> out;
+  out.reserve(keys_.size());
+  for (const auto& [match, kv] : keys_) {
+    (void)match;
+    if (kv.rep != 0) out.push_back(kv.rep);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // ---------------------------------------------------------------------------

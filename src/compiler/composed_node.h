@@ -70,9 +70,17 @@ struct CompileOptions {
 
 /// Process-wide default compile options, used by the two-argument
 /// ComposedNode constructor (and thus by RuleTrisCompiler). Set from
-/// tools/bench flags (--compile-threads); not read concurrently with writes.
+/// tools/bench flags (--compile-threads).
+///
+/// Contract: the global is guarded by an internal mutex. The setter
+/// publishes atomically and the getter returns a snapshot *copy*, so a
+/// thread constructing a compiler concurrently with a writer observes
+/// either the old or the new options in full, never a torn mix. Intended
+/// usage is still configure-at-startup — set once from flags before
+/// spawning compile work; nodes latch their options at construction, so a
+/// later set never retunes an existing compiler.
 void set_default_compile_options(const CompileOptions& opts);
-const CompileOptions& default_compile_options();
+CompileOptions default_compile_options();
 
 /// Id-independent image of a composed node's compiled state, keyed by
 /// (left_src, right_src) provenance instead of entry ids (ids come from the
@@ -120,6 +128,29 @@ class ComposedNode final : public PolicyNode {
   /// Canonical id-independent image of the current compiled state, for
   /// equivalence checks across compile strategies.
   CompileSnapshot snapshot() const;
+
+  /// Read-only view of one member entry for state export (the frozen
+  /// layer). Pointers alias this node's internal storage and stay valid
+  /// until the next mutation.
+  struct MemberView {
+    RuleId id = 0;
+    RuleId left_src = 0;
+    RuleId right_src = 0;
+    const TernaryMatch* match = nullptr;
+    const ActionList* actions = nullptr;
+  };
+
+  /// Every member entry — including obscured ones — sorted by
+  /// (left_src, right_src) provenance, the same canonical order
+  /// snapshot() uses.
+  std::vector<MemberView> export_members() const;
+
+  /// Ids of the current key-vertex representatives, sorted ascending.
+  /// Skips keys with a promotion pending (only possible mid-update).
+  std::vector<RuleId> representative_ids() const;
+
+  /// Visible rule ids in matched-first order.
+  const std::vector<RuleId>& visible_order() const { return visible_dag_.order(); }
 
   /// Applies an update that the left/right child has *already applied to
   /// itself*, and returns this node's own visible update.

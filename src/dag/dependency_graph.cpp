@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_set>
 #include <stdexcept>
 
 #include "util/strfmt.h"
@@ -9,7 +10,7 @@
 namespace ruletris::dag {
 
 namespace {
-const std::unordered_set<RuleId> kEmptySet;
+const IdSet kEmptySet;
 }
 
 bool DependencyGraph::has_edge(RuleId u, RuleId v) const {
@@ -19,6 +20,42 @@ bool DependencyGraph::has_edge(RuleId u, RuleId v) const {
 
 bool DependencyGraph::add_vertex(RuleId v) {
   return nodes_.try_emplace(v).second;
+}
+
+void DependencyGraph::bulk_load_indexed(
+    const std::vector<RuleId>& vertices,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  if (!nodes_.empty()) {
+    throw std::invalid_argument("DependencyGraph: bulk_load needs an empty graph");
+  }
+  const size_t n = vertices.size();
+  nodes_.reserve(n);
+  std::vector<Node*> at(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, fresh] = nodes_.try_emplace(vertices[i]);
+    if (!fresh) throw std::invalid_argument("DependencyGraph: duplicate vertex");
+    at[i] = &it->second;
+  }
+  std::vector<uint32_t> out_deg(n, 0);
+  std::vector<uint32_t> in_deg(n, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= n || v >= n) {
+      throw std::invalid_argument("DependencyGraph: edge index out of range");
+    }
+    if (u == v) throw std::invalid_argument("DependencyGraph: self edge");
+    ++out_deg[u];
+    ++in_deg[v];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (out_deg[i] != 0) at[i]->out.reserve(out_deg[i]);
+    if (in_deg[i] != 0) at[i]->in.reserve(in_deg[i]);
+  }
+  for (const auto& [u, v] : edges) {
+    if (at[u]->out.insert(vertices[v])) {
+      at[v]->in.insert(vertices[u]);
+      ++edge_count_;
+    }
+  }
 }
 
 void DependencyGraph::remove_vertex(RuleId v) {
@@ -40,7 +77,7 @@ DependencyGraph::EdgeAdd DependencyGraph::add_edge(RuleId u, RuleId v) {
   EdgeAdd result;
   result.created_u = nodes_.try_emplace(u).second;
   result.created_v = nodes_.try_emplace(v).second;
-  if (nodes_[u].out.insert(v).second) {
+  if (nodes_[u].out.insert(v)) {
     nodes_[v].in.insert(u);
     ++edge_count_;
     result.added = true;
@@ -65,12 +102,12 @@ const DependencyGraph::Node& DependencyGraph::node(RuleId v) const {
   return it->second;
 }
 
-const std::unordered_set<RuleId>& DependencyGraph::successors(RuleId u) const {
+const IdSet& DependencyGraph::successors(RuleId u) const {
   auto it = nodes_.find(u);
   return it == nodes_.end() ? kEmptySet : it->second.out;
 }
 
-const std::unordered_set<RuleId>& DependencyGraph::predecessors(RuleId u) const {
+const IdSet& DependencyGraph::predecessors(RuleId u) const {
   auto it = nodes_.find(u);
   return it == nodes_.end() ? kEmptySet : it->second.in;
 }

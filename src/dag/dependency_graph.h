@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "dag/id_set.h"
 #include "flowspace/rule.h"
 
 namespace ruletris::dag {
@@ -68,14 +68,24 @@ class DependencyGraph {
   /// No-op if the edge exists. Self-edges are rejected.
   EdgeAdd add_edge(RuleId u, RuleId v);
 
+  /// Bulk-bootstrap for restore paths: loads `vertices` plus `edges` whose
+  /// endpoints index into `vertices` (edge (i, j) means vertices[i] ->
+  /// vertices[j]). The graph must be empty. One degree-counting pass
+  /// pre-sizes every adjacency set and a cached-pointer pass fills them, so
+  /// the load costs a fraction of per-edge add_edge() calls. Throws
+  /// std::invalid_argument on out-of-range indices, duplicate vertex ids,
+  /// self-edges, or a non-empty graph.
+  void bulk_load_indexed(const std::vector<RuleId>& vertices,
+                         const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
   /// Returns true when the edge existed and was removed.
   bool remove_edge(RuleId u, RuleId v);
 
   /// Out-neighbours of u: the rules u depends on (placed above u).
-  const std::unordered_set<RuleId>& successors(RuleId u) const;
+  const IdSet& successors(RuleId u) const;
 
   /// In-neighbours of u: the rules depending on u (placed below u).
-  const std::unordered_set<RuleId>& predecessors(RuleId u) const;
+  const IdSet& predecessors(RuleId u) const;
 
   std::vector<RuleId> vertices() const;
 
@@ -105,8 +115,8 @@ class DependencyGraph {
 
  private:
   struct Node {
-    std::unordered_set<RuleId> out;  // successors
-    std::unordered_set<RuleId> in;   // predecessors
+    IdSet out;  // successors
+    IdSet in;   // predecessors
   };
 
   const Node& node(RuleId v) const;

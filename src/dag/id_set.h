@@ -1,0 +1,174 @@
+// Flat open-addressing hash set of rule ids — the DAG's adjacency storage.
+//
+// std::unordered_set allocates one heap node per element, which makes warm
+// boot (bulk-loading ~10^5 edges) and dense compile-time graphs allocation
+// bound. IdSet stores elements inline in a single power-of-two slot array
+// (linear probing, backward-shift deletion, fibonacci hashing), so a set
+// costs one allocation total and bulk loads run at memcpy-like speed. The
+// interface mirrors the unordered_set subset the graph code uses: insert /
+// erase / count / size / empty / clear / reserve / iteration / operator==.
+//
+// The all-ones id is reserved as the empty-slot sentinel; rule ids are
+// sequence numbers in practice, and insert() rejects the sentinel loudly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <stdexcept>
+#include <vector>
+
+#include "flowspace/rule.h"
+
+namespace ruletris::dag {
+
+class IdSet {
+  using Id = flowspace::RuleId;
+  static constexpr Id kEmpty = ~Id{0};
+  static constexpr uint64_t kMix = 0x9E3779B97F4A7C15ull;  // 2^64 / phi
+
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Id;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Id*;
+    using reference = const Id&;
+
+    const_iterator() = default;
+    const_iterator(const Id* p, const Id* end) : p_(p), end_(end) { skip(); }
+    reference operator*() const { return *p_; }
+    const_iterator& operator++() {
+      ++p_;
+      skip();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const { return p_ == o.p_; }
+    bool operator!=(const const_iterator& o) const { return p_ != o.p_; }
+
+   private:
+    void skip() {
+      while (p_ != end_ && *p_ == kEmpty) ++p_;
+    }
+    const Id* p_ = nullptr;
+    const Id* end_ = nullptr;
+  };
+  using iterator = const_iterator;
+  using value_type = Id;
+
+  IdSet() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(Id id) const {
+    if (size_ == 0) return false;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = home(id);; i = (i + 1) & mask) {
+      if (slots_[i] == id) return true;
+      if (slots_[i] == kEmpty) return false;
+    }
+  }
+  size_t count(Id id) const { return contains(id) ? 1 : 0; }
+
+  /// Returns true when the id was not present.
+  bool insert(Id id) {
+    if (id == kEmpty) throw std::invalid_argument("IdSet: reserved id");
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      grow(slots_.empty() ? kMinSlots : slots_.size() * 2);
+    }
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = home(id);; i = (i + 1) & mask) {
+      if (slots_[i] == id) return false;
+      if (slots_[i] == kEmpty) {
+        slots_[i] = id;
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  /// Returns true when the id was present. Backward-shift deletion keeps
+  /// probe chains tombstone-free.
+  bool erase(Id id) {
+    if (size_ == 0) return false;
+    const size_t mask = slots_.size() - 1;
+    size_t i = home(id);
+    while (slots_[i] != id) {
+      if (slots_[i] == kEmpty) return false;
+      i = (i + 1) & mask;
+    }
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask; slots_[j] != kEmpty; j = (j + 1) & mask) {
+      // The element at j may fill the hole iff its home position lies at or
+      // before the hole along the probe path (cyclic distance check).
+      const size_t h = home(slots_[j]);
+      if (((j - h) & mask) >= ((j - hole) & mask)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole] = kEmpty;
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    slots_.assign(slots_.size(), kEmpty);
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table so `n` elements fit without rehashing.
+  void reserve(size_t n) {
+    size_t want = kMinSlots;
+    while (n * 4 > want * 3) want *= 2;
+    if (want > slots_.size()) grow(want);
+  }
+
+  const_iterator begin() const {
+    return {slots_.data(), slots_.data() + slots_.size()};
+  }
+  const_iterator end() const {
+    return {slots_.data() + slots_.size(), slots_.data() + slots_.size()};
+  }
+
+  bool operator==(const IdSet& o) const {
+    if (size_ != o.size_) return false;
+    for (Id id : *this) {
+      if (!o.contains(id)) return false;
+    }
+    return true;
+  }
+  bool operator!=(const IdSet& o) const { return !(*this == o); }
+
+ private:
+  static constexpr size_t kMinSlots = 8;
+
+  size_t home(Id id) const { return (id * kMix) >> shift_; }
+
+  void grow(size_t new_slots) {
+    std::vector<Id> old = std::move(slots_);
+    slots_.assign(new_slots, kEmpty);
+    shift_ = 64;
+    for (size_t s = new_slots; s > 1; s >>= 1) --shift_;
+    const size_t mask = new_slots - 1;
+    for (Id id : old) {
+      if (id == kEmpty) continue;
+      size_t i = home(id);
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = id;
+    }
+  }
+
+  std::vector<Id> slots_;
+  size_t size_ = 0;
+  unsigned shift_ = 64;  // 64 - log2(slots_.size()); home() of an empty table unused
+};
+
+}  // namespace ruletris::dag

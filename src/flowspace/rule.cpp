@@ -10,9 +10,23 @@ namespace ruletris::flowspace {
 
 using util::strfmt;
 
-RuleId next_rule_id() {
+namespace {
+std::atomic<RuleId>& rule_id_counter() {
   static std::atomic<RuleId> counter{1};
-  return counter.fetch_add(1, std::memory_order_relaxed);
+  return counter;
+}
+}  // namespace
+
+RuleId next_rule_id() {
+  return rule_id_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+void ensure_rule_id_floor(RuleId floor) {
+  auto& counter = rule_id_counter();
+  RuleId cur = counter.load(std::memory_order_relaxed);
+  while (cur <= floor &&
+         !counter.compare_exchange_weak(cur, floor + 1, std::memory_order_relaxed)) {
+  }
 }
 
 std::string Rule::to_string() const {

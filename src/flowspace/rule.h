@@ -25,6 +25,12 @@ inline constexpr RuleId kInvalidRuleId = 0;
 /// updates.
 RuleId next_rule_id();
 
+/// Raises the id counter so that every future next_rule_id() exceeds
+/// `floor`. Thawing a frozen snapshot must call this with the highest id the
+/// snapshot references, or fresh rules would collide with restored ones.
+/// Idempotent; never lowers the counter.
+void ensure_rule_id_floor(RuleId floor);
+
 struct Rule {
   RuleId id = kInvalidRuleId;
   TernaryMatch match;

@@ -1,0 +1,80 @@
+// Epoch deltas between consecutive PolicyImages.
+//
+// A PolicyDelta is the minimal edit script taking a frozen snapshot at
+// epoch E to the snapshot at epoch E+1: entry removals/additions (member
+// entries are immutable per id — the compiler only ever adds or removes
+// them), representative churn, visible-edge churn, and the visible-order
+// edit. Order is encoded as (id, final position) inserts applied ascending
+// after the removals, which reconstructs the new order exactly because the
+// compiler never reorders surviving rules relative to each other
+// (MinDagMaintainer keeps an insertion-positioned total order) — diff()
+// verifies that invariant against both images and throws if it ever breaks.
+//
+// Deltas intentionally do not carry TCAM layout: a delta updates the
+// *compiled* image (what snapshot() compares); the device layout evolves on
+// the switch via the normal scheduled updates. apply_delta() therefore
+// clears the stale layout of the image it patches.
+//
+// encode_delta() serializes to an arena blob (kDeltaMagic) small enough to
+// ship as a proto::SnapshotPatch message over the CRC32-framed codec;
+// encoding is deterministic, so re-encoding a decoded delta is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "frozen/frozen.h"
+
+namespace ruletris::frozen {
+
+struct TableDelta {
+  std::vector<RuleId> removed_entries;     // ids, ascending
+  std::vector<MemberEntry> added_entries;  // full records, provenance-sorted
+  std::vector<RuleId> reps_removed;        // ids, ascending
+  std::vector<RuleId> reps_added;          // ids, ascending
+  std::vector<std::pair<RuleId, RuleId>> edges_removed;  // sorted
+  std::vector<std::pair<RuleId, RuleId>> edges_added;    // sorted
+  /// (id, final position) pairs, ascending by position.
+  std::vector<std::pair<RuleId, uint64_t>> order_inserts;
+
+  bool empty() const {
+    return removed_entries.empty() && added_entries.empty() &&
+           reps_removed.empty() && reps_added.empty() && edges_removed.empty() &&
+           edges_added.empty() && order_inserts.empty();
+  }
+
+  bool operator==(const TableDelta&) const = default;
+};
+
+struct PolicyDelta {
+  uint64_t from_epoch = 0;
+  uint64_t to_epoch = 0;
+  std::vector<TableDelta> tables;
+
+  bool operator==(const PolicyDelta&) const = default;
+};
+
+/// Structural diff from `from` to `to`. Throws when the images have
+/// different table counts or when the surviving-order invariant does not
+/// hold (it always does for images captured from the compiler).
+PolicyDelta diff(const PolicyImage& from, const PolicyImage& to);
+
+/// Applies a delta in place. Epochs must chain (image.epoch ==
+/// delta.from_epoch); every removal must name present state. Keeps the
+/// image canonical (sorted forms) and clears stale TCAM layouts. Throws
+/// std::runtime_error on any mismatch, leaving the image unspecified.
+void apply_delta(PolicyImage& image, const PolicyDelta& delta);
+
+/// Serializes to an arena blob (kDeltaMagic / kFormatVersion).
+/// Deterministic: decode_delta(encode_delta(d)) re-encodes bit-identically.
+Bytes encode_delta(const PolicyDelta& delta);
+
+/// Parses a delta blob; throws std::runtime_error on corruption. Bumps the
+/// process rule-id counter past every id the delta introduces.
+PolicyDelta decode_delta(const uint8_t* data, size_t size);
+inline PolicyDelta decode_delta(const Bytes& bytes) {
+  return decode_delta(bytes.data(), bytes.size());
+}
+
+}  // namespace ruletris::frozen

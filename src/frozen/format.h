@@ -1,0 +1,152 @@
+// On-disk record layout of frozen policy snapshots and epoch deltas.
+//
+// Everything here is a trivially-copyable POD with explicit padding, laid
+// out so that an mmap'ed blob can be read in place through util::ArenaView
+// (see util/arena.h for the container framing). Cross-references are entry
+// *indices* (u32, position in the table's entry section) or rule ids (u64,
+// the process-global ids the epoch log already ships), never pointers —
+// the blob is position-independent by construction.
+//
+// A policy snapshot holds `n_tables` tables; table t's sections live at
+// kind = table_section(t, k*). One table freezes the full compiled state of
+// one composed root: every member entry (including obscured ones — they are
+// what future removals promote), the key-vertex representatives, the
+// visible minimum-DAG edges, the matched-first visible order, and
+// optionally the TCAM layout of a scheduler that had the table installed.
+//
+// Version history: 1 = initial format.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "flowspace/field.h"
+
+namespace ruletris::frozen {
+
+inline constexpr uint32_t kPolicyMagic = 0x5A465452u;  // "RTFZ" on disk
+inline constexpr uint32_t kDeltaMagic = 0x5A445452u;   // "RTDZ" on disk
+inline constexpr uint16_t kFormatVersion = 1;
+
+// --- section kinds ---------------------------------------------------------
+
+/// Blob-global sections.
+inline constexpr uint32_t kMetaSection = 1;
+
+/// Per-table section slots; table t's slot k lives at table_section(t, k).
+enum TableSlot : uint32_t {
+  kEntriesSlot = 0,       // FrozenEntry[]
+  kActionsSlot = 1,       // FrozenAction[], referenced by entry action ranges
+  kRepsSlot = 2,          // u32 entry indices (key-vertex representatives)
+  kVisibleEdgesSlot = 3,  // FrozenEdge[] (entry-index pairs, u -> v)
+  kVisibleOrderSlot = 4,  // u32 entry indices, matched-first order
+  kLayoutSlot = 5,        // FrozenLayout[] (optional TCAM placements)
+};
+
+/// Per-table delta section slots (same stride, kDeltaMagic blobs).
+enum DeltaSlot : uint32_t {
+  kRemovedEntriesSlot = 0,  // u64 entry ids
+  kAddedEntriesSlot = 1,    // FrozenEntry[] (action ranges into slot 2)
+  kAddedActionsSlot = 2,    // FrozenAction[]
+  kRepsRemovedSlot = 3,     // u64 entry ids
+  kRepsAddedSlot = 4,       // u64 entry ids
+  kEdgesRemovedSlot = 5,    // FrozenIdEdge[]
+  kEdgesAddedSlot = 6,      // FrozenIdEdge[]
+  kOrderInsertsSlot = 7,    // FrozenOrderInsert[], ascending position
+};
+
+inline constexpr uint32_t kTableSectionBase = 16;
+inline constexpr uint32_t kTableSectionStride = 16;
+
+constexpr uint32_t table_section(uint32_t table, uint32_t slot) {
+  return kTableSectionBase + table * kTableSectionStride + slot;
+}
+
+// --- records ---------------------------------------------------------------
+
+struct FrozenMeta {
+  uint64_t epoch = 0;     // compiler epoch the snapshot was taken at
+  uint64_t id_floor = 0;  // highest rule id referenced anywhere in the blob
+  uint32_t n_tables = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(FrozenMeta) == 24);
+
+/// Global meta record of a delta blob (kDeltaMagic).
+struct FrozenDeltaMeta {
+  uint64_t from_epoch = 0;  // snapshot epoch the delta applies on top of
+  uint64_t to_epoch = 0;    // resulting epoch
+  uint64_t id_floor = 0;    // highest rule id introduced by the delta
+  uint32_t n_tables = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(FrozenDeltaMeta) == 32);
+
+/// One composed member entry (Sec. IV-B state), match inlined field-major.
+struct FrozenEntry {
+  uint64_t id = 0;
+  uint64_t left_src = 0;
+  uint64_t right_src = 0;
+  uint32_t value[flowspace::kNumFields] = {};
+  uint32_t mask[flowspace::kNumFields] = {};
+  uint32_t action_begin = 0;  // range into the actions section
+  uint32_t action_count = 0;
+};
+static_assert(sizeof(FrozenEntry) == 24 + 8 * flowspace::kNumFields + 8);
+
+struct FrozenAction {
+  uint8_t type = 0;
+  uint8_t field = 0;
+  uint16_t reserved = 0;
+  uint32_t arg = 0;
+};
+static_assert(sizeof(FrozenAction) == 8);
+
+/// Visible minimum-DAG edge u -> v ("v matched before u"), entry indices.
+struct FrozenEdge {
+  uint32_t u = 0;
+  uint32_t v = 0;
+};
+static_assert(sizeof(FrozenEdge) == 8);
+
+/// Same edge, endpoint rule ids (delta blobs reference ids, not indices —
+/// indices shift as entries come and go).
+struct FrozenIdEdge {
+  uint64_t u = 0;
+  uint64_t v = 0;
+};
+static_assert(sizeof(FrozenIdEdge) == 16);
+
+/// TCAM placement of an installed visible rule. References the entry by
+/// index so restore is one array hop, no id map build on the warm path.
+/// Priority is carried so a restored entry is byte-for-byte the rule the
+/// live install wrote (the TCAM encodes match order in the address, but
+/// entries retain the controller-assigned priority field).
+struct FrozenLayout {
+  uint32_t entry_index = 0;
+  uint32_t addr = 0;
+  int32_t priority = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(FrozenLayout) == 16);
+
+/// "Insert rule `id` at position `pos` of the final visible order."
+/// Applied ascending by pos after removals, this reconstructs the new
+/// order exactly, because surviving rules never reorder relative to each
+/// other (MinDagMaintainer keeps insertion-positioned total order).
+struct FrozenOrderInsert {
+  uint64_t id = 0;
+  uint64_t pos = 0;
+};
+static_assert(sizeof(FrozenOrderInsert) == 16);
+
+static_assert(std::is_trivially_copyable_v<FrozenMeta> &&
+              std::is_trivially_copyable_v<FrozenDeltaMeta> &&
+              std::is_trivially_copyable_v<FrozenEntry> &&
+              std::is_trivially_copyable_v<FrozenAction> &&
+              std::is_trivially_copyable_v<FrozenEdge> &&
+              std::is_trivially_copyable_v<FrozenIdEdge> &&
+              std::is_trivially_copyable_v<FrozenLayout> &&
+              std::is_trivially_copyable_v<FrozenOrderInsert>);
+
+}  // namespace ruletris::frozen

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/crc32.h"
+
 namespace ruletris::proto {
 
 using dag::DagDelta;
@@ -23,6 +25,7 @@ enum class MsgType : uint8_t {
   kModify = 3,
   kDagUpdate = 4,
   kBarrier = 5,
+  kSnapshotPatch = 6,
 };
 
 class Writer {
@@ -56,6 +59,12 @@ class Writer {
     i32(r.priority);
     match(r.match);
     actions(r.actions);
+  }
+
+  /// Length-prefixed opaque byte string (frozen-layer blobs).
+  void bytes(const Bytes& b) {
+    u32(static_cast<uint32_t>(b.size()));
+    if (!b.empty()) raw(b.data(), b.size());
   }
 
   void delta(const DagDelta& d) {
@@ -130,6 +139,13 @@ class Reader {
     return r;
   }
 
+  Bytes bytes() {
+    const uint32_t n = u32();
+    const size_t at = require(n);
+    return Bytes(in_.begin() + static_cast<ptrdiff_t>(at),
+                 in_.begin() + static_cast<ptrdiff_t>(at + n));
+  }
+
   DagDelta delta() {
     DagDelta d;
     for (uint32_t i = 0, n = u32(); i < n; ++i) d.removed_vertices.push_back(u64());
@@ -170,16 +186,10 @@ class Reader {
 }  // namespace
 
 uint32_t crc32(const uint8_t* data, size_t len) {
-  // Byte-at-a-time table-free CRC32 (reflected 0xEDB88320): frames are a
-  // few KB at most and encoding cost is dominated by the body writes.
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < len; ++i) {
-    crc ^= data[i];
-    for (int b = 0; b < 8; ++b) {
-      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
-    }
-  }
-  return crc ^ 0xFFFFFFFFu;
+  // Shared sliced-table implementation (util/crc32.h) — same polynomial and
+  // values as the byte-at-a-time loop this codec originally carried, but
+  // fast enough for the multi-MB frozen snapshots that reuse this framing.
+  return util::crc32(data, len);
 }
 
 bool checksum_ok(const Bytes& bytes) {
@@ -210,6 +220,10 @@ Bytes encode_batch(const MessageBatch& batch) {
           } else if constexpr (std::is_same_v<T, DagUpdate>) {
             w.u8(static_cast<uint8_t>(MsgType::kDagUpdate));
             w.delta(m.delta);
+          } else if constexpr (std::is_same_v<T, SnapshotPatch>) {
+            w.u8(static_cast<uint8_t>(MsgType::kSnapshotPatch));
+            w.u64(m.epoch);
+            w.bytes(m.blob);
           } else {
             w.u8(static_cast<uint8_t>(MsgType::kBarrier));
           }
@@ -246,6 +260,13 @@ MessageBatch decode_batch(const Bytes& bytes) {
       case MsgType::kBarrier:
         batch.push_back(Barrier{});
         break;
+      case MsgType::kSnapshotPatch: {
+        SnapshotPatch p;
+        p.epoch = r.u64();
+        p.blob = r.bytes();
+        batch.push_back(std::move(p));
+        break;
+      }
       default:
         throw std::runtime_error("codec: unknown message type");
     }

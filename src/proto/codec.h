@@ -10,6 +10,7 @@
 //   match   := 7 * (u32 value, u32 mask)
 //   actions := u16 count, count * (u8 type, u8 field, u32 arg)
 //   delta   := 4 length-prefixed sections (vertices/edges removed/added)
+//   patch   := u64 epoch, u32 len, len opaque bytes (frozen epoch delta)
 //
 // Every encoded batch carries a trailing u32 CRC32 over the body, verified
 // before any parsing: a corrupted frame (CRC32 detects all single-bit and

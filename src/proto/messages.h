@@ -36,8 +36,17 @@ struct DagUpdate {
 /// Fences a batch; the switch replies when everything before is applied.
 struct Barrier {};
 
-using Message =
-    std::variant<FlowModAdd, FlowModDelete, FlowModModify, DagUpdate, Barrier>;
+/// Experimenter message carrying a frozen-layer epoch delta (an opaque
+/// kDeltaMagic arena blob, see src/frozen/delta.h). Shipped controller to
+/// controller (warm standby / shard handoff), so switch-side consumers
+/// ignore it; the codec frames and CRC-checks it like any other message.
+struct SnapshotPatch {
+  uint64_t epoch = 0;  // epoch the patch produces when applied
+  std::vector<uint8_t> blob;
+};
+
+using Message = std::variant<FlowModAdd, FlowModDelete, FlowModModify,
+                             DagUpdate, Barrier, SnapshotPatch>;
 
 using MessageBatch = std::vector<Message>;
 

@@ -43,6 +43,7 @@ CompiledWorkload compile_churn_workload(
   for (const Rule& r : initial.added) initial.dag.added_vertices.push_back(r.id);
   initial.dag.added_edges = frontend.root().visible_graph().edges();
   workload.epochs.push_back(switchsim::to_messages(initial));
+  if (churn.observer) churn.observer(workload.epochs.size(), frontend);
 
   util::Rng rng(churn.seed);
   for (size_t u = 0; u < churn.updates; ++u) {
@@ -66,6 +67,7 @@ CompiledWorkload compile_churn_workload(
     // Empty updates still become (cheap) epochs: the agent must tolerate
     // batches that only carry a DAG no-op and a barrier.
     workload.epochs.push_back(switchsim::to_messages(update));
+    if (churn.observer) churn.observer(workload.epochs.size(), frontend);
     workload.peak_visible =
         std::max(workload.peak_visible, frontend.root().visible_size());
   }

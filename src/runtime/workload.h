@@ -11,6 +11,10 @@
 #include "proto/messages.h"
 #include "util/rng.h"
 
+namespace ruletris::compiler {
+class RuleTrisCompiler;
+}
+
 namespace ruletris::runtime {
 
 /// A compiled controller workload: epoch 1 installs the initial composed
@@ -38,6 +42,12 @@ struct ChurnSpec {
   double delete_p = 0.30;
   /// Replacement-rule source; default: monitoring-profile rules.
   std::function<flowspace::Rule(util::Rng&)> make_rule;
+  /// Called after each epoch is pushed — after the initial compile (epoch 1)
+  /// and after every incremental update — with the epoch number and the live
+  /// front-end. The warm-boot freezer (runtime/warm_boot.h) hangs off this
+  /// to capture per-epoch frozen images without the workload layer knowing
+  /// about serialization.
+  std::function<void(size_t epoch, const compiler::RuleTrisCompiler&)> observer;
 };
 
 /// Runs the RuleTris front-end over a randomized insert/delete/modify

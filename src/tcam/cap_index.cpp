@@ -1,5 +1,8 @@
 #include "tcam/cap_index.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace ruletris::tcam {
 
 using flowspace::RuleId;
@@ -13,19 +16,50 @@ void CapIndex::rebuild(const Tcam& tcam, const dag::DependencyGraph& graph) {
   caps_.clear();
   lo_succ_.assign(capacity_, static_cast<long long>(capacity_));
   hi_pred_.assign(capacity_, -1);
-  for (const auto& [u, v] : graph.edges()) {
-    if (tcam.contains(v)) caps_[u].succ_addrs.insert(tcam.address_of(v));
-    if (tcam.contains(u)) caps_[v].pred_addrs.insert(tcam.address_of(u));
-  }
-  for (const auto& [id, caps] : caps_) {
-    if (tcam.contains(id)) refresh_cells_at(tcam.address_of(id), caps);
+  // One pass over the out-adjacency covers both cell arrays: edge u -> v
+  // caps u from above (lo_succ) and v from below (hi_pred). No per-vertex
+  // sets are built — they hydrate on first touch.
+  for (const RuleId u : graph.vertices()) {
+    const auto au = tcam.address_if(u);
+    for (const RuleId v : graph.successors(u)) {
+      const auto av = tcam.address_if(v);
+      if (au && av) {
+        lo_succ_[*au] = std::min(lo_succ_[*au], static_cast<long long>(*av));
+        hi_pred_[*av] = std::max(hi_pred_[*av], static_cast<long long>(*au));
+      }
+    }
   }
 }
 
-std::pair<long long, long long> CapIndex::bounds_of(RuleId id) const {
-  auto it = caps_.find(id);
-  if (it == caps_.end()) return {-1, static_cast<long long>(capacity_)};
-  const VertexCaps& c = it->second;
+void CapIndex::load_cells(std::vector<long long> lo_succ,
+                          std::vector<long long> hi_pred) {
+  if (lo_succ.size() != capacity_ || hi_pred.size() != capacity_) {
+    throw std::invalid_argument("CapIndex: cell arrays must match capacity");
+  }
+  caps_.clear();
+  lo_succ_ = std::move(lo_succ);
+  hi_pred_ = std::move(hi_pred);
+}
+
+CapIndex::VertexCaps& CapIndex::hydrate(RuleId id,
+                                        const dag::DependencyGraph& graph,
+                                        const Tcam& tcam) {
+  const auto [it, fresh] = caps_.try_emplace(id);
+  VertexCaps& c = it->second;
+  if (fresh) {
+    for (const RuleId succ : graph.successors(id)) {
+      if (const auto a = tcam.address_if(succ)) c.succ_addrs.insert(*a);
+    }
+    for (const RuleId pred : graph.predecessors(id)) {
+      if (const auto a = tcam.address_if(pred)) c.pred_addrs.insert(*a);
+    }
+  }
+  return c;
+}
+
+std::pair<long long, long long> CapIndex::bounds_of(
+    RuleId id, const dag::DependencyGraph& graph, const Tcam& tcam) {
+  const VertexCaps& c = hydrate(id, graph, tcam);
   const long long lo =
       c.pred_addrs.empty() ? -1 : static_cast<long long>(*c.pred_addrs.rbegin());
   const long long hi = c.succ_addrs.empty()
@@ -43,86 +77,167 @@ void CapIndex::refresh_cells_at(size_t addr, const VertexCaps& caps) {
                        : static_cast<long long>(*caps.pred_addrs.rbegin());
 }
 
-void CapIndex::refresh_cells(RuleId id, const Tcam& tcam) {
-  if (!tcam.contains(id)) return;
-  refresh_cells_at(tcam.address_of(id), caps_[id]);
+void CapIndex::refresh_cells(RuleId id, const VertexCaps& caps, const Tcam& tcam) {
+  if (const auto a = tcam.address_if(id)) refresh_cells_at(*a, caps);
 }
 
 void CapIndex::on_write(RuleId id, size_t addr,
                         const dag::DependencyGraph& graph, const Tcam& tcam) {
   // `id` became an installed predecessor of its successors and an installed
-  // successor of its predecessors.
-  for (RuleId succ : graph.successors(id)) {
-    caps_[succ].pred_addrs.insert(addr);
-    refresh_cells(succ, tcam);
+  // successor of its predecessors. A write only *tightens* neighbour caps,
+  // so unhydrated neighbours take a direct min/max on their cells; hydrated
+  // ones keep their sets exact. The new entry's own cells fall out of the
+  // same neighbour scan.
+  long long own_lo = static_cast<long long>(capacity_);
+  long long own_hi = -1;
+  for (const RuleId succ : graph.successors(id)) {
+    // Hydrated sets track installed-neighbour addresses even for vertices
+    // that are currently evicted, so the set update must not hinge on the
+    // neighbour being installed.
+    if (const auto it = caps_.find(succ); it != caps_.end()) {
+      it->second.pred_addrs.insert(addr);
+    }
+    if (const auto as = tcam.address_if(succ)) {
+      own_lo = std::min(own_lo, static_cast<long long>(*as));
+      hi_pred_[*as] = std::max(hi_pred_[*as], static_cast<long long>(addr));
+    }
   }
-  for (RuleId pred : graph.predecessors(id)) {
-    caps_[pred].succ_addrs.insert(addr);
-    refresh_cells(pred, tcam);
+  for (const RuleId pred : graph.predecessors(id)) {
+    if (const auto it = caps_.find(pred); it != caps_.end()) {
+      it->second.succ_addrs.insert(addr);
+    }
+    if (const auto ap = tcam.address_if(pred)) {
+      own_hi = std::max(own_hi, static_cast<long long>(*ap));
+      lo_succ_[*ap] = std::min(lo_succ_[*ap], static_cast<long long>(addr));
+    }
   }
-  refresh_cells_at(addr, caps_[id]);
+  lo_succ_[addr] = own_lo;
+  hi_pred_[addr] = own_hi;
 }
 
 void CapIndex::on_move(size_t from, size_t to, const dag::DependencyGraph& graph,
                        const Tcam& tcam) {
   const RuleId id = *tcam.at(to);
-  for (RuleId succ : graph.successors(id)) {
-    VertexCaps& c = caps_[succ];
-    c.pred_addrs.erase(from);
-    c.pred_addrs.insert(to);
-    refresh_cells(succ, tcam);
+  long long own_lo = static_cast<long long>(capacity_);
+  long long own_hi = -1;
+  for (const RuleId succ : graph.successors(id)) {
+    const auto as = tcam.address_if(succ);
+    if (as) own_lo = std::min(own_lo, static_cast<long long>(*as));
+    if (const auto it = caps_.find(succ); it != caps_.end()) {
+      it->second.pred_addrs.erase(from);
+      it->second.pred_addrs.insert(to);
+      if (as) refresh_cells_at(*as, it->second);
+    } else if (as) {
+      if (hi_pred_[*as] == static_cast<long long>(from)) {
+        // The cap may drop; hydrating post-move already reflects `to`.
+        refresh_cells_at(*as, hydrate(succ, graph, tcam));
+      } else {
+        hi_pred_[*as] = std::max(hi_pred_[*as], static_cast<long long>(to));
+      }
+    }
   }
-  for (RuleId pred : graph.predecessors(id)) {
-    VertexCaps& c = caps_[pred];
-    c.succ_addrs.erase(from);
-    c.succ_addrs.insert(to);
-    refresh_cells(pred, tcam);
+  for (const RuleId pred : graph.predecessors(id)) {
+    const auto ap = tcam.address_if(pred);
+    if (ap) own_hi = std::max(own_hi, static_cast<long long>(*ap));
+    if (const auto it = caps_.find(pred); it != caps_.end()) {
+      it->second.succ_addrs.erase(from);
+      it->second.succ_addrs.insert(to);
+      if (ap) refresh_cells_at(*ap, it->second);
+    } else if (ap) {
+      if (lo_succ_[*ap] == static_cast<long long>(from)) {
+        refresh_cells_at(*ap, hydrate(pred, graph, tcam));
+      } else {
+        lo_succ_[*ap] = std::min(lo_succ_[*ap], static_cast<long long>(to));
+      }
+    }
   }
   lo_succ_[from] = static_cast<long long>(capacity_);
   hi_pred_[from] = -1;
-  refresh_cells_at(to, caps_[id]);
+  lo_succ_[to] = own_lo;
+  hi_pred_[to] = own_hi;
 }
 
 void CapIndex::on_erase(RuleId id, size_t addr,
                         const dag::DependencyGraph& graph, const Tcam& tcam) {
-  for (RuleId succ : graph.successors(id)) {
-    caps_[succ].pred_addrs.erase(addr);
-    refresh_cells(succ, tcam);
+  // An erase can only *loosen* neighbour caps, and only when the erased
+  // address was the binding one — that is the case that needs the ordered
+  // set (the next-best address), so it is where unhydrated vertices get
+  // hydrated. Post-erase hydration no longer sees `addr`, making the
+  // follow-up erase a no-op.
+  for (const RuleId succ : graph.successors(id)) {
+    const auto as = tcam.address_if(succ);
+    if (const auto it = caps_.find(succ); it != caps_.end()) {
+      it->second.pred_addrs.erase(addr);
+      if (as) refresh_cells_at(*as, it->second);
+    } else if (as && hi_pred_[*as] == static_cast<long long>(addr)) {
+      VertexCaps& c = hydrate(succ, graph, tcam);
+      c.pred_addrs.erase(addr);
+      refresh_cells_at(*as, c);
+    }
   }
-  for (RuleId pred : graph.predecessors(id)) {
-    caps_[pred].succ_addrs.erase(addr);
-    refresh_cells(pred, tcam);
+  for (const RuleId pred : graph.predecessors(id)) {
+    const auto ap = tcam.address_if(pred);
+    if (const auto it = caps_.find(pred); it != caps_.end()) {
+      it->second.succ_addrs.erase(addr);
+      if (ap) refresh_cells_at(*ap, it->second);
+    } else if (ap && lo_succ_[*ap] == static_cast<long long>(addr)) {
+      VertexCaps& c = hydrate(pred, graph, tcam);
+      c.succ_addrs.erase(addr);
+      refresh_cells_at(*ap, c);
+    }
   }
   lo_succ_[addr] = static_cast<long long>(capacity_);
   hi_pred_[addr] = -1;
-  // caps_[id] survives: the addresses of still-installed neighbours stay
-  // valid, so a later reinsert gets O(1) bounds.
+  // caps_[id] survives if hydrated: the addresses of still-installed
+  // neighbours stay valid, so a later reinsert gets O(1) bounds.
 }
 
-void CapIndex::on_add_edge(RuleId u, RuleId v, const Tcam& tcam) {
-  if (tcam.contains(v)) {
-    caps_[u].succ_addrs.insert(tcam.address_of(v));
-    refresh_cells(u, tcam);
+void CapIndex::on_add_edge(RuleId u, RuleId v, const dag::DependencyGraph&,
+                           const Tcam& tcam) {
+  // A new edge only tightens caps: direct cell min/max; sets only if
+  // already hydrated (insert is idempotent whether the graph mutation has
+  // happened yet or not).
+  const auto au = tcam.address_if(u);
+  const auto av = tcam.address_if(v);
+  if (av) {
+    if (const auto it = caps_.find(u); it != caps_.end()) {
+      it->second.succ_addrs.insert(*av);
+    }
+    if (au) lo_succ_[*au] = std::min(lo_succ_[*au], static_cast<long long>(*av));
   }
-  if (tcam.contains(u)) {
-    caps_[v].pred_addrs.insert(tcam.address_of(u));
-    refresh_cells(v, tcam);
+  if (au) {
+    if (const auto it = caps_.find(v); it != caps_.end()) {
+      it->second.pred_addrs.insert(*au);
+    }
+    if (av) hi_pred_[*av] = std::max(hi_pred_[*av], static_cast<long long>(*au));
   }
 }
 
-void CapIndex::on_remove_edge(RuleId u, RuleId v, const Tcam& tcam) {
-  if (tcam.contains(v)) {
-    auto it = caps_.find(u);
-    if (it != caps_.end()) {
-      it->second.succ_addrs.erase(tcam.address_of(v));
-      refresh_cells(u, tcam);
+void CapIndex::on_remove_edge(RuleId u, RuleId v,
+                              const dag::DependencyGraph& graph,
+                              const Tcam& tcam) {
+  const auto au = tcam.address_if(u);
+  const auto av = tcam.address_if(v);
+  if (av) {
+    if (const auto it = caps_.find(u); it != caps_.end()) {
+      it->second.succ_addrs.erase(*av);
+      refresh_cells(u, it->second, tcam);
+    } else if (au && lo_succ_[*au] == static_cast<long long>(*av)) {
+      // The binding cap went away; hydrate and drop the stale address (a
+      // no-op when the graph edge was already removed before this call).
+      VertexCaps& c = hydrate(u, graph, tcam);
+      c.succ_addrs.erase(*av);
+      refresh_cells_at(*au, c);
     }
   }
-  if (tcam.contains(u)) {
-    auto it = caps_.find(v);
-    if (it != caps_.end()) {
-      it->second.pred_addrs.erase(tcam.address_of(u));
-      refresh_cells(v, tcam);
+  if (au) {
+    if (const auto it = caps_.find(v); it != caps_.end()) {
+      it->second.pred_addrs.erase(*au);
+      refresh_cells(v, it->second, tcam);
+    } else if (av && hi_pred_[*av] == static_cast<long long>(*au)) {
+      VertexCaps& c = hydrate(v, graph, tcam);
+      c.pred_addrs.erase(*au);
+      refresh_cells_at(*av, c);
     }
   }
 }

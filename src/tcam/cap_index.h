@@ -4,18 +4,21 @@
 // installed-successor address (upward landing cap) and the highest
 // installed-predecessor address (downward cap). Scanning the graph on every
 // probe costs O(degree) — fatal when a default-like rule has degree O(n).
-// This index keeps, per vertex, the ordered set of its installed neighbour
-// addresses, and mirrors the min/max into two address-indexed arrays, so
+// This index keeps two address-indexed cell arrays (lo_succ_/hi_pred_) that
+// are *always exact* for installed entries, so every BFS probe is one array
+// load (O(1)).
 //
-//   * every BFS probe is one array load (O(1)),
-//   * insert_bounds() is one hash lookup + set min/max (O(1)),
-//   * each TCAM primitive (write/move/erase) and each graph-edge change
-//     costs O(degree_of_touched_vertex · log) to maintain — paid once per
-//     mutation instead of once per probe.
-//
-// The per-vertex sets are kept for *uninstalled* vertices too: an
-// evict + reinsert of a high-degree rule then re-derives its insert bounds
-// in O(1) instead of rescanning every neighbour.
+// Per-vertex ordered neighbour-address sets back the cells, but they are
+// hydrated lazily: a vertex's set is built from the graph + TCAM the first
+// time an operation actually needs it (a cap can *decrease* — erase, move,
+// edge removal — or insert bounds are requested for the vertex), and is
+// maintained incrementally from then on. Operations that only tighten a cap
+// (writes, edge additions) fold the new address into the cells directly and
+// touch only already-hydrated sets. This keeps the amortized per-mutation
+// cost at the documented O(degree_of_touched_vertex · log) while making
+// rebuild() — and the warm-boot restore path, which adopts externally
+// computed cells via load_cells() — allocation-free O(V + E) instead of an
+// O(E log) full set construction.
 #pragma once
 
 #include <cstddef>
@@ -33,9 +36,16 @@ class CapIndex {
  public:
   explicit CapIndex(size_t capacity);
 
-  /// Recomputes everything from scratch — used after external (test-driven)
-  /// mutation of the scheduler's graph, and at construction. O(V + E log).
+  /// Recomputes the cells from scratch and drops all hydrated per-vertex
+  /// state — used after external (test-driven) mutation of the scheduler's
+  /// graph, and at construction. O(V + E), no per-edge allocation.
   void rebuild(const Tcam& tcam, const dag::DependencyGraph& graph);
+
+  /// Warm-boot fast path: adopts externally computed cap cells (e.g. derived
+  /// from a frozen layout's flat index/address arrays) and drops all
+  /// hydrated per-vertex state. Both vectors must have exactly `capacity`
+  /// entries; free slots use the sentinels (capacity, -1).
+  void load_cells(std::vector<long long> lo_succ, std::vector<long long> hi_pred);
 
   /// Lowest installed-successor address of the entry at `addr`
   /// (capacity sentinel when unconstrained). The entry must be installed.
@@ -45,8 +55,11 @@ class CapIndex {
   long long hi_pred_at(size_t addr) const { return hi_pred_[addr]; }
 
   /// Exclusive insert bounds (highest predecessor, lowest successor) for a
-  /// rule that may or may not be installed.
-  std::pair<long long, long long> bounds_of(flowspace::RuleId id) const;
+  /// rule that may or may not be installed. Hydrates the rule's set, so a
+  /// follow-up evict + reinsert answers in O(1).
+  std::pair<long long, long long> bounds_of(flowspace::RuleId id,
+                                            const dag::DependencyGraph& graph,
+                                            const Tcam& tcam);
 
   // Entry lifecycle — call AFTER the corresponding Tcam mutation.
   void on_write(flowspace::RuleId id, size_t addr,
@@ -56,10 +69,13 @@ class CapIndex {
   void on_erase(flowspace::RuleId id, size_t addr,
                 const dag::DependencyGraph& graph, const Tcam& tcam);
 
-  // Graph deltas — order relative to the graph mutation does not matter
-  // (only TCAM addresses are consulted).
-  void on_add_edge(flowspace::RuleId u, flowspace::RuleId v, const Tcam& tcam);
-  void on_remove_edge(flowspace::RuleId u, flowspace::RuleId v, const Tcam& tcam);
+  // Graph deltas. Safe to call just before or just after the graph mutation
+  // itself (hydration folds the delta in idempotently); the scheduler calls
+  // them after.
+  void on_add_edge(flowspace::RuleId u, flowspace::RuleId v,
+                   const dag::DependencyGraph& graph, const Tcam& tcam);
+  void on_remove_edge(flowspace::RuleId u, flowspace::RuleId v,
+                      const dag::DependencyGraph& graph, const Tcam& tcam);
   /// Call after the entry was erased (if installed) and the graph vertex
   /// removed; drops the per-vertex record.
   void on_remove_vertex(flowspace::RuleId v) { caps_.erase(v); }
@@ -70,8 +86,14 @@ class CapIndex {
     std::set<size_t> pred_addrs;  // addresses of installed predecessors
   };
 
-  /// Refreshes the address-array cells for `id` if it is installed.
-  void refresh_cells(flowspace::RuleId id, const Tcam& tcam);
+  /// Returns the vertex's caps, building them from the graph + TCAM on
+  /// first touch. Presence in caps_ == hydrated.
+  VertexCaps& hydrate(flowspace::RuleId id, const dag::DependencyGraph& graph,
+                      const Tcam& tcam);
+
+  /// Refreshes the cells for `id` from its hydrated caps, if installed.
+  void refresh_cells(flowspace::RuleId id, const VertexCaps& caps,
+                     const Tcam& tcam);
   void refresh_cells_at(size_t addr, const VertexCaps& caps);
 
   size_t capacity_;

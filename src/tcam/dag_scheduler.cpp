@@ -30,6 +30,16 @@ void DagScheduler::sync_caps() {
   }
 }
 
+void DagScheduler::restore_entry(const Rule& rule, size_t addr) {
+  do_write(addr, rule);
+}
+
+void DagScheduler::restore_caps(std::vector<long long> lo_succ,
+                                std::vector<long long> hi_pred) {
+  caps_.load_cells(std::move(lo_succ), std::move(hi_pred));
+  caps_dirty_ = false;
+}
+
 void DagScheduler::fire_crash_hook() {
   if (crash_hook_()) {
     throw CrashError("DagScheduler: injected crash inside transaction");
@@ -134,7 +144,7 @@ void DagScheduler::add_edge_internal(RuleId u, RuleId v) {
       journal_->record(op);
     }
     if (added.added) {
-      if (caps_live()) caps_.on_add_edge(u, v, tcam_);
+      if (caps_live()) caps_.on_add_edge(u, v, graph_, tcam_);
       op.kind = ApplyJournal::OpKind::kAddEdge;
       op.u = u;
       op.v = v;
@@ -143,14 +153,14 @@ void DagScheduler::add_edge_internal(RuleId u, RuleId v) {
     return;
   }
   graph_.add_edge(u, v);
-  if (caps_live()) caps_.on_add_edge(u, v, tcam_);
+  if (caps_live()) caps_.on_add_edge(u, v, graph_, tcam_);
 }
 
 void DagScheduler::remove_edge_internal(RuleId u, RuleId v) {
   if (journaling()) {
     maybe_crash();
     if (graph_.remove_edge(u, v)) {
-      if (caps_live()) caps_.on_remove_edge(u, v, tcam_);
+      if (caps_live()) caps_.on_remove_edge(u, v, graph_, tcam_);
       ApplyJournal::Op op;
       op.kind = ApplyJournal::OpKind::kRemoveEdge;
       op.applied = true;
@@ -161,7 +171,7 @@ void DagScheduler::remove_edge_internal(RuleId u, RuleId v) {
     return;
   }
   graph_.remove_edge(u, v);
-  if (caps_live()) caps_.on_remove_edge(u, v, tcam_);
+  if (caps_live()) caps_.on_remove_edge(u, v, graph_, tcam_);
 }
 
 void DagScheduler::remove_vertex_internal(RuleId v) {
@@ -543,7 +553,7 @@ bool DagScheduler::evict(RuleId id) {
 bool DagScheduler::insert_impl(const Rule& rule, int depth) {
   add_vertex_internal(rule.id);
   const auto [lo, hi] =
-      caps_live() ? caps_.bounds_of(rule.id) : insert_bounds(rule.id);
+      caps_live() ? caps_.bounds_of(rule.id, graph_, tcam_) : insert_bounds(rule.id);
   last_chain_moves_ = 0;
 
   if (lo >= hi) {

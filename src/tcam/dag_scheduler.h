@@ -115,11 +115,32 @@ class DagScheduler {
   /// restoring occupancy and invalidating the cap cache for lazy rebuild.
   RecoveryResult recover();
 
+  /// Warm-boot restore: writes `rule` at exactly `addr` (which must be
+  /// free), keeping occupancy exact. No chain search, no journal — the
+  /// address comes from a frozen layout that already satisfied every DAG
+  /// constraint. Callers load the graph first (via graph()) and finish with
+  /// rebuild_caches().
+  void restore_entry(const Rule& rule, size_t addr);
+
+  /// Rebuilds the O(1) search caches after external graph() edits or a
+  /// restore_entry() sequence. No-op in kLegacy mode or when already clean.
+  void rebuild_caches() { sync_caps(); }
+
+  /// Warm-boot fast path: adopts externally computed cap cells (one pair of
+  /// entries per TCAM address, see CapIndex::load_cells) instead of
+  /// recomputing them from the graph, and marks the caches clean. The cells
+  /// must exactly describe the current graph() + TCAM state — frozen
+  /// restore derives them from the blob's flat index/address arrays.
+  void restore_caps(std::vector<long long> lo_succ,
+                    std::vector<long long> hi_pred);
+
   /// Erases the rule's TCAM entry but keeps its vertex and edges — the
   /// CacheFlow-style eviction primitive. Returns false if not installed.
   bool evict(flowspace::RuleId id);
 
   void remove(flowspace::RuleId id);
+
+  size_t capacity() const { return tcam_.capacity(); }
 
   const DependencyGraph& graph() const { return graph_; }
   /// Mutable graph access for tests/adapters that edit the DAG directly.

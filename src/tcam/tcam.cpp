@@ -8,6 +8,9 @@ namespace ruletris::tcam {
 
 Tcam::Tcam(size_t capacity) : slots_(capacity) {
   if (capacity == 0) throw std::invalid_argument("Tcam: zero capacity");
+  // The id index will eventually hold up to `capacity` entries; sizing the
+  // bucket array once keeps bulk installs and warm-boot restores rehash-free.
+  by_id_.reserve(capacity);
 }
 
 bool Tcam::is_free(size_t addr) const {

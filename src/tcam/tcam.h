@@ -40,6 +40,13 @@ class Tcam {
   std::optional<RuleId> at(size_t addr) const;
   bool contains(RuleId id) const { return by_id_.count(id) != 0; }
   size_t address_of(RuleId id) const;
+  /// Address of `id`, or nullopt when not installed — one hash probe where
+  /// a contains() + address_of() pair would pay two.
+  std::optional<size_t> address_if(RuleId id) const {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return std::nullopt;
+    return it->second;
+  }
   const Rule& rule(RuleId id) const;
 
   /// Installs a new entry into a free slot (1 entry write).

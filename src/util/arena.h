@@ -1,0 +1,239 @@
+// Offset-based binary arena: the container format under frozen artifacts.
+//
+// An arena blob is a self-contained, position-independent byte image:
+//
+//   ArenaHeader | section table | 8-aligned payload sections | u32 CRC32
+//
+// Payloads are flat arrays of trivially-copyable PODs addressed by a
+// (kind, elem_size, offset, count) section table; every cross-reference
+// inside a payload is an index or a byte offset, never a pointer. The blob
+// can therefore be written to disk, mmap'ed back at any address, and read
+// *in place* — ArenaView hands out std::span views straight into the
+// mapping, no deserialization pass. All integers are little-endian (the
+// only hosts we build for; enforced with a static_assert where available).
+//
+// Safety: ArenaView's constructor validates everything a hostile or
+// truncated blob could get wrong — magic, version, declared vs. actual
+// size, section-table bounds, per-section bounds/alignment/elem_size, and
+// the trailing CRC32 over the whole body — and throws std::runtime_error
+// before any payload is interpreted. Writer output is deterministic:
+// identical sections produce identical bytes (alignment gaps are zeroed).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/crc32.h"
+
+namespace ruletris::util {
+
+#ifdef __BYTE_ORDER__
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "arena blobs are little-endian");
+#endif
+
+struct ArenaHeader {
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint16_t reserved0 = 0;
+  uint32_t section_count = 0;
+  uint32_t reserved1 = 0;
+  uint64_t total_size = 0;  // full blob size, CRC trailer included
+};
+static_assert(sizeof(ArenaHeader) == 24);
+static_assert(std::is_trivially_copyable_v<ArenaHeader>);
+
+struct ArenaSection {
+  uint32_t kind = 0;
+  uint32_t elem_size = 0;
+  uint64_t offset = 0;  // bytes from blob start; multiple of 8
+  uint64_t count = 0;   // elements, not bytes
+};
+static_assert(sizeof(ArenaSection) == 24);
+static_assert(std::is_trivially_copyable_v<ArenaSection>);
+
+/// Builds an arena blob section by section. Sections keep insertion order;
+/// kinds must be unique within one blob.
+class ArenaWriter {
+ public:
+  ArenaWriter(uint32_t magic, uint16_t version)
+      : magic_(magic), version_(version) {}
+
+  template <typename T>
+  void add_section(uint32_t kind, std::span<const T> elems) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(alignof(T) <= 8, "payload elements must be 8-alignable");
+    for (const Pending& p : sections_) {
+      if (p.kind == kind) {
+        throw std::runtime_error("arena: duplicate section kind " +
+                                 std::to_string(kind));
+      }
+    }
+    Pending p;
+    p.kind = kind;
+    p.elem_size = static_cast<uint32_t>(sizeof(T));
+    p.count = elems.size();
+    p.bytes.resize(elems.size() * sizeof(T));
+    if (!elems.empty()) {
+      std::memcpy(p.bytes.data(), elems.data(), p.bytes.size());
+    }
+    sections_.push_back(std::move(p));
+  }
+
+  template <typename T>
+  void add_section(uint32_t kind, const std::vector<T>& elems) {
+    add_section(kind, std::span<const T>(elems));
+  }
+
+  /// Assembles header + table + aligned payloads + CRC trailer.
+  std::vector<uint8_t> finish() const {
+    const size_t table_at = sizeof(ArenaHeader);
+    size_t cursor = table_at + sections_.size() * sizeof(ArenaSection);
+
+    std::vector<ArenaSection> table(sections_.size());
+    for (size_t i = 0; i < sections_.size(); ++i) {
+      cursor = (cursor + 7) & ~size_t{7};
+      table[i].kind = sections_[i].kind;
+      table[i].elem_size = sections_[i].elem_size;
+      table[i].offset = cursor;
+      table[i].count = sections_[i].count;
+      cursor += sections_[i].bytes.size();
+    }
+    const size_t total = cursor + 4;  // CRC trailer
+
+    ArenaHeader header;
+    header.magic = magic_;
+    header.version = version_;
+    header.section_count = static_cast<uint32_t>(sections_.size());
+    header.total_size = total;
+
+    std::vector<uint8_t> out(total, 0);  // alignment gaps stay zeroed
+    std::memcpy(out.data(), &header, sizeof(header));
+    if (!table.empty()) {
+      std::memcpy(out.data() + table_at, table.data(),
+                  table.size() * sizeof(ArenaSection));
+    }
+    for (size_t i = 0; i < sections_.size(); ++i) {
+      if (!sections_[i].bytes.empty()) {
+        std::memcpy(out.data() + table[i].offset, sections_[i].bytes.data(),
+                    sections_[i].bytes.size());
+      }
+    }
+    const uint32_t crc = crc32(out.data(), total - 4);
+    std::memcpy(out.data() + total - 4, &crc, 4);
+    return out;
+  }
+
+ private:
+  struct Pending {
+    uint32_t kind = 0;
+    uint32_t elem_size = 0;
+    uint64_t count = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  uint32_t magic_;
+  uint16_t version_;
+  std::vector<Pending> sections_;
+};
+
+/// Zero-copy, fully validated read view over an arena blob. Does not own
+/// the bytes; the caller keeps the buffer (or mapping) alive.
+class ArenaView {
+ public:
+  ArenaView(const uint8_t* data, size_t size, uint32_t magic, uint16_t version)
+      : data_(data), size_(size) {
+    if (size < sizeof(ArenaHeader) + 4) fail("blob shorter than header");
+    ArenaHeader header;
+    std::memcpy(&header, data, sizeof(header));
+    if (header.magic != magic) fail("bad magic");
+    if (header.version != version) fail("unsupported version");
+    if (header.total_size != size) fail("declared size != actual size");
+
+    const size_t table_bytes =
+        size_t{header.section_count} * sizeof(ArenaSection);
+    if (sizeof(ArenaHeader) + table_bytes + 4 > size) {
+      fail("section table out of bounds");
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, data + size - 4, 4);
+    if (stored != crc32(data, size - 4)) fail("checksum mismatch");
+
+    table_.resize(header.section_count);
+    if (header.section_count != 0) {
+      std::memcpy(table_.data(), data + sizeof(ArenaHeader), table_bytes);
+    }
+    const size_t body_end = size - 4;
+    for (const ArenaSection& s : table_) {
+      if (s.offset % 8 != 0) fail("misaligned section");
+      if (s.elem_size == 0 && s.count != 0) fail("zero-sized elements");
+      if (s.offset > body_end ||
+          s.count > (body_end - s.offset) / (s.elem_size ? s.elem_size : 1)) {
+        fail("section out of bounds");
+      }
+      for (const ArenaSection& other : table_) {
+        if (&other != &s && other.kind == s.kind) fail("duplicate section kind");
+      }
+    }
+  }
+
+  bool has(uint32_t kind) const { return find(kind) != nullptr; }
+
+  /// Typed view of a section's payload; throws when the section is missing
+  /// or was written with a different element size.
+  template <typename T>
+  std::span<const T> section(uint32_t kind) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const ArenaSection* s = find(kind);
+    if (s == nullptr) {
+      throw std::runtime_error("arena: missing section kind " +
+                               std::to_string(kind));
+    }
+    return typed<T>(*s);
+  }
+
+  /// Like section(), but a missing section reads as empty.
+  template <typename T>
+  std::span<const T> section_or_empty(uint32_t kind) const {
+    const ArenaSection* s = find(kind);
+    if (s == nullptr) return {};
+    return typed<T>(*s);
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  template <typename T>
+  std::span<const T> typed(const ArenaSection& s) const {
+    if (s.elem_size != sizeof(T)) {
+      throw std::runtime_error("arena: element size mismatch in section " +
+                               std::to_string(s.kind));
+    }
+    static_assert(alignof(T) <= 8);
+    return {reinterpret_cast<const T*>(data_ + s.offset),
+            static_cast<size_t>(s.count)};
+  }
+
+  const ArenaSection* find(uint32_t kind) const {
+    for (const ArenaSection& s : table_) {
+      if (s.kind == kind) return &s;
+    }
+    return nullptr;
+  }
+
+  [[noreturn]] static void fail(const char* what) {
+    throw std::runtime_error(std::string("arena: ") + what);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  std::vector<ArenaSection> table_;
+};
+
+}  // namespace ruletris::util

@@ -2,8 +2,11 @@
 // builder (the oracle for all compositional DAG construction).
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "dag/builder.h"
 #include "dag/dependency_graph.h"
+#include "dag/id_set.h"
 #include "flowspace/rule.h"
 #include "test_util.h"
 
@@ -18,6 +21,7 @@ using flowspace::ActionList;
 using flowspace::FieldId;
 using flowspace::FlowTable;
 using flowspace::Rule;
+using flowspace::RuleId;
 using flowspace::TernaryMatch;
 using testutil::lookup_ordered;
 using testutil::random_dag_linearization;
@@ -252,6 +256,62 @@ TEST(OrderRespectsDag, DetectsViolation) {
   EXPECT_TRUE(dag::order_respects_dag(rules, g));
   std::swap(rules[0], rules[1]);
   EXPECT_FALSE(dag::order_respects_dag(rules, g));
+}
+
+// ---------------------------------------------------------------------------
+// IdSet: the flat adjacency set backing DependencyGraph
+// ---------------------------------------------------------------------------
+
+/// Differential fuzz against std::unordered_set: a long random stream of
+/// insert/erase/contains/clear must agree op-for-op, and iteration must
+/// visit exactly the reference elements. Exercises the backward-shift
+/// deletion and the grow/rehash path (ids cluster to force probe chains).
+TEST(IdSet, MatchesUnorderedSetUnderRandomChurn) {
+  util::Rng rng(0x1d5e7);
+  dag::IdSet set;
+  std::unordered_set<RuleId> ref;
+  for (int op = 0; op < 20000; ++op) {
+    // Small id universe => plenty of collisions, erases of present ids,
+    // and re-inserts of just-erased ids.
+    const RuleId id = 1 + rng.next_below(512);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1:
+        EXPECT_EQ(set.insert(id), ref.insert(id).second);
+        break;
+      case 2:
+        EXPECT_EQ(set.erase(id), ref.erase(id) != 0);
+        break;
+      default:
+        EXPECT_EQ(set.count(id), ref.count(id));
+        break;
+    }
+    if (op % 4096 == 0) {
+      set.clear();
+      ref.clear();
+    }
+  }
+  ASSERT_EQ(set.size(), ref.size());
+  std::unordered_set<RuleId> seen;
+  for (RuleId id : set) EXPECT_TRUE(seen.insert(id).second) << "duplicate " << id;
+  EXPECT_EQ(seen, ref);
+}
+
+TEST(IdSet, EqualityIsOrderIndependentAndReserveKeepsElements) {
+  dag::IdSet a;
+  dag::IdSet b;
+  for (RuleId id = 1; id <= 100; ++id) a.insert(id);
+  for (RuleId id = 100; id >= 1; --id) b.insert(id);
+  EXPECT_EQ(a, b);
+  b.erase(57);
+  EXPECT_NE(a, b);
+  a.reserve(4096);  // force a rehash well past the current table
+  EXPECT_EQ(a.size(), 100u);
+  for (RuleId id = 1; id <= 100; ++id) EXPECT_TRUE(a.contains(id));
+  dag::IdSet c = a;  // copies stay independent
+  c.erase(1);
+  EXPECT_TRUE(a.contains(1));
+  EXPECT_FALSE(c.contains(1));
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 // Unit and property tests for the flow-space algebra.
 #include <gtest/gtest.h>
+#include <unordered_set>
 
 #include "flowspace/action.h"
 #include "flowspace/rule.h"

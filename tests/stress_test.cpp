@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <unordered_set>
 
 #include "classbench/generator.h"
 #include "dag/builder.h"

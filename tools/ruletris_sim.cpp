@@ -33,8 +33,10 @@
 #include "compiler/covisor.h"
 #include "compiler/policy_parser.h"
 #include "compiler/ruletris_compiler.h"
+#include "frozen/frozen.h"
 #include "runtime/config.h"
 #include "runtime/controller.h"
+#include "runtime/warm_boot.h"
 #include "runtime/workload.h"
 #include "switchsim/adapters.h"
 #include "switchsim/switch.h"
@@ -65,6 +67,8 @@ struct Options {
   size_t dag_threads = 0;  // 0 = serial minimum-DAG extraction
   size_t compile_threads = 0;  // 0 = serial composition full compiles
   std::string json_out;    // machine-readable report path
+  std::string freeze_out;  // --freeze: write the final frozen artifact here
+  std::string thaw_in;     // --thaw: warm boot from this artifact, no compile
   bool verbose = false;
 
   // Data-plane traffic mode (--traffic): instead of a rule-update stream,
@@ -96,6 +100,7 @@ struct Options {
                "          [--tcam-capacity N] [--dag-threads N]\n"
                "          [--compile-threads N] [--verbose]\n"
                "          [--trace FILE | --emit-trace FILE] [--json FILE]\n"
+               "          [--freeze FILE] [--thaw FILE]\n"
                "          [--runtime] [--switches N] [--window W] [--fault-seed S]\n"
                "          [--crash-p P] [--corrupt-p P]\n"
                "          [--traffic] [--flows N] [--zipf-alpha A]\n"
@@ -113,6 +118,11 @@ struct Options {
                "  a wire bit per frame with probability P (CRC-caught,\n"
                "  NACK-retransmitted). Both imply faults even without\n"
                "  --fault-seed.\n"
+               "  --freeze writes the post-churn compiled state + TCAM\n"
+               "  layout as a frozen artifact (ruletris compiler only);\n"
+               "  --thaw skips compilation entirely: it maps a frozen\n"
+               "  artifact and warm-boots a DAG scheduler from it (no\n"
+               "  --policy/--table needed).\n"
                "  --traffic replaces the update stream with a Zipf-skewed\n"
                "  flow workload (N concurrent flows, skew A, flow expiry\n"
                "  rate R per packet) against a CacheFlow'd TCAM backed by\n"
@@ -154,6 +164,10 @@ Options parse_args(int argc, char** argv) {
       opt.compile_threads = static_cast<size_t>(std::stoul(need_value(i)));
     } else if (arg == "--json") {
       opt.json_out = need_value(i);
+    } else if (arg == "--freeze") {
+      opt.freeze_out = need_value(i);
+    } else if (arg == "--thaw") {
+      opt.thaw_in = need_value(i);
     } else if (arg == "--trace") {
       opt.trace_in = need_value(i);
     } else if (arg == "--emit-trace") {
@@ -191,7 +205,9 @@ Options parse_args(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (opt.policy.empty() || opt.tables.empty()) usage(argv[0]);
+  if (opt.thaw_in.empty() && (opt.policy.empty() || opt.tables.empty())) {
+    usage(argv[0]);
+  }
   return opt;
 }
 
@@ -258,6 +274,44 @@ int main(int argc, char** argv) {
   bench::init_json(argc, argv, "ruletris_sim");
 
   try {
+    if (!opt.thaw_in.empty()) {
+      // Warm boot: map the artifact, size a TCAM from its frozen layout,
+      // and restore a scheduler straight from the blob sections.
+      util::Stopwatch map_watch;
+      runtime::ThawedController thawed(opt.thaw_in);
+      const double map_ms = map_watch.elapsed_ms();
+
+      size_t capacity = opt.capacity.value_or(0);
+      if (capacity == 0) {
+        for (const auto& l : thawed.image().tables.at(0).layout) {
+          capacity = std::max(capacity, static_cast<size_t>(l.addr) + 1);
+        }
+        capacity += capacity / 8 + 128;  // slack for post-boot inserts
+      }
+      tcam::Tcam tcam(capacity);
+      tcam::DagScheduler sched(tcam);
+      util::Stopwatch warm_watch;
+      const size_t restored = thawed.restore_scheduler(0, sched);
+      const double warm_ms = warm_watch.elapsed_ms();
+
+      std::printf("thawed %s: epoch %llu, %zu entries into a %zu-slot TCAM\n",
+                  opt.thaw_in.c_str(),
+                  static_cast<unsigned long long>(thawed.epoch()), restored,
+                  capacity);
+      std::printf("  map+validate %.3f ms | warm boot %.3f ms | layout %s\n",
+                  map_ms, warm_ms, sched.layout_valid() ? "valid" : "INVALID");
+      if (auto* j = bench::json()) {
+        j->meta("mode", "thaw");
+        j->begin_row();
+        j->field("map_ms", map_ms);
+        j->field("warm_boot_ms", warm_ms);
+        j->field("restored_entries", static_cast<double>(restored));
+        j->field("tcam_capacity", static_cast<double>(capacity));
+        bench::write_json();
+      }
+      return sched.layout_valid() ? 0 : 1;
+    }
+
     const PolicySpec spec = compiler::parse_policy(opt.policy);
     std::printf("policy: %s\n", compiler::policy_to_string(spec).c_str());
 
@@ -362,6 +416,11 @@ int main(int argc, char** argv) {
       return report.consistency_violations == 0 ? 0 : 1;
     }
 
+    if (!opt.freeze_out.empty() && opt.compiler != "ruletris") {
+      std::fprintf(stderr,
+                   "error: --freeze requires the ruletris compiler\n");
+      return 2;
+    }
     const std::string churn =
         opt.churn.empty() ? spec.leaf_names().front() : opt.churn;
     if (!built.count(churn)) {
@@ -576,6 +635,19 @@ int main(int argc, char** argv) {
                    channel_ms.add(m.channel_ms);
                  },
                  composed);
+      if (!opt.freeze_out.empty()) {
+        // Final compiled state + the switch's converged TCAM layout, as a
+        // warm-boot artifact for a later --thaw run.
+        util::Stopwatch freeze_watch;
+        frozen::PolicyImage image =
+            frozen::capture_policy(frontend, 1 + trace.steps.size());
+        frozen::capture_layout(image.tables[0], sw.tcam());
+        const frozen::Bytes blob = frozen::freeze(image);
+        frozen::write_blob_file(opt.freeze_out, blob);
+        std::printf("froze epoch %zu to %s (%.1f KiB, %.2f ms)\n",
+                    1 + trace.steps.size(), opt.freeze_out.c_str(),
+                    blob.size() / 1024.0, freeze_watch.elapsed_ms());
+      }
     } else if (opt.compiler == "covisor" || opt.compiler == "baseline") {
       auto run_prioritized = [&](auto& frontend) {
         const size_t composed = frontend.compiled().size();
