@@ -1,0 +1,125 @@
+#include "netplan/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace ruletris::netplan {
+
+using runtime::SessionConfig;
+using runtime::SessionStats;
+using runtime::SwitchSession;
+
+FleetController::FleetController(const std::vector<SwitchScript>& scripts,
+                                 const FleetConfig& cfg)
+    : cfg_(cfg) {
+  const size_t n = scripts.size();
+  if (n == 0) throw std::invalid_argument("fleet: no switch scripts");
+  expected_.reserve(n);
+  logs_.reserve(n);
+  sessions_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    expected_.push_back(scripts[i].expected);
+    logs_.push_back(runtime::encode_log(scripts[i].epochs));
+    epochs_ = std::max(epochs_, logs_.back()->size());
+  }
+  for (const auto& log : logs_) {
+    if (log->size() != epochs_) {
+      // Round r must be the same epoch number on every switch, or the
+      // gate would align different rounds behind one barrier.
+      throw std::invalid_argument("fleet: switch scripts differ in length");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    SessionConfig sc;
+    sc.window = cfg_.runtime.window;
+    sc.retry_timeout_ms = cfg_.runtime.retry_timeout_ms;
+    sc.channel = cfg_.runtime.channel;
+    sc.faults = cfg_.runtime.faults;
+    sc.seed = util::hash_pair(cfg_.runtime.fault_seed, i + 1);
+    const size_t expected_n = expected_[i].size();
+    sc.tcam_capacity = cfg_.runtime.tcam_capacity != 0
+                           ? cfg_.runtime.tcam_capacity
+                           : expected_n + expected_n / 8 + 128;
+    sc.deadline_ms = cfg_.runtime.deadline_ms;
+    sessions_.push_back(std::make_unique<SwitchSession>(sc, *logs_[i]));
+  }
+}
+
+FleetController::~FleetController() = default;
+
+LookupFn FleetController::lookup() const {
+  return [this](SwitchId sw, const flowspace::Packet& p)
+             -> const flowspace::Rule* {
+    if (sw >= sessions_.size()) return nullptr;
+    return sessions_[sw]->agent().device().tcam().lookup(p);
+  };
+}
+
+FleetReport FleetController::run(const RoundObserver& between_rounds) {
+  if (ran_) throw std::logic_error("fleet: run() called twice");
+  ran_ = true;
+
+  const size_t n = sessions_.size();
+  FleetReport report;
+  report.rounds = epochs_ > 0 ? epochs_ - 1 : 0;
+
+  for (auto& session : sessions_) {
+    session->set_send_limit(0);  // nothing leaves before the first gate
+    session->start();
+  }
+
+  const size_t pool_threads =
+      cfg_.runtime.n_threads > 1 ? std::min(cfg_.runtime.n_threads, n) : 0;
+  util::ThreadPool* pool = nullptr;
+  std::unique_ptr<util::ThreadPool> pool_storage;
+  if (pool_threads > 1) {
+    pool_storage = std::make_unique<util::ThreadPool>(pool_threads);
+    pool = pool_storage.get();
+  }
+
+  std::vector<char> ok(n, 1);
+  for (size_t epoch = 1; epoch <= epochs_ && report.completed; ++epoch) {
+    auto step = [&](size_t i) {
+      sessions_[i]->set_send_limit(epoch);
+      ok[i] = sessions_[i]->run_until_committed(epoch) ? 1 : 0;
+    };
+    if (pool) {
+      for (size_t i = 0; i < n; ++i) pool->run([&step, i] { step(i); });
+      pool->wait_idle();
+    } else {
+      for (size_t i = 0; i < n; ++i) step(i);
+    }
+
+    // Fleet barrier: the round ends when the slowest switch commits; every
+    // clock parks there so the next round's sends share a common origin.
+    double barrier = 0.0;
+    for (const auto& session : sessions_) {
+      barrier = std::max(barrier, session->now_ms());
+    }
+    for (auto& session : sessions_) session->advance_clock(barrier);
+    report.round_end_ms.push_back(barrier);
+
+    for (size_t i = 0; i < n; ++i) {
+      if (!ok[i]) report.completed = false;
+    }
+    if (report.completed && between_rounds) between_rounds(epoch, barrier);
+  }
+
+  std::vector<SessionStats> results(n);
+  auto finish = [&](size_t i) { results[i] = sessions_[i]->finalize(expected_[i]); };
+  if (pool) {
+    for (size_t i = 0; i < n; ++i) pool->run([&finish, i] { finish(i); });
+    pool->wait_idle();
+  } else {
+    for (size_t i = 0; i < n; ++i) finish(i);
+  }
+
+  report.merged = runtime::merge_session_stats(std::move(results));
+  return report;
+}
+
+}  // namespace ruletris::netplan

@@ -1,0 +1,74 @@
+// Round-gated fleet controller: drives N per-switch sessions through
+// barrier-fenced planner rounds.
+//
+// Each switch session is the unchanged runtime machinery — private
+// virtual-time event loop, seeded faulty wire, go-back-N window, crash
+// journal — but the send window is *gated*: epoch e (round e - 1) may not
+// leave the controller until every switch has committed epoch e - 1. After
+// each round the fleet clock advances to the slowest session's commit time
+// (the barrier), and an observer runs — that is where the consistency
+// auditor replays packets against the agents' live TCAMs.
+//
+// Determinism: sessions share nothing mutable and derive independent fault
+// streams from (fault_seed, switch index), so the report is bit-identical
+// across thread counts, exactly like runtime::Controller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netplan/auditor.h"
+#include "netplan/materialize.h"
+#include "runtime/config.h"
+#include "runtime/controller.h"
+#include "runtime/session.h"
+
+namespace ruletris::netplan {
+
+struct FleetConfig {
+  runtime::RuntimeConfig runtime;  // window/faults/seed/threads/capacity
+};
+
+struct FleetReport {
+  runtime::RuntimeReport merged;
+  size_t rounds = 0;                 // planner rounds driven (epochs - 1)
+  std::vector<double> round_end_ms;  // fleet barrier time after each epoch
+  bool completed = true;             // every switch committed every epoch
+
+  double makespan_ms() const { return merged.makespan_ms; }
+};
+
+/// Called between rounds, after the fleet barrier: `epoch` is the committed
+/// epoch (1 = install, 1 + r = round r), `barrier_ms` the fleet time. The
+/// observer may inspect the live TCAMs via FleetController::lookup().
+using RoundObserver = std::function<void(size_t epoch, double barrier_ms)>;
+
+class FleetController {
+ public:
+  FleetController(const std::vector<SwitchScript>& scripts,
+                  const FleetConfig& cfg);
+  ~FleetController();
+
+  /// Drives every session through all epochs, one fleet-gated round at a
+  /// time. Call once.
+  FleetReport run(const RoundObserver& between_rounds = {});
+
+  size_t switches() const { return sessions_.size(); }
+  size_t epochs() const { return epochs_; }
+
+  /// Live lookup over the agents' TCAMs (hardware highest-address-wins
+  /// semantics) — the auditor's mid-update observation point.
+  LookupFn lookup() const;
+
+ private:
+  FleetConfig cfg_;
+  std::vector<std::vector<flowspace::Rule>> expected_;
+  std::vector<std::shared_ptr<const runtime::EncodedLog>> logs_;
+  std::vector<std::unique_ptr<runtime::SwitchSession>> sessions_;
+  size_t epochs_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ruletris::netplan

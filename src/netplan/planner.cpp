@@ -1,0 +1,421 @@
+#include "netplan/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ruletris::netplan {
+
+using flowspace::RuleId;
+using flowspace::TernaryMatch;
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kRounds: return "rounds";
+    case Strategy::kTwoPhase: return "two-phase";
+    case Strategy::kAuto: return "auto";
+    case Strategy::kOneShot: return "oneshot";
+  }
+  return "?";
+}
+
+Strategy parse_strategy(const std::string& name) {
+  if (name == "rounds") return Strategy::kRounds;
+  if (name == "two-phase" || name == "twophase") return Strategy::kTwoPhase;
+  if (name == "auto") return Strategy::kAuto;
+  if (name == "oneshot" || name == "one-shot") return Strategy::kOneShot;
+  throw std::invalid_argument("unknown planner strategy: " + name +
+                              " (want rounds, two-phase, auto, or oneshot)");
+}
+
+namespace {
+
+constexpr size_t kNoPos = std::numeric_limits<size_t>::max();
+
+size_t position_on(const Flow* flow, SwitchId sw) {
+  if (!flow) return kNoPos;
+  for (size_t k = 0; k < flow->path.size(); ++k) {
+    if (flow->path[k] == sw) return k;
+  }
+  return kNoPos;
+}
+
+struct SiteDiff {
+  enum Kind : uint8_t { kAdd, kRemove, kChange } kind = kAdd;
+  SwitchId sw = 0;
+  RuleId old_id = 0;    // kRemove / kChange
+  size_t new_index = 0; // kAdd / kChange: index into new_tables[sw]
+};
+
+struct FlowDiff {
+  std::vector<SiteDiff> sites;
+  size_t adds = 0, removes = 0, changes = 0;
+};
+
+std::unordered_map<uint32_t, std::vector<std::pair<SwitchId, size_t>>>
+sites_by_flow(const SwitchTables& tables) {
+  std::unordered_map<uint32_t, std::vector<std::pair<SwitchId, size_t>>> by_flow;
+  for (size_t sw = 0; sw < tables.size(); ++sw) {
+    for (size_t i = 0; i < tables[sw].size(); ++i) {
+      by_flow[tables[sw][i].flow].emplace_back(static_cast<SwitchId>(sw), i);
+    }
+  }
+  return by_flow;
+}
+
+/// Diffs the two projections flow by flow. Rules identical in match,
+/// actions and priority are *relinked*: the new projection adopts the old
+/// rule id, so the runtime scripts carry no delta for them. Same-match
+/// rules with different actions/priority become kChange (an atomic swap at
+/// one switch — the commit point); everything else is kAdd/kRemove.
+std::map<uint32_t, FlowDiff> diff_projections(const SwitchTables& old_tables,
+                                              SwitchTables& new_tables) {
+  auto old_sites = sites_by_flow(old_tables);
+  auto new_sites = sites_by_flow(new_tables);
+
+  std::map<uint32_t, FlowDiff> diffs;  // ordered: deterministic iteration
+  std::vector<uint32_t> flow_ids;
+  for (const auto& [id, _] : old_sites) flow_ids.push_back(id);
+  for (const auto& [id, _] : new_sites) flow_ids.push_back(id);
+  std::sort(flow_ids.begin(), flow_ids.end());
+  flow_ids.erase(std::unique(flow_ids.begin(), flow_ids.end()), flow_ids.end());
+
+  for (uint32_t id : flow_ids) {
+    std::map<SwitchId, size_t> olds, news;
+    if (auto it = old_sites.find(id); it != old_sites.end()) {
+      for (const auto& [sw, i] : it->second) olds[sw] = i;
+    }
+    if (auto it = new_sites.find(id); it != new_sites.end()) {
+      for (const auto& [sw, i] : it->second) news[sw] = i;
+    }
+    FlowDiff d;
+    for (const auto& [sw, oi] : olds) {
+      const ProjectedRule& o = old_tables[sw][oi];
+      auto nit = news.find(sw);
+      if (nit == news.end()) {
+        d.sites.push_back({SiteDiff::kRemove, sw, o.rule.id, 0});
+        ++d.removes;
+        continue;
+      }
+      ProjectedRule& n = new_tables[sw][nit->second];
+      if (o.rule.match == n.rule.match) {
+        if (o.rule.actions == n.rule.actions &&
+            o.rule.priority == n.rule.priority) {
+          n.rule.id = o.rule.id;  // unchanged: no delta at all
+        } else {
+          d.sites.push_back({SiteDiff::kChange, sw, o.rule.id, nit->second});
+          ++d.changes;
+        }
+      } else {
+        d.sites.push_back({SiteDiff::kRemove, sw, o.rule.id, 0});
+        d.sites.push_back({SiteDiff::kAdd, sw, 0, nit->second});
+        ++d.removes;
+        ++d.adds;
+      }
+    }
+    for (const auto& [sw, ni] : news) {
+      if (olds.count(sw)) continue;
+      d.sites.push_back({SiteDiff::kAdd, sw, 0, ni});
+      ++d.adds;
+    }
+    if (!d.sites.empty()) diffs.emplace(id, std::move(d));
+  }
+  return diffs;
+}
+
+/// Union-find over the *changed* flows: two changed flows whose matches
+/// overlap can capture each other's packets mid-update, so their schedules
+/// must not interleave — the whole conflict group goes two-phase. Disjoint
+/// flows cannot interact (no packet matches both).
+std::unordered_map<uint32_t, size_t> conflict_group_sizes(
+    const std::vector<uint32_t>& changed,
+    const std::unordered_map<uint32_t, TernaryMatch>& matches) {
+  std::vector<size_t> parent(changed.size());
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (size_t i = 0; i < changed.size(); ++i) {
+    const TernaryMatch& mi = matches.at(changed[i]);
+    for (size_t j = i + 1; j < changed.size(); ++j) {
+      if (mi.overlaps(matches.at(changed[j]))) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<size_t> sizes(changed.size(), 0);
+  for (size_t i = 0; i < changed.size(); ++i) ++sizes[find(i)];
+  std::unordered_map<uint32_t, size_t> group_size;
+  for (size_t i = 0; i < changed.size(); ++i) {
+    group_size[changed[i]] = sizes[find(i)];
+  }
+  return group_size;
+}
+
+}  // namespace
+
+std::vector<flowspace::FlowTable> tables_from(const SwitchTables& tables) {
+  std::vector<flowspace::FlowTable> out;
+  out.reserve(tables.size());
+  for (const std::vector<ProjectedRule>& t : tables) {
+    std::vector<flowspace::Rule> rules;
+    rules.reserve(t.size());
+    for (const ProjectedRule& pr : t) rules.push_back(pr.rule);
+    out.emplace_back(std::move(rules));
+  }
+  return out;
+}
+
+void apply_round(const Round& round, std::vector<flowspace::FlowTable>& tables) {
+  for (const SwitchDelta& delta : round.deltas) {
+    flowspace::FlowTable& table = tables.at(delta.sw);
+    for (RuleId id : delta.removes) table.erase(id);
+    for (const ProjectedRule& add : delta.adds) table.insert(add.rule);
+  }
+}
+
+UpdatePlan plan_update(const Topology& topo, const NetworkPolicy& old_policy,
+                       const NetworkPolicy& new_policy,
+                       const PlannerConfig& cfg) {
+  UpdatePlan plan;
+  plan.strategy = cfg.strategy;
+  plan.initial = project(topo, old_policy);
+  plan.flows_total = new_policy.flows.size();
+
+  // Pass 1: plain-vs-plain diff decides which flows change and how.
+  SwitchTables new_plain = project(topo, new_policy);
+  std::map<uint32_t, FlowDiff> plain_diffs =
+      diff_projections(plan.initial, new_plain);
+  plan.flows_changed = plain_diffs.size();
+
+  // Flow-space index for conflict grouping.
+  std::unordered_map<uint32_t, TernaryMatch> matches;
+  for (const Flow& f : old_policy.flows) {
+    TernaryMatch m = f.match;
+    m.set_wildcard(flowspace::FieldId::kInPort);
+    matches.emplace(f.id, std::move(m));
+  }
+  for (const Flow& f : new_policy.flows) {
+    TernaryMatch m = f.match;
+    m.set_wildcard(flowspace::FieldId::kInPort);
+    matches.emplace(f.id, std::move(m));
+  }
+
+  std::vector<uint32_t> changed;
+  for (const auto& [id, _] : plain_diffs) changed.push_back(id);
+  const std::unordered_map<uint32_t, size_t> group_size =
+      cfg.strategy == Strategy::kOneShot
+          ? std::unordered_map<uint32_t, size_t>{}
+          : conflict_group_sizes(changed, matches);
+
+  // Strategy per changed flow. Two conditions *force* two-phase — the
+  // dependency-round discipline has no consistent schedule for them:
+  //  * the flow's plain diff modifies rules on >= 2 switches (no single
+  //    commit point), or
+  //  * the flow shares a conflict group with another changed flow
+  //    (cross-flow capture could mix versions mid-update).
+  std::unordered_map<uint32_t, bool> two_phase;  // changed flow id -> tagged?
+  std::vector<size_t> occupancy(topo.switch_count(), 0);
+  for (size_t sw = 0; sw < plan.initial.size(); ++sw) {
+    occupancy[sw] = plan.initial[sw].size();
+  }
+  for (const auto& [id, diff] : plain_diffs) {
+    const Flow* new_flow = new_policy.find(id);
+    bool tagged = false;
+    bool forced = false;
+    if (cfg.strategy != Strategy::kOneShot) {
+      forced = diff.changes >= 2 ||
+               (group_size.count(id) && group_size.at(id) >= 2);
+      if (forced) {
+        tagged = true;
+      } else if (cfg.strategy == Strategy::kTwoPhase) {
+        // Deletions project no tagged rules, but still use the two-phase
+        // remove staging (commit the ingress, GC the cores in one round).
+        tagged = true;
+      } else if (cfg.strategy == Strategy::kAuto && new_flow) {
+        // The augmentation/speed tradeoff: prefer the 3-round two-phase
+        // schedule when every core hop of the new path still has TCAM
+        // headroom for the duplicated (tagged) rule.
+        tagged = true;
+        if (cfg.tcam_capacity != 0) {
+          for (size_t k = 1; k < new_flow->path.size(); ++k) {
+            if (occupancy[new_flow->path[k]] + 1 > cfg.tcam_capacity) {
+              tagged = false;
+              break;
+            }
+          }
+        }
+      }
+    }
+    two_phase[id] = tagged;
+    if (forced) ++plan.flows_forced_two_phase;
+    if (tagged) {
+      ++plan.flows_two_phase;
+      if (new_flow) {
+        for (size_t k = 1; k < new_flow->path.size(); ++k) {
+          ++occupancy[new_flow->path[k]];
+        }
+      }
+    } else {
+      ++plan.flows_rounds;
+      // Transient load of the staged adds (the changed hops only).
+      for (const SiteDiff& site : diff.sites) {
+        if (site.kind == SiteDiff::kAdd) ++occupancy[site.sw];
+      }
+    }
+  }
+
+  // Pass 2: re-project with the chosen forms and re-diff — the tagged form
+  // changes every core rule of a two-phase flow (and relinks unchanged
+  // rules of everything else to their old ids).
+  std::vector<FlowForm> forms(new_policy.flows.size(), FlowForm::kPlain);
+  for (size_t i = 0; i < new_policy.flows.size(); ++i) {
+    auto it = two_phase.find(new_policy.flows[i].id);
+    if (it != two_phase.end() && it->second) forms[i] = FlowForm::kTagged;
+  }
+  plan.final_tables = project(topo, new_policy, forms);
+  std::map<uint32_t, FlowDiff> diffs =
+      diff_projections(plan.initial, plan.final_tables);
+
+  // ---- Round assembly --------------------------------------------------
+  // add buckets fill downstream-first (bucket d holds hops d links from the
+  // egress), the commit round flips every commit point behind one fleet
+  // barrier, gc buckets drain upstream-first.
+  std::map<size_t, std::map<SwitchId, SwitchDelta>> add_buckets, gc_buckets;
+  std::map<SwitchId, SwitchDelta> commit_bucket;
+  std::map<SwitchId, SwitchDelta> oneshot;  // kOneShot only
+  std::map<SwitchId, size_t> oneshot_pos;   // min new-path position per switch
+
+  auto delta_of = [](std::map<SwitchId, SwitchDelta>& bucket,
+                     SwitchId sw) -> SwitchDelta& {
+    SwitchDelta& d = bucket[sw];
+    d.sw = sw;
+    return d;
+  };
+
+  for (const auto& [id, diff] : diffs) {
+    const Flow* old_flow = old_policy.find(id);
+    const Flow* new_flow = new_policy.find(id);
+    const bool tagged = two_phase.count(id) && two_phase.at(id);
+
+    for (const SiteDiff& site : diff.sites) {
+      if (cfg.strategy == Strategy::kOneShot) {
+        SwitchDelta& d = delta_of(oneshot, site.sw);
+        if (site.kind != SiteDiff::kAdd) d.removes.push_back(site.old_id);
+        if (site.kind != SiteDiff::kRemove) {
+          d.adds.push_back(plan.final_tables[site.sw][site.new_index]);
+        }
+        size_t pos = position_on(new_flow, site.sw);
+        auto [it, inserted] = oneshot_pos.emplace(site.sw, pos);
+        if (!inserted && pos < it->second) it->second = pos;
+        continue;
+      }
+      switch (site.kind) {
+        case SiteDiff::kChange: {
+          SwitchDelta& d = delta_of(commit_bucket, site.sw);
+          d.removes.push_back(site.old_id);
+          d.adds.push_back(plan.final_tables[site.sw][site.new_index]);
+          break;
+        }
+        case SiteDiff::kAdd: {
+          const size_t k = position_on(new_flow, site.sw);
+          if (k == kNoPos) throw std::logic_error("added rule off the new path");
+          if (k == 0) {
+            delta_of(commit_bucket, site.sw)
+                .adds.push_back(plan.final_tables[site.sw][site.new_index]);
+          } else {
+            // Two-phase cores are tag-guarded (unreachable until commit):
+            // they all fit in the first prepare round.
+            const size_t bucket = tagged ? 0 : new_flow->path.size() - 1 - k;
+            delta_of(add_buckets[bucket], site.sw)
+                .adds.push_back(plan.final_tables[site.sw][site.new_index]);
+          }
+          break;
+        }
+        case SiteDiff::kRemove: {
+          const size_t k = position_on(old_flow, site.sw);
+          if (k == kNoPos) throw std::logic_error("removed rule off the old path");
+          if (k == 0) {
+            delta_of(commit_bucket, site.sw).removes.push_back(site.old_id);
+          } else {
+            // Post-commit the old cores are unreachable as a complete
+            // suffix; a two-phase flow drops them all in the first GC
+            // round, a rounds flow peels them upstream-first.
+            const size_t bucket = tagged ? 0 : k - 1;
+            delta_of(gc_buckets[bucket], site.sw).removes.push_back(site.old_id);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  auto emit = [&plan](const std::string& label,
+                      std::map<SwitchId, SwitchDelta>& bucket) {
+    if (bucket.empty()) return;
+    Round round;
+    round.label = label;
+    for (auto& [sw, delta] : bucket) {
+      std::sort(delta.removes.begin(), delta.removes.end());
+      round.deltas.push_back(std::move(delta));
+    }
+    plan.rounds.push_back(std::move(round));
+  };
+
+  if (cfg.strategy == Strategy::kOneShot) {
+    // One unsynchronized batch per switch, applied upstream-first (the
+    // adversarial order: the commit point flips before downstream rules
+    // exist). The auditor is expected to catch this.
+    std::vector<SwitchId> order;
+    for (const auto& [sw, _] : oneshot) order.push_back(sw);
+    std::sort(order.begin(), order.end(), [&](SwitchId a, SwitchId b) {
+      const size_t pa = oneshot_pos.at(a), pb = oneshot_pos.at(b);
+      if (pa != pb) return pa < pb;
+      return a < b;
+    });
+    for (SwitchId sw : order) {
+      std::map<SwitchId, SwitchDelta> single;
+      single.emplace(sw, std::move(oneshot.at(sw)));
+      emit("oneshot:s" + std::to_string(sw), single);
+    }
+  } else {
+    for (auto& [d, bucket] : add_buckets) {
+      emit("add:" + std::to_string(d), bucket);
+    }
+    emit("commit", commit_bucket);
+    for (auto& [d, bucket] : gc_buckets) {
+      emit("gc:" + std::to_string(d), bucket);
+    }
+  }
+
+  // ---- Occupancy accounting (the augmentation cost) --------------------
+  std::vector<size_t> occ(topo.switch_count(), 0);
+  size_t total = 0;
+  for (size_t sw = 0; sw < plan.initial.size(); ++sw) {
+    occ[sw] = plan.initial[sw].size();
+    total += occ[sw];
+  }
+  plan.initial_rules = total;
+  plan.peak_rules = total;
+  for (size_t o : occ) plan.peak_switch_rules = std::max(plan.peak_switch_rules, o);
+  for (const Round& round : plan.rounds) {
+    for (const SwitchDelta& delta : round.deltas) {
+      occ[delta.sw] += delta.adds.size();
+      occ[delta.sw] -= delta.removes.size();
+      total += delta.adds.size();
+      total -= delta.removes.size();
+      plan.peak_switch_rules = std::max(plan.peak_switch_rules, occ[delta.sw]);
+    }
+    plan.peak_rules = std::max(plan.peak_rules, total);
+  }
+  plan.final_rules = total;
+
+  return plan;
+}
+
+}  // namespace ruletris::netplan

@@ -1,0 +1,112 @@
+// The network-wide consistent-update planner.
+//
+// Given the old and new NetworkPolicy, plan_update() emits an ordered
+// schedule of per-switch, barrier-fenced rounds that transitions the fabric
+// without any packet ever observing a mixed old/new policy. Two disciplines
+// are available, chosen per flow:
+//
+//  * kRounds — dependency-ordered rounds. New rules install downstream-
+//    first along the flow's new path (the egress-most hop lands in the
+//    earliest round), the ingress/divergence hop flips in a single commit
+//    round, and old rules garbage-collect upstream-first. At every round
+//    boundary each flow's reachable rule suffix is complete, so any packet
+//    follows either the full old path or the full new path. Costs rounds
+//    proportional to the path depth but only duplicates the *changed* hops.
+//
+//  * kTwoPhase — versioned rules. All new-version core rules install in one
+//    prepare round, pinned to eth_type == version_tag(new) so they are
+//    unreachable; the commit round swaps the ingress rule for one that
+//    *stamps* the tag (the whole flow atomically jumps versions); one GC
+//    round drops the old cores. Three rounds flat, but the entire new path
+//    coexists with the old one between prepare and GC — the augmentation
+//    half of the augmentation/speed tradeoff.
+//
+// kAuto picks per flow: flows whose diff touches >= 2 switches with
+// modified rules are forced two-phase (no single commit point exists for
+// dependency rounds); otherwise two-phase is preferred exactly when every
+// switch on the flow's new path still has TCAM headroom for the duplicated
+// rules, else the flow falls back to dependency rounds.
+//
+// kOneShot is the deliberately inconsistent baseline: each switch's entire
+// delta applies in its own round, upstream-first — the adversarial
+// interleaving an unsynchronized fan-out can produce. The consistency
+// auditor must catch it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flowspace/rule.h"
+#include "netplan/policy.h"
+#include "netplan/topology.h"
+
+namespace ruletris::netplan {
+
+enum class Strategy : uint8_t { kRounds, kTwoPhase, kAuto, kOneShot };
+
+const char* strategy_name(Strategy s);
+/// Parses "rounds" | "two-phase" | "auto" | "oneshot"; throws otherwise.
+Strategy parse_strategy(const std::string& name);
+
+/// One switch's barrier-fenced batch within a round: removals apply before
+/// additions (matching the wire batch layout [deletes..., adds..., fence]).
+struct SwitchDelta {
+  SwitchId sw = 0;
+  std::vector<flowspace::RuleId> removes;
+  std::vector<ProjectedRule> adds;
+};
+
+struct Round {
+  std::string label;  // "add:0", "commit", "gc:1", "oneshot:s3"
+  std::vector<SwitchDelta> deltas;  // at most one per switch, sorted by sw
+};
+
+struct PlannerConfig {
+  Strategy strategy = Strategy::kAuto;
+  /// Per-switch TCAM capacity the auto strategy budgets against; 0 means
+  /// unbounded headroom (auto then always prefers two-phase).
+  size_t tcam_capacity = 0;
+};
+
+struct UpdatePlan {
+  Strategy strategy = Strategy::kAuto;
+  std::vector<Round> rounds;
+  SwitchTables initial;       // old projection (round 0 state)
+  SwitchTables final_tables;  // state after the last round
+
+  size_t flows_total = 0;
+  size_t flows_changed = 0;    // flows with a non-empty diff
+  size_t flows_two_phase = 0;  // rendered with version tags
+  size_t flows_rounds = 0;     // rendered with dependency rounds
+  size_t flows_forced_two_phase = 0;  // >= 2 commit points: no choice
+
+  size_t initial_rules = 0;     // network-wide rule count before
+  size_t final_rules = 0;       // and after
+  size_t peak_rules = 0;        // max network-wide count at any boundary
+  size_t peak_switch_rules = 0; // max single-switch count at any boundary
+
+  /// Transient extra TCAM occupancy the schedule needs, relative to the
+  /// larger endpoint — the "augmentation" cost.
+  double overhead_pct() const {
+    const size_t base = initial_rules > final_rules ? initial_rules : final_rules;
+    if (base == 0) return 0.0;
+    return 100.0 * static_cast<double>(peak_rules - base) /
+           static_cast<double>(base);
+  }
+};
+
+UpdatePlan plan_update(const Topology& topo, const NetworkPolicy& old_policy,
+                       const NetworkPolicy& new_policy,
+                       const PlannerConfig& cfg);
+
+// ---- Planner-side simulation (tests and the between-round audit) --------
+
+/// Materializes projected tables as FlowTables, indexed by SwitchId.
+std::vector<flowspace::FlowTable> tables_from(const SwitchTables& tables);
+
+/// Applies one round to the simulated per-switch tables (removes, then
+/// adds — the order the wire batch applies in).
+void apply_round(const Round& round, std::vector<flowspace::FlowTable>& tables);
+
+}  // namespace ruletris::netplan

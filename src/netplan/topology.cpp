@@ -1,0 +1,201 @@
+#include "netplan/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ruletris::netplan {
+
+SwitchId Topology::add_switch() {
+  adj_.emplace_back();
+  return static_cast<SwitchId>(adj_.size() - 1);
+}
+
+bool Topology::add_link(SwitchId a, SwitchId b) {
+  if (a >= adj_.size() || b >= adj_.size()) {
+    throw std::invalid_argument("add_link: unknown switch");
+  }
+  if (a == b) throw std::invalid_argument("add_link: self-link");
+  if (port_to(a, b)) return false;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  // Port numbers are 8 bits (flowspace::FieldId::kInPort); a switch with
+  // more than 254 neighbours would wrap.
+  if (adj_[a].size() > 254 || adj_[b].size() > 254) {
+    throw std::invalid_argument("add_link: switch degree exceeds port space");
+  }
+  return true;
+}
+
+std::optional<uint32_t> Topology::port_to(SwitchId from, SwitchId to) const {
+  const std::vector<SwitchId>& nbrs = adj_.at(from);
+  for (size_t k = 0; k < nbrs.size(); ++k) {
+    if (nbrs[k] == to) return static_cast<uint32_t>(k + 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<SwitchId> Topology::neighbor_via(SwitchId from, uint32_t port) const {
+  const std::vector<SwitchId>& nbrs = adj_.at(from);
+  if (port == kHostPort || port > nbrs.size()) return std::nullopt;
+  return nbrs[port - 1];
+}
+
+const std::vector<SwitchId>& Topology::neighbors(SwitchId s) const {
+  return adj_.at(s);
+}
+
+void Topology::set_ingress(std::vector<SwitchId> ingress) {
+  for (SwitchId s : ingress) {
+    if (s >= adj_.size()) throw std::invalid_argument("set_ingress: unknown switch");
+  }
+  std::sort(ingress.begin(), ingress.end());
+  ingress.erase(std::unique(ingress.begin(), ingress.end()), ingress.end());
+  ingress_ = std::move(ingress);
+}
+
+std::vector<SwitchId> Topology::ingress_switches() const {
+  if (!ingress_.empty()) return ingress_;
+  std::vector<SwitchId> all(adj_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<SwitchId>(i);
+  return all;
+}
+
+std::vector<SwitchId> Topology::shortest_path(SwitchId from, SwitchId to) const {
+  return shortest_path_avoiding(from, to, {});
+}
+
+std::vector<SwitchId> Topology::shortest_path_avoiding(
+    SwitchId from, SwitchId to, const std::vector<SwitchId>& avoid) const {
+  if (from >= adj_.size() || to >= adj_.size()) return {};
+  std::vector<char> blocked(adj_.size(), 0);
+  for (SwitchId s : avoid) {
+    if (s < adj_.size()) blocked[s] = 1;
+  }
+  if (blocked[from] || blocked[to]) return {};
+  if (from == to) return {from};
+
+  // BFS; scanning neighbours in sorted order makes the predecessor — and
+  // therefore the returned path — deterministic.
+  constexpr SwitchId kNoPred = static_cast<SwitchId>(-1);
+  std::vector<SwitchId> pred(adj_.size(), kNoPred);
+  std::deque<SwitchId> queue{from};
+  pred[from] = from;
+  while (!queue.empty()) {
+    const SwitchId u = queue.front();
+    queue.pop_front();
+    if (u == to) break;
+    std::vector<SwitchId> nbrs = adj_[u];
+    std::sort(nbrs.begin(), nbrs.end());
+    for (SwitchId v : nbrs) {
+      if (blocked[v] || pred[v] != kNoPred) continue;
+      pred[v] = u;
+      queue.push_back(v);
+    }
+  }
+  if (pred[to] == kNoPred) return {};
+  std::vector<SwitchId> path;
+  for (SwitchId s = to; s != from; s = pred[s]) path.push_back(s);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream out;
+  out << "topology{" << adj_.size() << " switches;";
+  for (size_t s = 0; s < adj_.size(); ++s) {
+    out << " s" << s << ":[";
+    for (size_t k = 0; k < adj_[s].size(); ++k) {
+      if (k) out << ",";
+      out << adj_[s][k];
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+Topology Topology::chain(size_t n) {
+  if (n == 0) throw std::invalid_argument("chain: need at least one switch");
+  Topology t;
+  for (size_t i = 0; i < n; ++i) t.add_switch();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    t.add_link(static_cast<SwitchId>(i), static_cast<SwitchId>(i + 1));
+  }
+  return t;
+}
+
+Topology Topology::diamond() {
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_switch();
+  t.add_link(0, 1);
+  t.add_link(0, 2);
+  t.add_link(1, 3);
+  t.add_link(2, 3);
+  return t;
+}
+
+Topology Topology::random_connected(size_t n, size_t extra, uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("random_connected: need switches");
+  Topology t;
+  for (size_t i = 0; i < n; ++i) t.add_switch();
+  util::Rng rng(seed);
+  // Random spanning tree: attach each switch to a uniformly random earlier
+  // one — connected by construction.
+  for (size_t i = 1; i < n; ++i) {
+    const SwitchId parent = static_cast<SwitchId>(rng.next_below(i));
+    t.add_link(static_cast<SwitchId>(i), parent);
+  }
+  // Extra links create alternate paths (what makes reroutes possible).
+  size_t attempts = extra * 8 + 8;
+  for (size_t added = 0; added < extra && attempts > 0; --attempts) {
+    const SwitchId a = static_cast<SwitchId>(rng.next_below(n));
+    const SwitchId b = static_cast<SwitchId>(rng.next_below(n));
+    if (a == b) continue;
+    if (t.add_link(a, b)) ++added;
+  }
+  return t;
+}
+
+Topology Topology::parse(const std::string& spec) {
+  auto split = [](const std::string& s) {
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : s) {
+      if (c == ':') {
+        parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    parts.push_back(cur);
+    return parts;
+  };
+  auto to_num = [&spec](const std::string& s) -> uint64_t {
+    try {
+      return std::stoull(s);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad topology spec: " + spec);
+    }
+  };
+  const std::vector<std::string> parts = split(spec);
+  if (parts[0] == "diamond" && parts.size() == 1) return diamond();
+  if (parts[0] == "chain" && parts.size() == 2) {
+    return chain(static_cast<size_t>(to_num(parts[1])));
+  }
+  if (parts[0] == "random" && parts.size() == 4) {
+    return random_connected(static_cast<size_t>(to_num(parts[1])),
+                            static_cast<size_t>(to_num(parts[2])),
+                            to_num(parts[3]));
+  }
+  throw std::invalid_argument(
+      "bad topology spec: " + spec +
+      " (want chain:N, diamond, or random:N:EXTRA:SEED)");
+}
+
+}  // namespace ruletris::netplan

@@ -1,0 +1,91 @@
+// Network topology model for the network-wide update planner.
+//
+// A topology is a set of switches connected by bidirectional links. Each
+// switch numbers its ports locally: port 0 (kHostPort) faces the attached
+// hosts — packets enter the fabric there and leave it there — and ports
+// 1..deg face neighbour switches, assigned in link-creation order. Port
+// numbers fit the 8-bit in_port header field, which is how projected rules
+// pin a hop to the flow's path (see policy.h).
+//
+// Ingress sets restrict where flows may enter/exit the fabric; by default
+// every switch is ingress-capable. Path computation is BFS shortest-path
+// with deterministic tie-breaks (lowest neighbour id first), so plans are
+// reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ruletris::netplan {
+
+using SwitchId = uint32_t;
+
+/// The host-facing port every switch reserves: fabric ingress and egress.
+inline constexpr uint32_t kHostPort = 0;
+
+class Topology {
+ public:
+  Topology() = default;
+
+  size_t switch_count() const { return adj_.size(); }
+
+  /// Adds one switch; returns its id (dense, starting at 0).
+  SwitchId add_switch();
+
+  /// Connects `a` and `b` with a bidirectional link, assigning the next
+  /// free port on each side. No-op (returns false) if the link exists;
+  /// throws on self-links or unknown switches.
+  bool add_link(SwitchId a, SwitchId b);
+
+  /// The port on `from` that faces neighbour `to`; nullopt if not adjacent.
+  std::optional<uint32_t> port_to(SwitchId from, SwitchId to) const;
+
+  /// The neighbour reached by leaving `from` through `port`; nullopt for
+  /// kHostPort or an unassigned port.
+  std::optional<SwitchId> neighbor_via(SwitchId from, uint32_t port) const;
+
+  /// Neighbour ids of `s`, in port order.
+  const std::vector<SwitchId>& neighbors(SwitchId s) const;
+
+  /// Restricts fabric entry/exit points. Empty (default) = every switch.
+  void set_ingress(std::vector<SwitchId> ingress);
+  std::vector<SwitchId> ingress_switches() const;
+
+  /// BFS shortest path `from` -> `to` (inclusive); ties broken toward the
+  /// lowest-id predecessor. Empty vector when unreachable.
+  std::vector<SwitchId> shortest_path(SwitchId from, SwitchId to) const;
+
+  /// Shortest path that never enters a switch in `avoid` (endpoints must
+  /// not be in `avoid`). Empty when no such path exists.
+  std::vector<SwitchId> shortest_path_avoiding(
+      SwitchId from, SwitchId to, const std::vector<SwitchId>& avoid) const;
+
+  std::string to_string() const;
+
+  // ---- Builders --------------------------------------------------------
+
+  /// s0 - s1 - ... - s(n-1).
+  static Topology chain(size_t n);
+
+  /// The 4-switch diamond: s0 -> {s1, s2} -> s3. The smallest topology
+  /// with two disjoint paths, used by the round-count optimality tests.
+  static Topology diamond();
+
+  /// Random connected graph: a random spanning tree over `n` switches plus
+  /// `extra` additional random links, all derived from `seed`.
+  static Topology random_connected(size_t n, size_t extra, uint64_t seed);
+
+  /// Parses a topology spec: "chain:N", "diamond", or "random:N:EXTRA:SEED".
+  /// Throws std::invalid_argument on malformed specs.
+  static Topology parse(const std::string& spec);
+
+ private:
+  // adj_[s] holds neighbour ids in port order: adj_[s][k] sits behind port
+  // k + 1 (port 0 is the host port).
+  std::vector<std::vector<SwitchId>> adj_;
+  std::vector<SwitchId> ingress_;  // empty = all switches
+};
+
+}  // namespace ruletris::netplan

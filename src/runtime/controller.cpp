@@ -11,66 +11,24 @@
 
 namespace ruletris::runtime {
 
-RuntimeReport Controller::run(const std::vector<proto::MessageBatch>& epoch_batches,
-                              const std::vector<flowspace::Rule>& expected) {
-  // Encode each epoch once; every session, retransmit and latency charge
-  // reuses the same immutable bytes.
-  std::vector<EncodedEpoch> log;
-  log.reserve(epoch_batches.size());
+std::shared_ptr<const EncodedLog> encode_log(
+    const std::vector<proto::MessageBatch>& epoch_batches) {
+  auto log = std::make_shared<EncodedLog>();
+  log->reserve(epoch_batches.size());
   for (const proto::MessageBatch& batch : epoch_batches) {
     EncodedEpoch epoch;
     epoch.wire = std::make_shared<const proto::Bytes>(proto::encode_batch(batch));
     epoch.messages = batch.size();
-    log.push_back(std::move(epoch));
+    log->push_back(std::move(epoch));
   }
+  return log;
+}
 
-  const size_t n = std::max<size_t>(cfg_.n_switches, 1);
-  const size_t capacity = cfg_.tcam_capacity != 0
-                              ? cfg_.tcam_capacity
-                              : expected.size() + expected.size() / 8 + 128;
-
-  auto session_config = [&](size_t i) {
-    SessionConfig sc;
-    sc.window = cfg_.window;
-    sc.retry_timeout_ms = cfg_.retry_timeout_ms;
-    sc.channel = cfg_.channel;
-    sc.faults = cfg_.faults;
-    // Independent per-session stream: the fault behaviour of switch i never
-    // depends on how many switches run or on scheduling.
-    sc.seed = util::hash_pair(cfg_.fault_seed, i + 1);
-    sc.tcam_capacity = capacity;
-    sc.deadline_ms = cfg_.deadline_ms;
-    return sc;
-  };
-
-  std::vector<SessionStats> results(n);
-  std::vector<std::string> errors(n);
-  auto run_session = [&](size_t i) {
-    try {
-      SwitchSession session(session_config(i), log);
-      results[i] = session.run(expected);
-    } catch (const std::exception& e) {  // pool jobs must not throw
-      errors[i] = e.what();
-    }
-  };
-
-  if (cfg_.n_threads > 1 && n > 1) {
-    util::ThreadPool pool(std::min(cfg_.n_threads, n));
-    for (size_t i = 0; i < n; ++i) {
-      pool.run([&run_session, i] { run_session(i); });
-    }
-    pool.wait_idle();
-  } else {
-    for (size_t i = 0; i < n; ++i) run_session(i);
-  }
-  for (const std::string& error : errors) {
-    if (!error.empty()) throw std::runtime_error("runtime session: " + error);
-  }
-
+RuntimeReport merge_session_stats(std::vector<SessionStats> results) {
   RuntimeReport report;
-  report.epochs = log.size();
   report.sessions = std::move(results);
   for (const SessionStats& s : report.sessions) {
+    report.epochs = std::max(report.epochs, s.epochs);
     report.data_frames_sent += s.data_frames_sent;
     report.retransmits += s.retransmits;
     report.resync_replays += s.resync_replays;
@@ -97,6 +55,68 @@ RuntimeReport Controller::run(const std::vector<proto::MessageBatch>& epoch_batc
     report.tcam_ms.merge(s.tcam_ms);
   }
   return report;
+}
+
+RuntimeReport Controller::run(const std::vector<proto::MessageBatch>& epoch_batches,
+                              const std::vector<flowspace::Rule>& expected) {
+  // Encode each epoch once; every session, retransmit and latency charge
+  // reuses the same immutable bytes.
+  const std::shared_ptr<const EncodedLog> log = encode_log(epoch_batches);
+  const size_t n = std::max<size_t>(cfg_.n_switches, 1);
+  std::vector<SwitchWorkload> fleet(n);
+  for (SwitchWorkload& w : fleet) {
+    w.log = log;
+    w.expected = expected;
+  }
+  return run_fleet(fleet);
+}
+
+RuntimeReport Controller::run_fleet(const std::vector<SwitchWorkload>& fleet) {
+  const size_t n = fleet.size();
+  if (n == 0) return RuntimeReport{};
+
+  auto session_config = [&](size_t i) {
+    SessionConfig sc;
+    sc.window = cfg_.window;
+    sc.retry_timeout_ms = cfg_.retry_timeout_ms;
+    sc.channel = cfg_.channel;
+    sc.faults = cfg_.faults;
+    // Independent per-session stream: the fault behaviour of switch i never
+    // depends on how many switches run or on scheduling.
+    sc.seed = util::hash_pair(cfg_.fault_seed, i + 1);
+    const size_t expected_n = fleet[i].expected.size();
+    sc.tcam_capacity = cfg_.tcam_capacity != 0
+                           ? cfg_.tcam_capacity
+                           : expected_n + expected_n / 8 + 128;
+    sc.deadline_ms = cfg_.deadline_ms;
+    return sc;
+  };
+
+  std::vector<SessionStats> results(n);
+  std::vector<std::string> errors(n);
+  auto run_session = [&](size_t i) {
+    try {
+      SwitchSession session(session_config(i), *fleet[i].log);
+      results[i] = session.run(fleet[i].expected);
+    } catch (const std::exception& e) {  // pool jobs must not throw
+      errors[i] = e.what();
+    }
+  };
+
+  if (cfg_.n_threads > 1 && n > 1) {
+    util::ThreadPool pool(std::min(cfg_.n_threads, n));
+    for (size_t i = 0; i < n; ++i) {
+      pool.run([&run_session, i] { run_session(i); });
+    }
+    pool.wait_idle();
+  } else {
+    for (size_t i = 0; i < n; ++i) run_session(i);
+  }
+  for (const std::string& error : errors) {
+    if (!error.empty()) throw std::runtime_error("runtime session: " + error);
+  }
+
+  return merge_session_stats(std::move(results));
 }
 
 }  // namespace ruletris::runtime

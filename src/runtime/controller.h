@@ -1,7 +1,13 @@
-// Controller of the asynchronous runtime: one epoch log, N switch sessions.
+// Controller of the asynchronous runtime: N switch sessions, each driven by
+// an epoch log. Historically every session replayed one shared log; the
+// netplan planner projects *different* rules onto different switches, so the
+// fleet entry point takes one (log, expected) workload per switch. The
+// shared-log run() is now a thin wrapper: encode once, hand every switch
+// the same immutable bytes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "flowspace/rule.h"
@@ -11,6 +17,22 @@
 #include "util/stats.h"
 
 namespace ruletris::runtime {
+
+/// A switch's encoded epoch log. Encoding happens once per distinct log;
+/// switches sharing a log share the bytes (retransmits and latency charges
+/// all operate on the same immutable buffers).
+using EncodedLog = std::vector<EncodedEpoch>;
+
+/// Encodes each batch of `epoch_batches` exactly once.
+std::shared_ptr<const EncodedLog> encode_log(
+    const std::vector<proto::MessageBatch>& epoch_batches);
+
+/// Per-switch fleet workload: the switch's own epoch log plus the rule set
+/// its TCAM must converge to.
+struct SwitchWorkload {
+  std::shared_ptr<const EncodedLog> log;
+  std::vector<flowspace::Rule> expected;
+};
 
 /// Fleet-level report: per-session stats plus merged aggregates. Histograms
 /// are merged here, at report time — the sessions filled them without any
@@ -45,22 +67,35 @@ struct RuntimeReport {
   util::Histogram firmware_ms;
   util::Histogram tcam_ms;
 
+  /// Sum of per-session log lengths (== sessions * epochs when every switch
+  /// replays the same log; per-switch logs may differ in length).
+  size_t epochs_applied() const {
+    size_t applied = 0;
+    for (const SessionStats& s : sessions) applied += s.epochs;
+    return applied;
+  }
+
   /// Fleet update throughput in virtual time: committed epoch batches per
   /// second across every switch, over the slowest session's makespan.
   double updates_per_s() const {
     if (makespan_ms <= 0.0) return 0.0;
-    return static_cast<double>(sessions.size() * epochs) / (makespan_ms / 1000.0);
+    return static_cast<double>(epochs_applied()) / (makespan_ms / 1000.0);
   }
 
   /// Average TCAM entry writes one committed epoch cost — the real,
   /// schedule-dependent charge behind the tcam_ms histogram (writes x
   /// 0.6 ms), not a flat per-update constant.
   double entry_writes_per_epoch() const {
-    const size_t applied = sessions.size() * epochs;
+    const size_t applied = epochs_applied();
     if (applied == 0) return 0.0;
     return static_cast<double>(entry_writes) / static_cast<double>(applied);
   }
 };
+
+/// Folds per-session stats into the merged fleet report (aggregate counters,
+/// max makespan, histogram merges). Shared by Controller and by the netplan
+/// FleetController, which produces its SessionStats via gated stepping.
+RuntimeReport merge_session_stats(std::vector<SessionStats> results);
 
 /// Runs the fan-out half of the runtime. The controller encodes each epoch
 /// batch exactly once (the encoded bytes are the unit both the channel
@@ -75,9 +110,15 @@ class Controller {
   explicit Controller(const RuntimeConfig& cfg) : cfg_(cfg) {}
 
   /// `epoch_batches[0]` is epoch 1 (normally the initial table install);
-  /// `expected` is the composed table every switch must converge to.
+  /// `expected` is the composed table every switch must converge to. All
+  /// cfg.n_switches sessions replay the same encoded log.
   RuntimeReport run(const std::vector<proto::MessageBatch>& epoch_batches,
                     const std::vector<flowspace::Rule>& expected);
+
+  /// Per-switch logs: session i replays fleet[i].log and must converge to
+  /// fleet[i].expected. cfg.n_switches is ignored (the fleet size rules);
+  /// cfg.tcam_capacity == 0 sizes each switch from its own expected set.
+  RuntimeReport run_fleet(const std::vector<SwitchWorkload>& fleet);
 
  private:
   RuntimeConfig cfg_;

@@ -40,9 +40,18 @@ class EventQueue {
     // safe because the heap order does not depend on the closure.
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
-    now_ = ev.due;
+    // max(): after an external advance_to() the heap may still hold events
+    // that were due before the new now; they run late, time never rewinds.
+    if (ev.due > now_) now_ = ev.due;
     ev.fn();
     return true;
+  }
+
+  /// Advances the clock to `t` without running anything — fleet round
+  /// barriers park a session here until the slowest peer commits. Events
+  /// already queued with due < t fire "late" at t, in due order.
+  void advance_to(double t) {
+    if (t > now_) now_ = t;
   }
 
   void clear() { heap_ = {}; }

@@ -27,16 +27,39 @@ SwitchSession::SwitchSession(const SessionConfig& config,
 }
 
 SessionStats SwitchSession::run(const std::vector<flowspace::Rule>& expected) {
+  start();
+  while (!done_ && events_.run_next()) {
+    if (events_.now() > cfg_.deadline_ms) break;  // safety net, not control
+  }
+  return finalize(expected);
+}
+
+void SwitchSession::start() {
   if (epochs_.empty()) {
     finish();
-  } else {
-    send_window();
-    arm_timer();
-    schedule_restart();
-    while (!done_ && events_.run_next()) {
-      if (events_.now() > cfg_.deadline_ms) break;  // safety net, not control
-    }
+    return;
   }
+  send_window();
+  arm_timer();
+  schedule_restart();
+}
+
+void SwitchSession::set_send_limit(uint64_t max_epoch) {
+  send_limit_ = max_epoch;
+  // Raising the gate opens window slots immediately (the retry timer is
+  // already armed; a lost first send is retransmitted like any other).
+  if (!done_) send_window();
+}
+
+bool SwitchSession::run_until_committed(uint64_t epoch) {
+  while (!done_ && base_ <= epoch) {
+    if (!events_.run_next()) return false;        // stalled: nothing queued
+    if (events_.now() > cfg_.deadline_ms) return false;
+  }
+  return done_ || base_ > epoch;
+}
+
+SessionStats SwitchSession::finalize(const std::vector<flowspace::Rule>& expected) {
   stats_.makespan_ms = done_ ? stats_.makespan_ms : events_.now();
   stats_.wire = wire_.counters();
   stats_.restarts = agent_.restarts();
@@ -46,8 +69,9 @@ SessionStats SwitchSession::run(const std::vector<flowspace::Rule>& expected) {
 }
 
 void SwitchSession::send_window() {
-  while (next_to_send_ <= epochs_.size() &&
-         next_to_send_ < base_ + cfg_.window) {
+  const uint64_t highest =
+      std::min<uint64_t>(epochs_.size(), send_limit_);
+  while (next_to_send_ <= highest && next_to_send_ < base_ + cfg_.window) {
     send_epoch(next_to_send_, SendKind::kFirst);
     ++next_to_send_;
   }

@@ -94,6 +94,35 @@ class SwitchSession {
   /// constraint.
   SessionStats run(const std::vector<flowspace::Rule>& expected);
 
+  // ---- Stepped (fleet-gated) driving -----------------------------------
+  // The netplan FleetController paces N sessions through barrier-fenced
+  // rounds: raise the send gate to round e, pump each session until e is
+  // committed, then park every clock at the slowest peer's commit time.
+  // run() above is exactly start() + pump-everything + finalize().
+
+  /// Arms timers/restarts and opens the initial window (bounded by the send
+  /// gate). Call once, before any run_until_committed().
+  void start();
+
+  /// Epochs above `max_epoch` may not leave the controller. Raising the
+  /// gate refills the window immediately. Default: no gate.
+  void set_send_limit(uint64_t max_epoch);
+
+  /// Pumps the event loop until epoch `epoch` is committed (cumulatively
+  /// acked). Returns false if the session stalled or hit its deadline
+  /// first. Epochs beyond the send gate never commit — gate first.
+  bool run_until_committed(uint64_t epoch);
+
+  /// Parks the session's virtual clock at `t` (a fleet round barrier).
+  void advance_clock(double t) { events_.advance_to(t); }
+
+  /// Collects final stats and verifies convergence against `expected`.
+  SessionStats finalize(const std::vector<flowspace::Rule>& expected);
+
+  double now_ms() const { return events_.now(); }
+  uint64_t committed() const { return base_ - 1; }
+  bool done() const { return done_; }
+
   const SwitchAgent& agent() const { return agent_; }
 
  private:
@@ -125,6 +154,7 @@ class SwitchSession {
   SwitchAgent agent_;
   uint64_t base_ = 1;          // oldest uncommitted epoch
   uint64_t next_to_send_ = 1;  // next epoch to leave the controller
+  uint64_t send_limit_ = UINT64_MAX;  // fleet round gate (inclusive)
   std::vector<double> first_send_ms_;  // per epoch, for ack latency
   uint64_t timer_generation_ = 0;
   bool done_ = false;

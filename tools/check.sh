@@ -42,7 +42,7 @@ done
 first_tree="${CHECK_TREES%% *}"
 bench_dir="$ROOT/build-check-$first_tree/bench"
 echo "=== smoke benches ($first_tree tree)"
-for bench in composition_scaling dag_extraction recovery_latency \
+for bench in composition_scaling dag_extraction netplan recovery_latency \
              runtime_scaling tcam_scheduler traffic_engine warm_boot; do
   echo "--- $bench --smoke"
   "$bench_dir/$bench" --smoke > /dev/null \

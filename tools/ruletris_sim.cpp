@@ -34,6 +34,12 @@
 #include "compiler/policy_parser.h"
 #include "compiler/ruletris_compiler.h"
 #include "frozen/frozen.h"
+#include "netplan/auditor.h"
+#include "netplan/fleet.h"
+#include "netplan/materialize.h"
+#include "netplan/planner.h"
+#include "netplan/policy.h"
+#include "netplan/topology.h"
 #include "runtime/config.h"
 #include "runtime/controller.h"
 #include "runtime/warm_boot.h"
@@ -82,6 +88,14 @@ struct Options {
   size_t epochs = 4;                  // --epochs
   size_t threads = 1;                 // --threads (lookup shards)
 
+  // Network-wide update mode (--netplan): project the composed policy onto
+  // a topology, plan a consistent update to a mutated version of it, drive
+  // the rounds through the fleet-gated runtime and audit per-packet
+  // consistency between every round.
+  bool netplan = false;
+  std::string topology = "random:8:4:3";  // --topology
+  std::string planner = "auto";           // --planner
+
   // Asynchronous runtime mode (--runtime): replicate the compiled epoch log
   // to N concurrent switch sessions instead of one synchronous switch.
   bool runtime = false;
@@ -106,6 +120,8 @@ struct Options {
                "          [--traffic] [--flows N] [--zipf-alpha A]\n"
                "          [--flow-churn R] [--packets N] [--epochs N]\n"
                "          [--threads N]\n"
+               "          [--netplan] [--topology SPEC]\n"
+               "          [--planner rounds|two-phase|auto|oneshot]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
                "          gen:nat:N | file:PATH\n"
                "  --runtime replicates the compiled update stream to N\n"
@@ -123,6 +139,15 @@ struct Options {
                "  --thaw skips compilation entirely: it maps a frozen\n"
                "  artifact and warm-boots a DAG scheduler from it (no\n"
                "  --policy/--table needed).\n"
+               "  --netplan projects the composed policy onto a topology\n"
+               "  (SPEC: chain:N | diamond | random:N:EXTRA:SEED), plans a\n"
+               "  consistent network-wide update to a seeded mutation of it,\n"
+               "  drives the barrier-fenced rounds through the fleet runtime\n"
+               "  (--fault-seed/--crash-p/--corrupt-p apply) and audits\n"
+               "  per-packet consistency between every round; exits non-zero\n"
+               "  on any mixed-version observation. --planner picks the\n"
+               "  discipline; oneshot is the inconsistent baseline the\n"
+               "  auditor is expected to catch.\n"
                "  --traffic replaces the update stream with a Zipf-skewed\n"
                "  flow workload (N concurrent flows, skew A, flow expiry\n"
                "  rate R per packet) against a CacheFlow'd TCAM backed by\n"
@@ -186,6 +211,12 @@ Options parse_args(int argc, char** argv) {
       opt.crash_p = std::stod(need_value(i));
     } else if (arg == "--corrupt-p") {
       opt.corrupt_p = std::stod(need_value(i));
+    } else if (arg == "--netplan") {
+      opt.netplan = true;
+    } else if (arg == "--topology") {
+      opt.topology = need_value(i);
+    } else if (arg == "--planner") {
+      opt.planner = need_value(i);
     } else if (arg == "--traffic") {
       opt.traffic = true;
     } else if (arg == "--flows") {
@@ -414,6 +445,163 @@ int main(int argc, char** argv) {
         bench::write_json();
       }
       return report.consistency_violations == 0 ? 0 : 1;
+    }
+
+    if (opt.netplan) {
+      if (opt.compiler != "ruletris") {
+        std::fprintf(stderr,
+                     "error: --netplan requires the ruletris compiler\n");
+        return 2;
+      }
+      const netplan::Topology topo = netplan::Topology::parse(opt.topology);
+      const netplan::Strategy strategy = netplan::parse_strategy(opt.planner);
+
+      compiler::RuleTrisCompiler frontend(spec, tables_for());
+      const netplan::NetworkPolicy old_policy = netplan::policy_from_rules(
+          topo, frontend.root().visible_rules_in_order(), opt.seed);
+
+      // The "new" policy: a seeded mutation of the projected one — a
+      // fraction rerouted, a few flows dropped, a couple added.
+      netplan::MutationSpec mut;
+      mut.reroute_fraction = 0.4;
+      mut.drop_flows = old_policy.flows.size() / 10;
+      mut.seed = opt.seed ^ 0x9e77;
+      {
+        util::Rng add_rng(opt.seed ^ 0xadd5);
+        mut.add_matches.push_back(
+            classbench::random_monitor_rule(100, add_rng).match);
+        mut.add_matches.push_back(
+            classbench::random_monitor_rule(100, add_rng).match);
+      }
+      const netplan::NetworkPolicy new_policy =
+          netplan::mutate_policy(topo, old_policy, mut);
+
+      netplan::PlannerConfig pcfg;
+      pcfg.strategy = strategy;
+      pcfg.tcam_capacity = opt.capacity.value_or(0);
+      const netplan::UpdatePlan plan =
+          netplan::plan_update(topo, old_policy, new_policy, pcfg);
+
+      netplan::AuditConfig acfg;
+      acfg.seed = opt.seed ^ 0xa0d17;
+      const auto old_tables = netplan::tables_from(plan.initial);
+      const auto new_tables = netplan::tables_from(plan.final_tables);
+      const netplan::ConsistencyAuditor auditor(topo, old_policy, new_policy,
+                                                old_tables, new_tables, acfg);
+
+      // Planner-side audit: simulated tables at every round boundary.
+      size_t sim_audits = 0, sim_mixed = 0;
+      {
+        auto mid = netplan::tables_from(plan.initial);
+        const auto check = [&] {
+          const auto rep = auditor.audit(netplan::tables_lookup(mid));
+          ++sim_audits;
+          sim_mixed += rep.mixed;
+          for (const auto& v : rep.violations) {
+            util::log_info("sim audit: " + v);
+          }
+        };
+        check();
+        for (const auto& round : plan.rounds) {
+          netplan::apply_round(round, mid);
+          check();
+        }
+      }
+
+      // Runtime: lower the plan to per-switch epoch logs and drive the
+      // fleet-gated sessions, auditing the live TCAMs at every barrier.
+      const auto scripts = netplan::materialize(topo, plan);
+      netplan::FleetConfig fcfg;
+      fcfg.runtime.window = opt.window;
+      if (opt.fault_seed) {
+        fcfg.runtime.faults = runtime::FaultSpec::chaos();
+        fcfg.runtime.fault_seed = *opt.fault_seed;
+      }
+      if (opt.crash_p || opt.corrupt_p) {
+        if (!opt.fault_seed) fcfg.runtime.fault_seed = opt.seed;
+        if (opt.crash_p) fcfg.runtime.faults.crash_p = *opt.crash_p;
+        if (opt.corrupt_p) fcfg.runtime.faults.corrupt_p = *opt.corrupt_p;
+      }
+      fcfg.runtime.n_threads = std::max<size_t>(1, opt.threads);
+      fcfg.runtime.tcam_capacity =
+          opt.capacity.value_or(plan.peak_switch_rules + 32);
+
+      netplan::FleetController fleet(scripts, fcfg);
+      size_t live_audits = 0, live_mixed = 0;
+      const netplan::FleetReport freport =
+          fleet.run([&](size_t epoch, double barrier_ms) {
+            (void)epoch;
+            (void)barrier_ms;
+            const auto rep = auditor.audit(fleet.lookup());
+            ++live_audits;
+            live_mixed += rep.mixed;
+            for (const auto& v : rep.violations) {
+              util::log_info("fleet audit: " + v);
+            }
+          });
+
+      size_t crashes = 0, restarts = 0;
+      for (const auto& s : freport.merged.sessions) {
+        crashes += s.crashes;
+        restarts += s.restarts;
+      }
+
+      std::printf("\nnetplan: %s (%zu switches), planner %s\n",
+                  opt.topology.c_str(), topo.switch_count(),
+                  netplan::strategy_name(strategy));
+      std::printf("  policy    : %zu -> %zu flows (%zu changed: "
+                  "%zu two-phase / %zu rounds, %zu forced)\n",
+                  old_policy.flows.size(), new_policy.flows.size(),
+                  plan.flows_changed, plan.flows_two_phase, plan.flows_rounds,
+                  plan.flows_forced_two_phase);
+      std::printf("  plan      : %zu rounds; rules %zu -> %zu "
+                  "(peak %zu, overhead %.1f%%)\n",
+                  plan.rounds.size(), plan.initial_rules, plan.final_rules,
+                  plan.peak_rules, plan.overhead_pct());
+      std::printf("  sim audit : %zu probes x %zu boundaries, %zu mixed\n",
+                  auditor.probe_count(), sim_audits, sim_mixed);
+      std::printf("  fleet     : makespan %.2f ms, %zu crashes, %zu restarts, "
+                  "completed %s, converged %s\n",
+                  freport.makespan_ms(), crashes, restarts,
+                  freport.completed ? "yes" : "NO",
+                  freport.merged.all_converged ? "yes" : "NO");
+      std::printf("  live audit: %zu boundaries, %zu mixed\n", live_audits,
+                  live_mixed);
+      const bool consistent = sim_mixed == 0 && live_mixed == 0;
+      std::printf("  consistency: %s\n",
+                  consistent ? "clean" : "VIOLATED (mixed-version traces)");
+
+      if (auto* j = bench::json()) {
+        j->meta("policy", compiler::policy_to_string(spec));
+        j->meta("mode", "netplan");
+        j->meta("topology", opt.topology);
+        j->meta("seed", static_cast<double>(opt.seed));
+        j->begin_row();
+        j->field("planner", netplan::strategy_name(strategy));
+        j->field("switches", static_cast<double>(topo.switch_count()));
+        j->field("flows_old", static_cast<double>(old_policy.flows.size()));
+        j->field("flows_new", static_cast<double>(new_policy.flows.size()));
+        j->field("flows_changed", static_cast<double>(plan.flows_changed));
+        j->field("flows_two_phase", static_cast<double>(plan.flows_two_phase));
+        j->field("rounds", static_cast<double>(plan.rounds.size()));
+        j->field("initial_rules", static_cast<double>(plan.initial_rules));
+        j->field("final_rules", static_cast<double>(plan.final_rules));
+        j->field("peak_rules", static_cast<double>(plan.peak_rules));
+        j->field("overhead_pct", plan.overhead_pct());
+        j->field("makespan_ms", freport.makespan_ms());
+        j->field("sim_audits", static_cast<double>(sim_audits));
+        j->field("sim_violations", static_cast<double>(sim_mixed));
+        j->field("live_audits", static_cast<double>(live_audits));
+        j->field("live_violations", static_cast<double>(live_mixed));
+        j->field("crashes", static_cast<double>(crashes));
+        j->field("restarts", static_cast<double>(restarts));
+        j->field("completed", freport.completed ? 1.0 : 0.0);
+        j->field("converged", freport.merged.all_converged ? 1.0 : 0.0);
+        bench::write_json();
+      }
+      return (consistent && freport.completed && freport.merged.all_converged)
+                 ? 0
+                 : 1;
     }
 
     if (!opt.freeze_out.empty() && opt.compiler != "ruletris") {
