@@ -5,11 +5,13 @@
 // TCAM update time over an update stream (Sec. VII-A(c)).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -33,8 +35,27 @@ inline size_t updates_per_run(size_t fallback = 200) {
 /// changes shape (fields added/renamed/moved), so downstream readers of the
 /// checked-in BENCH_*.json files can detect drift instead of misparsing.
 /// History: 1 = original unversioned {benchmark, meta, rows} envelope;
-/// 2 = adds schema_version + generator provenance.
+/// 2 = adds schema_version + generator provenance (the "provenance" object
+/// — git SHA, build type, hardware threads — is a v2-additive field: JSON
+/// readers ignore unknown keys, so it does not bump the version).
 inline constexpr int kBenchJsonSchemaVersion = 2;
+
+/// Build provenance baked in by CMake; "unknown" outside a git checkout.
+inline const char* git_sha() {
+#ifdef RULETRIS_GIT_SHA
+  return RULETRIS_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* build_type() {
+#ifdef RULETRIS_BUILD_TYPE
+  return RULETRIS_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
 
 /// Machine-readable benchmark output: a flat list of rows, each a list of
 /// key/value fields, emitted as JSON. Started from a `--json out.json`
@@ -74,7 +95,12 @@ class JsonReport {
     if (!out) return false;
     out << "{\n  \"benchmark\": " << quote(benchmark_)
         << ",\n  \"schema_version\": " << kBenchJsonSchemaVersion
-        << ",\n  \"generator\": " << quote(generator_) << ",\n  \"meta\": {";
+        << ",\n  \"generator\": " << quote(generator_)
+        << ",\n  \"provenance\": {\"git_sha\": " << quote(git_sha())
+        << ", \"build_type\": " << quote(build_type())
+        << ", \"hardware_threads\": "
+        << std::max(1u, std::thread::hardware_concurrency())
+        << "},\n  \"meta\": {";
     for (size_t i = 0; i < meta_.size(); ++i) {
       out << (i ? ", " : "") << quote(meta_[i].first) << ": " << meta_[i].second;
     }

@@ -1,0 +1,107 @@
+#include "compiler/shard_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "flowspace/rule_index.h"
+#include "util/hash.h"
+
+namespace ruletris::compiler {
+
+using flowspace::FieldId;
+using flowspace::FieldTernary;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleIndex;
+using flowspace::TernaryMatch;
+
+ShardPlan ShardPlan::make(size_t n_shards, uint32_t bucket_bits) {
+  if (n_shards == 0) throw std::runtime_error("ShardPlan: n_shards must be >= 1");
+  if (bucket_bits == 0 || bucket_bits > 32) {
+    throw std::runtime_error("ShardPlan: bucket_bits must be in [1, 32]");
+  }
+  ShardPlan plan;
+  plan.n_shards = n_shards;
+  plan.bucket_bits = bucket_bits;
+  return plan;
+}
+
+bool ShardPlan::catch_all(const TernaryMatch& m) const {
+  const FieldTernary& dst = m.field(FieldId::kDstIp);
+  const uint32_t top = 0xffffffffu << (32 - bucket_bits);
+  return (dst.mask & top) != top;
+}
+
+size_t ShardPlan::shard_of(const TernaryMatch& m) const {
+  if (catch_all(m)) return 0;
+  const FieldTernary& dst = m.field(FieldId::kDstIp);
+  const uint32_t bucket = dst.value >> (32 - bucket_bits);
+  return static_cast<size_t>(util::mix64(bucket) % n_shards);
+}
+
+std::vector<std::map<std::string, FlowTable>> ShardPlan::split(
+    const std::map<std::string, FlowTable>& tables) const {
+  std::vector<std::map<std::string, FlowTable>> parts(n_shards);
+  for (const auto& [name, table] : tables) {
+    std::vector<std::vector<Rule>> slices(n_shards);
+    for (const Rule& r : table.rules()) slices[shard_of(r)].push_back(r);
+    for (size_t k = 0; k < n_shards; ++k) {
+      parts[k].emplace(name, FlowTable{std::move(slices[k])});
+    }
+  }
+  return parts;
+}
+
+size_t ShardPlan::cross_shard_overlaps(
+    const std::vector<std::map<std::string, FlowTable>>& parts) {
+  // One index over each shard's whole rule population (all tables pooled:
+  // composition can relate rules from different member tables).
+  std::vector<RuleIndex> indexes(parts.size());
+  std::vector<std::vector<TernaryMatch>> matches(parts.size());
+  for (size_t k = 0; k < parts.size(); ++k) {
+    for (const auto& [name, table] : parts[k]) {
+      (void)name;
+      for (const Rule& r : table.rules()) {
+        matches[k].push_back(r.match);
+        indexes[k].insert(static_cast<flowspace::RuleId>(matches[k].size()),
+                          r.match);
+      }
+    }
+  }
+  size_t violations = 0;
+  for (size_t k = 0; k < parts.size(); ++k) {
+    for (const TernaryMatch& m : matches[k]) {
+      for (size_t other = k + 1; other < parts.size(); ++other) {
+        indexes[other].for_each_overlapping(
+            m, [&](flowspace::RuleId, const TernaryMatch&) { ++violations; });
+      }
+    }
+  }
+  return violations;
+}
+
+CompileSnapshot merge_shard_snapshots(std::vector<CompileSnapshot> parts) {
+  CompileSnapshot merged;
+  for (CompileSnapshot& part : parts) {
+    merged.entries.insert(merged.entries.end(),
+                          std::make_move_iterator(part.entries.begin()),
+                          std::make_move_iterator(part.entries.end()));
+    merged.reps.insert(merged.reps.end(), part.reps.begin(), part.reps.end());
+    merged.visible_edges.insert(merged.visible_edges.end(),
+                                part.visible_edges.begin(),
+                                part.visible_edges.end());
+  }
+  // Provenance pairs are unique per entry and shards are disjoint slices of
+  // one rule population, so sorting by provenance alone restores the
+  // canonical order an unsharded snapshot uses.
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const auto& a, const auto& b) {
+              return std::make_pair(std::get<0>(a), std::get<1>(a)) <
+                     std::make_pair(std::get<0>(b), std::get<1>(b));
+            });
+  std::sort(merged.reps.begin(), merged.reps.end());
+  std::sort(merged.visible_edges.begin(), merged.visible_edges.end());
+  return merged;
+}
+
+}  // namespace ruletris::compiler

@@ -1,0 +1,66 @@
+// Prefix-sharded compile partitioning.
+//
+// One incremental compile pipeline serializes every update to its policy;
+// the fleet controller's path past that bottleneck is to split the rule
+// space itself. A ShardPlan routes rules to K compile shards by dst-IP
+// prefix bucket — the same top-octet geometry RuleIndex exploits — so each
+// shard runs the full incremental min-DAG pipeline over a disjoint slice of
+// the policy and the slices compile with zero cross-shard coordination.
+//
+// Soundness: two rules can interact in composition (produce an intersection
+// entry, a DAG edge, or shadow each other) only when their matches overlap,
+// and two matches whose dst buckets differ cannot overlap. Rules too coarse
+// to bucket (dst prefix shorter than bucket_bits) are routed to shard 0,
+// the catch-all; cross_shard_overlaps() verifies the closure so callers can
+// check that a concrete table set really does split cleanly. When it does,
+// the union of the per-shard CompileSnapshots equals the unsharded
+// snapshot — merge_shard_snapshots() builds that union in canonical order
+// and tests/fleet_test asserts the equality property.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/composed_node.h"
+#include "flowspace/rule.h"
+
+namespace ruletris::compiler {
+
+struct ShardPlan {
+  size_t n_shards = 1;
+  /// Rules whose dst_ip prefix covers at least this many bits are bucketed
+  /// by those bits; coarser rules land in the catch-all shard 0.
+  uint32_t bucket_bits = 8;
+
+  static ShardPlan make(size_t n_shards, uint32_t bucket_bits = 8);
+
+  /// True when `m` is too coarse to bucket (routes to shard 0).
+  bool catch_all(const flowspace::TernaryMatch& m) const;
+
+  /// Deterministic shard for a match: splitmix of the dst bucket value
+  /// modulo n_shards, or 0 for catch-all matches.
+  size_t shard_of(const flowspace::TernaryMatch& m) const;
+  size_t shard_of(const flowspace::Rule& r) const { return shard_of(r.match); }
+
+  /// Splits every named table by shard_of. Result[k] holds, for each table
+  /// name, the sub-table of rules routed to shard k (possibly empty). Rule
+  /// ids, priorities and relative order are preserved, so per-shard
+  /// compiles see exactly the slices of the original tables.
+  std::vector<std::map<std::string, flowspace::FlowTable>> split(
+      const std::map<std::string, flowspace::FlowTable>& tables) const;
+
+  /// Number of rule pairs that overlap across different shards of `parts`
+  /// (0 == the partition is closed and per-shard compiles compose exactly).
+  /// RuleIndex-pruned: one index per shard, each rule probed against the
+  /// indexes of later shards only.
+  static size_t cross_shard_overlaps(
+      const std::vector<std::map<std::string, flowspace::FlowTable>>& parts);
+};
+
+/// Union of per-shard snapshots in the canonical sorted order
+/// CompileSnapshot uses, for sharded ≡ unsharded equality checks.
+CompileSnapshot merge_shard_snapshots(std::vector<CompileSnapshot> parts);
+
+}  // namespace ruletris::compiler

@@ -15,19 +15,32 @@ std::atomic<RuleId>& rule_id_counter() {
   static std::atomic<RuleId> counter{1};
   return counter;
 }
+// Active per-thread id namespace; null = the process-global counter.
+thread_local RuleId* tl_id_counter = nullptr;
 }  // namespace
 
 RuleId next_rule_id() {
+  if (tl_id_counter != nullptr) return (*tl_id_counter)++;
   return rule_id_counter().fetch_add(1, std::memory_order_relaxed);
 }
 
 void ensure_rule_id_floor(RuleId floor) {
+  if (tl_id_counter != nullptr) {
+    *tl_id_counter = std::max(*tl_id_counter, floor + 1);
+    return;
+  }
   auto& counter = rule_id_counter();
   RuleId cur = counter.load(std::memory_order_relaxed);
   while (cur <= floor &&
          !counter.compare_exchange_weak(cur, floor + 1, std::memory_order_relaxed)) {
   }
 }
+
+ScopedRuleIdNamespace::ScopedRuleIdNamespace(RuleId* counter) : prev_(tl_id_counter) {
+  tl_id_counter = counter;
+}
+
+ScopedRuleIdNamespace::~ScopedRuleIdNamespace() { tl_id_counter = prev_; }
 
 std::string Rule::to_string() const {
   return strfmt("#%llu prio=%d %s -> %s", static_cast<unsigned long long>(id),

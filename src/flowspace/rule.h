@@ -28,8 +28,32 @@ RuleId next_rule_id();
 /// Raises the id counter so that every future next_rule_id() exceeds
 /// `floor`. Thawing a frozen snapshot must call this with the highest id the
 /// snapshot references, or fresh rules would collide with restored ones.
-/// Idempotent; never lowers the counter.
+/// Idempotent; never lowers the counter. Applies to the active scoped
+/// namespace when one is installed (see ScopedRuleIdNamespace).
 void ensure_rule_id_floor(RuleId floor);
+
+/// Redirects this thread's next_rule_id() to a caller-owned counter while
+/// in scope (restores the previous redirect — scopes nest).
+///
+/// The process-global counter makes ids depend on everything the process
+/// allocated before — across threads, on scheduling. The sharded fleet
+/// controller compiles hundreds of independent per-switch policies
+/// concurrently and requires their wire images, TCAM layouts and RTDZ
+/// deltas to be bit-identical for every thread count, so it gives each
+/// switch a private id namespace (a disjoint base like (switch+1) << 32)
+/// and wraps every compile step touching that switch in this scope. The
+/// counter is caller-owned and unsynchronized: the caller must serialize
+/// scopes over the same counter (the fleet's shard locks do).
+class ScopedRuleIdNamespace {
+ public:
+  explicit ScopedRuleIdNamespace(RuleId* counter);
+  ~ScopedRuleIdNamespace();
+  ScopedRuleIdNamespace(const ScopedRuleIdNamespace&) = delete;
+  ScopedRuleIdNamespace& operator=(const ScopedRuleIdNamespace&) = delete;
+
+ private:
+  RuleId* prev_;
+};
 
 struct Rule {
   RuleId id = kInvalidRuleId;

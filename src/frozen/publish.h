@@ -1,0 +1,86 @@
+// Lock-free epoch publication: the shard-handoff half of the frozen format.
+//
+// A compile shard seals each epoch into an immutable record — the RTDZ
+// delta blob plus whatever wire image the consumer needs — and publishes it
+// by storing a pointer into a pre-sized slot array and bumping an atomic
+// epoch counter. Consumers (switch sessions, replay checkers) poll the
+// counter with an acquire load and read any sealed slot without taking a
+// lock; the release store on the counter is the only synchronization point,
+// so publication is wait-free for the producer and readers never contend.
+//
+// The ring owns every published record until destruction: records are
+// immutable once sealed and sessions keep raw references across their whole
+// run, so no reclamation protocol is needed (a fleet run is bounded by its
+// epoch budget, not open-ended).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace ruletris::frozen {
+
+/// Single-producer, multi-consumer publication ring of immutable records.
+/// `T` is the sealed-epoch payload (the fleet runtime uses a record holding
+/// the RTDZ delta blob, the encoded wire image and the shard's virtual
+/// publish time). Epochs are 1-based and must be published in order.
+template <typename T>
+class PublishRing {
+ public:
+  /// `capacity` is the total number of epochs this ring will ever carry
+  /// (known upfront: a fleet workload fixes its per-switch epoch budget).
+  explicit PublishRing(size_t capacity) : slots_(capacity) {
+    for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+  }
+
+  PublishRing(const PublishRing&) = delete;
+  PublishRing& operator=(const PublishRing&) = delete;
+
+  ~PublishRing() {
+    for (auto& s : slots_) delete s.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Seals epoch `sealed() + 1`. Producer-only; publication order is the
+  /// epoch order. The release store on sealed_ makes every write to *rec
+  /// visible to consumers that observe the new count.
+  void publish(std::unique_ptr<T> rec) {
+    const uint64_t epoch = sealed_.load(std::memory_order_relaxed) + 1;
+    if (epoch > slots_.size()) {
+      throw std::runtime_error("PublishRing: published past capacity");
+    }
+    slots_[epoch - 1].store(rec.release(), std::memory_order_release);
+    sealed_.store(epoch, std::memory_order_release);
+  }
+
+  /// Marks the stream final: no further epochs will be sealed. Consumers
+  /// that have drained every sealed epoch of a closed ring are done.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  /// Number of sealed epochs (acquire: slots up to the count are readable).
+  uint64_t sealed() const { return sealed_.load(std::memory_order_acquire); }
+
+  /// True once the producer has closed the ring. Check sealed() again
+  /// *after* observing closed() — the final epochs may have landed between
+  /// the two loads.
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Sealed record for 1-based `epoch`; epoch must be <= sealed().
+  const T& get(uint64_t epoch) const {
+    const T* rec = slots_[epoch - 1].load(std::memory_order_acquire);
+    if (rec == nullptr) {
+      throw std::runtime_error("PublishRing: read of unsealed epoch");
+    }
+    return *rec;
+  }
+
+ private:
+  std::vector<std::atomic<const T*>> slots_;
+  std::atomic<uint64_t> sealed_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace ruletris::frozen

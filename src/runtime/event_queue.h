@@ -9,9 +9,11 @@
 // levels and thread counts (each session owns a private queue).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -25,6 +27,14 @@ class EventQueue {
   double now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
+
+  /// Due time of the earliest queued event; +inf when the queue is empty.
+  /// The sharded controller's pump uses this to order gated sends against
+  /// events without popping anything.
+  double next_due() const {
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : std::max(heap_.top().due, now_);
+  }
 
   /// Schedules `fn` at virtual time `due`; a due time in the past fires
   /// "now" (no time travel).

@@ -11,7 +11,8 @@ namespace ruletris::runtime {
 SwitchSession::SwitchSession(const SessionConfig& config,
                              const std::vector<EncodedEpoch>& epochs)
     : cfg_(config),
-      epochs_(epochs),
+      owned_source_(std::make_unique<VectorEpochSource>(epochs)),
+      source_(owned_source_.get()),
       wire_(config.channel, config.faults, util::mix64(config.seed ^ 0x71c3)),
       // A separate restart stream: restart times must not shift when the
       // frame count changes (different window sizes, retransmit patterns).
@@ -22,8 +23,20 @@ SwitchSession::SwitchSession(const SessionConfig& config,
       agent_(config.tcam_capacity, config.channel, config.faults.crash_p,
              util::mix64(config.seed ^ 0xc4a54)) {
   if (cfg_.window == 0) cfg_.window = 1;
-  first_send_ms_.assign(epochs_.size() + 1, -1.0);
-  stats_.epochs = epochs_.size();
+  first_send_ms_.assign(source_->available() + 1, -1.0);
+  stats_.epochs = source_->available();
+}
+
+SwitchSession::SwitchSession(const SessionConfig& config, const EpochSource& source)
+    : cfg_(config),
+      source_(&source),
+      wire_(config.channel, config.faults, util::mix64(config.seed ^ 0x71c3)),
+      restart_rng_(util::mix64(config.seed ^ 0x7e57a27)),
+      agent_(config.tcam_capacity, config.channel, config.faults.crash_p,
+             util::mix64(config.seed ^ 0xc4a54)) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  first_send_ms_.assign(source_->available() + 1, -1.0);
+  stats_.epochs = source_->available();
 }
 
 SessionStats SwitchSession::run(const std::vector<flowspace::Rule>& expected) {
@@ -35,7 +48,7 @@ SessionStats SwitchSession::run(const std::vector<flowspace::Rule>& expected) {
 }
 
 void SwitchSession::start() {
-  if (epochs_.empty()) {
+  if (source_->complete() && source_->available() == 0) {
     finish();
     return;
   }
@@ -60,6 +73,7 @@ bool SwitchSession::run_until_committed(uint64_t epoch) {
 }
 
 SessionStats SwitchSession::finalize(const std::vector<flowspace::Rule>& expected) {
+  stats_.epochs = source_->available();
   stats_.makespan_ms = done_ ? stats_.makespan_ms : events_.now();
   stats_.wire = wire_.counters();
   stats_.restarts = agent_.restarts();
@@ -68,10 +82,18 @@ SessionStats SwitchSession::finalize(const std::vector<flowspace::Rule>& expecte
   return stats_;
 }
 
+uint64_t SwitchSession::highest_sendable() const {
+  return std::min<uint64_t>(source_->available(), send_limit_);
+}
+
 void SwitchSession::send_window() {
-  const uint64_t highest =
-      std::min<uint64_t>(epochs_.size(), send_limit_);
+  const uint64_t highest = highest_sendable();
   while (next_to_send_ <= highest && next_to_send_ < base_ + cfg_.window) {
+    // A sealed-but-not-yet-virtually-ready epoch stays gated here; the
+    // pump_published() loop sends it once the clock reaches its ready time.
+    // Complete vector logs have ready 0, so this never gates the classic
+    // path.
+    if (source_->ready_ms(next_to_send_) > events_.now()) break;
     send_epoch(next_to_send_, SendKind::kFirst);
     ++next_to_send_;
   }
@@ -84,12 +106,13 @@ void SwitchSession::send_epoch(uint64_t epoch, SendKind kind) {
   if (kind == SendKind::kNackResend) ++stats_.nack_retransmits;
 
   const double now = events_.now();
+  if (first_send_ms_.size() <= epoch) first_send_ms_.resize(epoch + 1, -1.0);
   if (first_send_ms_[epoch] < 0.0) first_send_ms_[epoch] = now;
 
   Frame frame;
   frame.kind = FrameKind::kData;
   frame.epoch = epoch;
-  frame.payload = epochs_[epoch - 1].wire;
+  frame.payload = source_->at(epoch).wire;
   for (const FaultyWire::Delivery& d : wire_.arrivals(now, frame.wire_bytes())) {
     if (d.corrupted) {
       // The frame arrives damaged: one seeded bit of the wire image is
@@ -97,7 +120,7 @@ void SwitchSession::send_epoch(uint64_t epoch, SendKind kind) {
       // every other delivery and retransmit).
       const uint64_t bits = d.corrupt_bits;
       events_.post(d.at_ms, [this, epoch, now, bits] {
-        const proto::Bytes& pristine = *epochs_[epoch - 1].wire;
+        const proto::Bytes& pristine = *source_->at(epoch).wire;
         auto damaged = std::make_shared<proto::Bytes>(pristine);
         if (!damaged->empty()) {
           const size_t bit = static_cast<size_t>(bits % (damaged->size() * 8));
@@ -107,7 +130,7 @@ void SwitchSession::send_epoch(uint64_t epoch, SendKind kind) {
       });
     } else {
       events_.post(d.at_ms, [this, epoch, now] {
-        on_data_delivered(epoch, now, epochs_[epoch - 1].wire);
+        on_data_delivered(epoch, now, source_->at(epoch).wire);
       });
     }
   }
@@ -221,7 +244,19 @@ void SwitchSession::advance_base(uint64_t acked) {
     stats_.ack_ms.add(now - first_send_ms_[e]);
   }
   base_ = acked + 1;
-  if (base_ > epochs_.size() && next_to_send_ > epochs_.size()) finish();
+  maybe_finish();
+}
+
+void SwitchSession::maybe_finish() {
+  // Done only when the log is final *and* fully committed. With a growing
+  // source the completion flag may flip after the last ack was processed
+  // (the producer's close races the consumer in wall time, never in
+  // virtual time) — pump_published() re-checks via this path.
+  if (done_) return;
+  if (source_->complete() && base_ > source_->available() &&
+      next_to_send_ > source_->available()) {
+    finish();
+  }
 }
 
 void SwitchSession::arm_timer() {
@@ -287,6 +322,49 @@ void SwitchSession::on_resync(uint64_t last_applied) {
   }
   send_window();
   arm_timer();
+}
+
+bool SwitchSession::pump_published() {
+  // Events and gated first sends interleave in strict virtual-time order,
+  // bounded by the sealed horizon: ready_ms is strictly increasing, so any
+  // still-unsealed epoch's send lies strictly beyond ready_ms(available()),
+  // and no event at or past that bound may run until more epochs seal.
+  // Wall-clock publication timing therefore only decides *where the session
+  // blocks*, never the virtual order of anything — which is what keeps the
+  // fleet report bit-identical across thread counts.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  bool progress = false;
+  for (;;) {
+    maybe_finish();
+    if (done_) return progress;
+    if (events_.now() > cfg_.deadline_ms) return false;  // safety net
+    // Read complete() before available(): the source's contract makes a
+    // count read after a true completion flag final, so a racing "publish
+    // last epoch, then close" can never yield (complete, stale count) here.
+    const bool complete = source_->complete();
+    const uint64_t avail = source_->available();
+    const double horizon =
+        complete ? kInf : (avail == 0 ? 0.0 : source_->ready_ms(avail));
+    double t_send = kInf;
+    if (next_to_send_ <= std::min<uint64_t>(avail, send_limit_) &&
+        next_to_send_ < base_ + cfg_.window) {
+      t_send = std::max(events_.now(), source_->ready_ms(next_to_send_));
+    }
+    const double t_event = events_.next_due();
+    if (t_send <= t_event) {  // tie resolves send-first, deterministically
+      if (t_send == kInf) return progress;  // idle: starved on the compiler
+      // A sealed epoch's send never exceeds the horizon (ready monotone),
+      // so advancing the clock to it is always safe.
+      events_.advance_to(t_send);
+      send_epoch(next_to_send_, SendKind::kFirst);
+      ++next_to_send_;
+      progress = true;
+      continue;
+    }
+    if (t_event >= horizon) return progress;  // beyond sealed horizon: starve
+    events_.run_next();
+    progress = true;
+  }
 }
 
 void SwitchSession::finish() {

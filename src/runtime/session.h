@@ -48,6 +48,50 @@ struct EncodedEpoch {
   size_t messages = 0;
 };
 
+/// Where a session's epochs come from. Historically a session replayed a
+/// fixed pre-encoded vector; the sharded controller instead feeds sessions
+/// from lock-free publication rings that grow while the session runs, so
+/// the log is an interface: a monotone count of sealed epochs, a completion
+/// flag, and a per-epoch *virtual ready time* — the compile shard's virtual
+/// clock when it sealed the epoch. A session never sends epoch e before
+/// ready_ms(e) on its own virtual clock, which is what makes the pipelined
+/// compile→transmit overlap show up in virtual time, deterministically.
+///
+/// Contract: available() is monotone non-decreasing; an available() call
+/// *after* complete() returned true returns the final count (callers read
+/// complete() first, then available()); ready_ms must be strictly
+/// increasing in the epoch number (the horizon rule in pump_published()
+/// relies on it to keep event order independent of wall-clock publication
+/// timing).
+class EpochSource {
+ public:
+  virtual ~EpochSource() = default;
+  /// Number of sealed epochs so far (epoch numbers are 1-based).
+  virtual uint64_t available() const = 0;
+  /// True once no further epochs will be sealed.
+  virtual bool complete() const = 0;
+  /// Sealed epoch `e`, e <= available().
+  virtual const EncodedEpoch& at(uint64_t e) const = 0;
+  /// Virtual time epoch `e` became sendable; strictly increasing in e.
+  virtual double ready_ms(uint64_t e) const = 0;
+};
+
+/// A fully materialized log: every epoch available and ready at t=0. This
+/// is the classic shared-log path; sessions on a VectorEpochSource behave
+/// exactly as they did before the source abstraction existed.
+class VectorEpochSource final : public EpochSource {
+ public:
+  explicit VectorEpochSource(const std::vector<EncodedEpoch>& epochs)
+      : epochs_(epochs) {}
+  uint64_t available() const override { return epochs_.size(); }
+  bool complete() const override { return true; }
+  const EncodedEpoch& at(uint64_t e) const override { return epochs_[e - 1]; }
+  double ready_ms(uint64_t) const override { return 0.0; }
+
+ private:
+  const std::vector<EncodedEpoch>& epochs_;
+};
+
 struct SessionStats {
   size_t epochs = 0;
   size_t data_frames_sent = 0;  // first sends + retransmits + resync replays
@@ -88,6 +132,11 @@ class SwitchSession {
   /// session and is read-only here.
   SwitchSession(const SessionConfig& config, const std::vector<EncodedEpoch>& epochs);
 
+  /// Feeds the session from a growing source (the sharded-controller path).
+  /// `source` must outlive the session. Drive with start() +
+  /// pump_published(); run() also works once the source is complete.
+  SwitchSession(const SessionConfig& config, const EpochSource& source);
+
   /// Drives the session to completion (every epoch acked) or to the virtual
   /// deadline, then verifies convergence: the agent's TCAM must hold
   /// exactly `expected` (id, match and actions) and satisfy every DAG
@@ -116,6 +165,23 @@ class SwitchSession {
   /// Parks the session's virtual clock at `t` (a fleet round barrier).
   void advance_clock(double t) { events_.advance_to(t); }
 
+  // ---- Pipelined (growing-source) driving ------------------------------
+  // The sharded controller's dispatch workers pump sessions whose logs are
+  // still being compiled. pump_published() runs events and gated first
+  // sends in strict virtual-time order, but never past the source's sealed
+  // horizon: with epochs still unsealed, their (strictly later) ready times
+  // could demand a send below any event beyond the horizon, so the session
+  // *wall-blocks* there instead of guessing — which is exactly what makes
+  // the virtual trajectory a pure function of the workload, bit-identical
+  // across thread counts and scheduling. Ties between a gated send and an
+  // event at the same virtual time resolve send-first, deterministically.
+
+  /// Makes as much progress as the sealed horizon allows. Returns true if
+  /// any event ran or any epoch was sent; false means the session is done,
+  /// starved on an unsealed epoch (caller should go compile), or past its
+  /// deadline.
+  bool pump_published();
+
   /// Collects final stats and verifies convergence against `expected`.
   SessionStats finalize(const std::vector<flowspace::Rule>& expected);
 
@@ -127,6 +193,8 @@ class SwitchSession {
 
  private:
   void send_window();
+  uint64_t highest_sendable() const;
+  void maybe_finish();
   enum class SendKind { kFirst, kRetransmit, kResyncReplay, kNackResend };
   void send_epoch(uint64_t epoch, SendKind kind);
   void send_ack_frame(FrameKind kind, uint64_t epoch, double at_ms);
@@ -147,7 +215,8 @@ class SwitchSession {
   void verify(const std::vector<flowspace::Rule>& expected);
 
   SessionConfig cfg_;
-  const std::vector<EncodedEpoch>& epochs_;
+  std::unique_ptr<VectorEpochSource> owned_source_;  // vector-log convenience
+  const EpochSource* source_;
   EventQueue events_;
   FaultyWire wire_;
   util::Rng restart_rng_;

@@ -1,0 +1,411 @@
+#include "runtime/sharded_controller.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "classbench/generator.h"
+#include "compiler/ruletris_compiler.h"
+#include "frozen/delta.h"
+#include "frozen/publish.h"
+#include "proto/codec.h"
+#include "tcam/tcam.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace ruletris::runtime {
+
+using compiler::PolicySpec;
+using flowspace::FlowTable;
+using flowspace::Rule;
+using flowspace::RuleId;
+
+namespace {
+
+uint64_t hash_bytes(const frozen::Bytes& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a, mixed at the end
+  for (uint8_t b : bytes) h = (h ^ b) * 0x100000001b3ULL;
+  return util::mix64(h);
+}
+
+/// EpochSource over a shard's publication ring: acquire loads, no locks.
+class RingEpochSource final : public EpochSource {
+ public:
+  explicit RingEpochSource(const frozen::PublishRing<SealedEpoch>& ring)
+      : ring_(ring) {}
+  uint64_t available() const override { return ring_.sealed(); }
+  bool complete() const override { return ring_.closed(); }
+  const EncodedEpoch& at(uint64_t e) const override { return ring_.get(e).wire; }
+  double ready_ms(uint64_t e) const override {
+    return ring_.get(e).ready_vt_ms;
+  }
+
+ private:
+  const frozen::PublishRing<SealedEpoch>& ring_;
+};
+
+/// One-owner-at-a-time claim for the work-stealing sweep.
+class TryLock {
+ public:
+  bool try_acquire() {
+    bool expected = false;
+    return locked_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire);
+  }
+  void release() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+struct SwitchSlot {
+  size_t index = 0;
+  /// Private rule-id namespace: every id this switch's tables, compiler and
+  /// deltas ever see is allocated here, so ids are a function of the switch,
+  /// not of cross-switch scheduling. Touched only under the owning shard's
+  /// lock (task generation at init is serial).
+  RuleId id_counter = 0;
+  SwitchTask task;  // tables consumed when the engine is built
+
+  // Compile side — guarded by the owning CompileShard's lock.
+  std::unique_ptr<ChurnEngine> engine;
+  frozen::PolicyImage base_image;  // epoch-1 capture (replay-audit anchor)
+  frozen::PolicyImage prev_image;  // previous epoch's capture (diff source)
+  std::vector<std::shared_ptr<const frozen::Bytes>> audit_blobs;
+  bool audited = false;
+  bool audit_passed = true;
+  uint64_t delta_chain = 0;  // hash chain over every sealed delta blob
+  size_t rule_ops = 0;
+  std::vector<Rule> expected;  // final composed table; written before close()
+
+  // Handoff: the shard publishes here, the session consumes lock-free.
+  std::unique_ptr<frozen::PublishRing<SealedEpoch>> ring;
+  std::unique_ptr<RingEpochSource> source;
+
+  // Session side — guarded by `lock`.
+  std::unique_ptr<SwitchSession> session;
+  TryLock lock;
+  bool started = false;
+  size_t starved = 0;
+  SessionStats stats;
+  std::string error;
+  std::atomic<bool> finished{false};
+};
+
+struct CompileShard {
+  size_t index = 0;
+  std::vector<SwitchSlot*> owned;  // fixed round-robin order
+  size_t cursor = 0;
+  size_t remaining = 0;  // engines not yet complete
+  double vt_ms = 0.0;    // the shard's virtual compile clock
+  size_t steps = 0;
+  std::string error;
+  TryLock lock;
+  std::atomic<bool> done{false};
+};
+
+struct Fleet {
+  std::vector<std::unique_ptr<SwitchSlot>> slots;
+  std::vector<std::unique_ptr<CompileShard>> shards;
+  std::atomic<size_t> live_sessions{0};
+  std::atomic<size_t> steals{0};
+  std::atomic<bool> failed{false};
+};
+
+SwitchTask default_task(const FleetSpec& spec, size_t sw) {
+  SwitchTask task;
+  util::Rng rng(util::hash_pair(spec.seed, sw + 1));
+  task.tables.emplace(
+      "mon", FlowTable{classbench::generate_monitor(spec.initial_monitor, rng)});
+  task.tables.emplace(
+      "rtr", FlowTable{classbench::generate_router(spec.initial_router, rng)});
+  task.spec = PolicySpec::parallel(PolicySpec::leaf("mon"), PolicySpec::leaf("rtr"));
+  task.churn.leaf = "mon";
+  task.churn.updates = spec.updates_per_switch;
+  task.churn.seed = util::hash_pair(spec.seed ^ 0x9e3779b97f4a7c15ULL, sw + 1);
+  task.churn.burst = spec.burst;
+  return task;
+}
+
+/// Replays the switch's retained RTDZ delta blobs over its epoch-1 base
+/// image; true iff the chain reproduces the final captured image exactly.
+bool replay_audit(const SwitchSlot& slot) {
+  frozen::PolicyImage replay = slot.base_image;
+  for (const auto& blob : slot.audit_blobs) {
+    frozen::apply_delta(replay, frozen::decode_delta(*blob));
+  }
+  return replay == slot.prev_image;
+}
+
+/// Compiles and seals one epoch for the shard's next unfinished switch.
+/// Caller holds the shard lock. Returns false when every engine is done.
+bool seal_next(CompileShard& shard, const FleetSpec& spec) {
+  SwitchSlot* slot = nullptr;
+  for (size_t probe = 0; probe < shard.owned.size(); ++probe) {
+    SwitchSlot* cand = shard.owned[(shard.cursor + probe) % shard.owned.size()];
+    if (!cand->engine || !cand->engine->done()) {
+      slot = cand;
+      shard.cursor = (shard.cursor + probe + 1) % shard.owned.size();
+      break;
+    }
+  }
+  if (slot == nullptr) return false;
+
+  flowspace::ScopedRuleIdNamespace ns(&slot->id_counter);
+  if (!slot->engine) {
+    slot->engine = std::make_unique<ChurnEngine>(
+        slot->task.spec, std::move(slot->task.tables), slot->task.churn);
+  }
+  ChurnEngine::Step step = slot->engine->step();
+  const uint64_t epoch = slot->engine->produced();
+
+  // The modelled compile cost is what the shard's clock advances by — the
+  // sealed ready time is a function of the step sequence alone, never of
+  // which worker ran the step or when.
+  shard.vt_ms += spec.compile_base_ms +
+                 spec.compile_per_op_ms * static_cast<double>(step.ops);
+  ++shard.steps;
+  slot->rule_ops += step.ops;
+
+  SealedEpoch sealed;
+  sealed.wire.wire =
+      std::make_shared<const proto::Bytes>(proto::encode_batch(step.batch));
+  sealed.wire.messages = step.batch.size();
+  sealed.ops = step.ops;
+  sealed.ready_vt_ms = shard.vt_ms;
+
+  frozen::PolicyImage image =
+      frozen::capture_policy(slot->engine->frontend(), epoch);
+  if (epoch == 1) {
+    // No predecessor to diff against: the chain anchors on the base image.
+    sealed.delta_hash = hash_bytes(frozen::freeze(image));
+    slot->base_image = image;
+  } else {
+    auto blob = std::make_shared<const frozen::Bytes>(
+        frozen::encode_delta(frozen::diff(slot->prev_image, image)));
+    sealed.delta_hash = hash_bytes(*blob);
+    if (slot->audited) {
+      sealed.delta = blob;
+      slot->audit_blobs.push_back(std::move(blob));
+    }
+  }
+  slot->delta_chain = util::hash_pair(slot->delta_chain, sealed.delta_hash);
+  slot->prev_image = std::move(image);
+
+  const bool last = slot->engine->done();
+  if (last) {
+    // Everything the session will read after observing closed() must be in
+    // place before close()'s release store.
+    slot->expected = slot->engine->current_rules();
+    if (slot->audited) slot->audit_passed = replay_audit(*slot);
+  }
+  slot->ring->publish(std::make_unique<SealedEpoch>(std::move(sealed)));
+  if (last) {
+    slot->ring->close();
+    --shard.remaining;
+    if (shard.remaining == 0) shard.done.store(true, std::memory_order_release);
+  }
+  return true;
+}
+
+/// Pumps one session as far as its sealed horizon allows. Caller holds the
+/// slot lock. Returns true if the session made progress.
+bool pump_slot(SwitchSlot& slot, const FleetSpec& spec, Fleet& fleet) {
+  if (slot.finished.load(std::memory_order_relaxed)) return false;
+  try {
+    if (!slot.started) {
+      slot.session->start();
+      slot.started = true;
+    }
+    const bool progress = slot.session->pump_published();
+    if (slot.session->done()) {
+      // done ⇒ the session observed closed(), so slot.expected is visible
+      // and the shard will never write this slot again.
+      slot.stats = slot.session->finalize(slot.expected);
+    } else if (!progress) {
+      if (slot.session->now_ms() > spec.deadline_ms) {
+        // Deadline miss with the compile possibly still running: finalize
+        // against nothing (reports non-convergence) rather than racing the
+        // shard for slot.expected.
+        slot.stats = slot.session->finalize({});
+      } else {
+        ++slot.starved;  // sealed horizon reached; go compile instead
+        return false;
+      }
+    } else {
+      return true;
+    }
+  } catch (const std::exception& e) {  // workers must not throw
+    slot.error = e.what();
+    fleet.failed.store(true, std::memory_order_relaxed);
+  }
+  slot.finished.store(true, std::memory_order_relaxed);
+  fleet.live_sessions.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+/// One dispatch worker: sweep sessions, then steal compile work. Workers
+/// are symmetric — "stealing" is just running a quantum for a shard whose
+/// home worker (index % n_threads) is someone else.
+void worker_loop(Fleet& fleet, const FleetSpec& spec, size_t worker,
+                 size_t n_threads) {
+  constexpr int kQuantum = 8;  // epochs sealed per shard claim
+  const size_t n_slots = fleet.slots.size();
+  const size_t n_shards = fleet.shards.size();
+  const size_t slot_offset = n_slots == 0 ? 0 : (worker * n_slots) / n_threads;
+  while (fleet.live_sessions.load(std::memory_order_acquire) > 0 &&
+         !fleet.failed.load(std::memory_order_relaxed)) {
+    bool progress = false;
+    for (size_t k = 0; k < n_slots; ++k) {
+      SwitchSlot& slot = *fleet.slots[(slot_offset + k) % n_slots];
+      if (slot.finished.load(std::memory_order_relaxed)) continue;
+      if (!slot.lock.try_acquire()) continue;
+      progress |= pump_slot(slot, spec, fleet);
+      slot.lock.release();
+    }
+    for (size_t k = 0; k < n_shards; ++k) {
+      CompileShard& shard = *fleet.shards[(worker + k) % n_shards];
+      if (shard.done.load(std::memory_order_acquire)) continue;
+      if (!shard.lock.try_acquire()) continue;
+      if (shard.index % n_threads != worker) {
+        fleet.steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      try {
+        for (int q = 0; q < kQuantum; ++q) {
+          if (!seal_next(shard, spec)) break;
+          progress = true;
+        }
+      } catch (const std::exception& e) {
+        shard.error = e.what();
+        shard.done.store(true, std::memory_order_release);
+        fleet.failed.store(true, std::memory_order_relaxed);
+      }
+      shard.lock.release();
+    }
+    if (!progress) std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+FleetReport ShardedController::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const size_t n = std::max<size_t>(spec_.n_switches, 1);
+  const size_t n_shards = std::clamp<size_t>(spec_.n_shards, 1, n);
+  const size_t n_threads = std::max<size_t>(spec_.n_threads, 1);
+
+  Fleet fleet;
+  fleet.slots.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto slot = std::make_unique<SwitchSlot>();
+    slot->index = i;
+    slot->id_counter = static_cast<RuleId>(i + 1) << 32;
+    {
+      flowspace::ScopedRuleIdNamespace ns(&slot->id_counter);
+      slot->task = spec_.make_task ? spec_.make_task(i) : default_task(spec_, i);
+    }
+    slot->audited = spec_.audit_stride != 0 && i % spec_.audit_stride == 0;
+    slot->ring = std::make_unique<frozen::PublishRing<SealedEpoch>>(
+        slot->task.churn.updates + 1);
+    slot->source = std::make_unique<RingEpochSource>(*slot->ring);
+
+    SessionConfig sc;
+    sc.window = spec_.window;
+    sc.retry_timeout_ms = spec_.retry_timeout_ms;
+    sc.channel = spec_.channel;
+    sc.faults = spec_.faults;
+    sc.seed = util::hash_pair(spec_.fault_seed, i + 1);
+    sc.tcam_capacity = spec_.tcam_capacity;
+    sc.deadline_ms = spec_.deadline_ms;
+    slot->session = std::make_unique<SwitchSession>(sc, *slot->source);
+    fleet.slots.push_back(std::move(slot));
+  }
+  fleet.live_sessions.store(n, std::memory_order_relaxed);
+
+  fleet.shards.reserve(n_shards);
+  for (size_t k = 0; k < n_shards; ++k) {
+    auto shard = std::make_unique<CompileShard>();
+    shard->index = k;
+    for (size_t i = k; i < n; i += n_shards) {
+      shard->owned.push_back(fleet.slots[i].get());
+    }
+    shard->remaining = shard->owned.size();
+    if (shard->owned.empty()) shard->done.store(true, std::memory_order_relaxed);
+    fleet.shards.push_back(std::move(shard));
+  }
+
+  if (n_threads == 1) {
+    worker_loop(fleet, spec_, 0, 1);
+  } else {
+    util::ThreadPool pool(n_threads);
+    for (size_t t = 0; t < n_threads; ++t) {
+      pool.run([&fleet, this, t, n_threads] {
+        worker_loop(fleet, spec_, t, n_threads);
+      });
+    }
+    pool.wait_idle();
+  }
+
+  for (const auto& shard : fleet.shards) {
+    if (!shard->error.empty()) {
+      throw std::runtime_error("fleet shard " + std::to_string(shard->index) +
+                               ": " + shard->error);
+    }
+  }
+  for (const auto& slot : fleet.slots) {
+    if (!slot->error.empty()) {
+      throw std::runtime_error("fleet switch " + std::to_string(slot->index) +
+                               ": " + slot->error);
+    }
+  }
+
+  FleetReport report;
+  report.switches = n;
+  report.shards = n_shards;
+  report.threads = n_threads;
+  std::vector<SessionStats> stats;
+  stats.reserve(n);
+  for (const auto& slot : fleet.slots) {
+    stats.push_back(slot->stats);
+    report.rule_ops += slot->rule_ops;
+    if (slot->audited) {
+      ++report.replay_audits;
+      report.replay_ok = report.replay_ok && slot->audit_passed;
+    }
+    report.starved_pumps += slot->starved;
+
+    // Per-switch digest: deterministic session counters plus the final TCAM
+    // layout, combined order-independently (wrapping sum) across switches.
+    uint64_t h = util::hash_pair(slot->index + 1, slot->stats.epochs);
+    h = util::hash_pair(h, slot->stats.entry_writes);
+    h = util::hash_pair(h, slot->stats.moves);
+    h = util::hash_pair(h, slot->stats.data_frames_sent);
+    h = util::hash_pair(h, std::bit_cast<uint64_t>(slot->stats.makespan_ms));
+    const tcam::Tcam& device = slot->session->agent().device().tcam();
+    for (size_t addr = 0; addr < device.capacity(); ++addr) {
+      if (auto id = device.at(addr)) {
+        h = util::hash_pair(h, util::hash_pair(addr, *id));
+      }
+    }
+    report.fleet_fingerprint += h;
+    report.delta_fingerprint +=
+        util::hash_pair(slot->index + 1, slot->delta_chain);
+  }
+  for (const auto& shard : fleet.shards) {
+    report.compile_vt_ms = std::max(report.compile_vt_ms, shard->vt_ms);
+    report.shard_steps += shard->steps;
+  }
+  report.steals = fleet.steals.load(std::memory_order_relaxed);
+  report.runtime = merge_session_stats(std::move(stats));
+  report.makespan_ms = report.runtime.makespan_ms;
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return report;
+}
+
+}  // namespace ruletris::runtime

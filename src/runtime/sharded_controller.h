@@ -1,0 +1,158 @@
+// Sharded compile pipeline + switch fleet, the cbench-style scale-out path.
+//
+// The classic Controller replays a pre-compiled log; the ShardedController
+// removes the "compile first, replicate after" barrier. K compile shards
+// each run the full incremental min-DAG pipeline over the switches they
+// own, one ChurnEngine per switch stepped round-robin under a per-shard
+// virtual compile clock. Every sealed epoch is published lock-free through
+// a frozen::PublishRing — the RTDZ delta blob is the shard-handoff
+// currency: the shard captures the policy image after each step, diffs it
+// against the previous epoch, seals (wire image, ops, ready time, delta)
+// and bumps the ring's atomic epoch counter; switch sessions consume with
+// acquire loads and zero locks.
+//
+// Dispatch is work-stealing over a util::ThreadPool: every worker sweeps
+// every session (pump as far as the sealed horizon allows) and every shard
+// (compile a quantum of epochs), claiming each via an atomic try-lock.
+// A worker that finds its sessions starved steals compile steps from any
+// shard; nothing is pinned, nothing blocks.
+//
+// Determinism: the whole report — per-switch TCAM layouts, wire bytes,
+// RTDZ delta chains, virtual makespans — is a pure function of FleetSpec,
+// bit-identical for every n_threads. Three mechanisms carry that property:
+//   * per-switch rule-id namespaces (flowspace::ScopedRuleIdNamespace), so
+//     id allocation never observes cross-switch interleaving;
+//   * per-shard virtual compile clocks advanced by a modelled cost per
+//     epoch, stepped in a fixed round-robin order, so sealed ready times
+//     are schedule-independent;
+//   * the session-side horizon rule (SwitchSession::pump_published), so
+//     wall-clock publication timing decides only where a session blocks,
+//     never the virtual order of its events.
+// run() self-checks the sharding (cross-shard delta replay) and the bench
+// harness cross-checks whole-fleet fingerprints across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/policy_spec.h"
+#include "flowspace/rule.h"
+#include "frozen/frozen.h"
+#include "proto/channel.h"
+#include "runtime/config.h"
+#include "runtime/controller.h"
+#include "runtime/session.h"
+#include "runtime/workload.h"
+
+namespace ruletris::runtime {
+
+/// One sealed fleet epoch — the unit a compile shard hands a session.
+struct SealedEpoch {
+  EncodedEpoch wire;         // encoded batch + message count
+  size_t ops = 0;            // rule-level operations the epoch carries
+  double ready_vt_ms = 0.0;  // shard virtual compile clock at seal
+  uint64_t delta_hash = 0;   // mix of the epoch's RTDZ delta blob bytes
+  /// The delta blob itself, retained only for replay-audited switches
+  /// (every spec.audit_stride-th); empty elsewhere — the hash chain still
+  /// covers every epoch of every switch.
+  std::shared_ptr<const frozen::Bytes> delta;
+};
+
+/// One switch's compile job: policy shape, initial tables, churn stream.
+struct SwitchTask {
+  compiler::PolicySpec spec;
+  std::map<std::string, flowspace::FlowTable> tables;
+  ChurnSpec churn;
+};
+
+struct FleetSpec {
+  size_t n_switches = 8;
+  size_t n_shards = 2;   // compile shards; switch i belongs to shard i % K
+  size_t n_threads = 1;  // dispatch workers (compile + session pumping)
+
+  // Default workload (used when make_task is unset): per-switch
+  // monitor ∥ router composition churned on the monitor leaf with bursty,
+  // locality-heavy updates. Fully determined by (seed, switch index).
+  size_t updates_per_switch = 32;  // churn epochs; each a burst when enabled
+  size_t initial_monitor = 24;     // initial monitor-leaf rules
+  size_t initial_router = 16;      // initial router-leaf rules
+  BurstSpec burst{.enabled = true};
+  uint64_t seed = 1;
+
+  /// Overrides the default workload; called once per switch at init (cheap:
+  /// table generation only, compilation happens on the shards). Runs inside
+  /// the switch's private rule-id namespace.
+  std::function<SwitchTask(size_t sw)> make_task;
+
+  // Session / wire parameters (same meaning as RuntimeConfig).
+  size_t window = 8;
+  double retry_timeout_ms = 25.0;
+  proto::ChannelModel channel;
+  FaultSpec faults;  // default: clean wire (throughput mode)
+  uint64_t fault_seed = 1;
+  size_t tcam_capacity = 2048;
+  double deadline_ms = 1e7;
+
+  // Modelled compile cost, advancing the owning shard's virtual clock per
+  // sealed epoch. Strictly positive so per-ring ready times strictly
+  // increase (the horizon rule requires it).
+  double compile_base_ms = 0.05;
+  double compile_per_op_ms = 0.02;
+
+  /// Every audit_stride-th switch keeps its RTDZ delta blobs and replays
+  /// them against the epoch-1 base image when its stream closes; a mismatch
+  /// fails the run. 0 disables the audit.
+  size_t audit_stride = 16;
+};
+
+struct FleetReport {
+  RuntimeReport runtime;  // merged per-session stats (fault counters, hists)
+  size_t switches = 0;
+  size_t shards = 0;
+  size_t threads = 0;
+
+  size_t rule_ops = 0;        // total rule-level updates compiled fleet-wide
+  double makespan_ms = 0.0;   // slowest session's virtual commit time
+  double compile_vt_ms = 0.0; // slowest shard's final virtual compile clock
+  double wall_ms = 0.0;       // real time the run took (diagnostic)
+
+  size_t shard_steps = 0;   // epochs sealed across all shards
+  size_t steals = 0;        // shard steps run by a non-home worker
+  size_t starved_pumps = 0; // session pumps that hit the sealed horizon
+
+  /// Order-independent digest of every switch's final TCAM layout plus its
+  /// deterministic session counters — the value the determinism self-check
+  /// compares across thread counts.
+  uint64_t fleet_fingerprint = 0;
+  /// Digest of every switch's RTDZ delta-hash chain (covers the full
+  /// compile output, sealed epoch by sealed epoch).
+  uint64_t delta_fingerprint = 0;
+
+  size_t replay_audits = 0;  // switches whose delta chain was replayed
+  bool replay_ok = true;     // every audited replay reproduced the final image
+
+  /// Aggregate sustained rule-update throughput in virtual time: every
+  /// compiled rule-level operation, over the slowest switch's commit time.
+  double updates_per_s() const {
+    if (makespan_ms <= 0.0) return 0.0;
+    return static_cast<double>(rule_ops) / (makespan_ms / 1000.0);
+  }
+};
+
+class ShardedController {
+ public:
+  explicit ShardedController(FleetSpec spec) : spec_(std::move(spec)) {}
+
+  /// Compiles, ships and commits the whole fleet; throws on internal errors
+  /// (a failed replay audit sets report.replay_ok instead).
+  FleetReport run();
+
+ private:
+  FleetSpec spec_;
+};
+
+}  // namespace ruletris::runtime

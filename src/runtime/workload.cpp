@@ -1,5 +1,6 @@
 #include "runtime/workload.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -10,69 +11,147 @@
 namespace ruletris::runtime {
 
 using compiler::TableUpdate;
+using compiler::chain_updates;
 using flowspace::Rule;
 using flowspace::RuleId;
+
+namespace {
+
+/// Moves `r`'s dst_ip match into the burst's /bits block: the high `bits`
+/// come from `base`, any deeper prefix bits the rule already had are kept,
+/// and prefixes coarser than the block are deepened to exactly the block —
+/// so the ClassBench length mixture survives below the block boundary.
+Rule localize(Rule r, uint32_t base, uint32_t bits) {
+  const flowspace::FieldTernary& dst = r.match.field(flowspace::FieldId::kDstIp);
+  const uint32_t len = static_cast<uint32_t>(__builtin_popcount(dst.mask));
+  const uint32_t top = 0xffffffffu << (32 - bits);
+  r.match.set_prefix(flowspace::FieldId::kDstIp,
+                     (base & top) | (dst.value & ~top), std::max(len, bits));
+  return r;
+}
+
+}  // namespace
+
+ChurnEngine::ChurnEngine(const compiler::PolicySpec& spec,
+                         std::map<std::string, flowspace::FlowTable> tables,
+                         const ChurnSpec& churn)
+    : churn_(churn),
+      leaf_(churn.leaf.empty() ? spec.leaf_names().front() : churn.leaf),
+      rng_(churn.seed) {
+  auto leaf_it = tables.find(leaf_);
+  if (leaf_it == tables.end()) {
+    throw std::runtime_error("churn leaf has no table: " + leaf_);
+  }
+  // Member rules currently live in the churned leaf (delete/modify victims).
+  for (const Rule& r : leaf_it->second.rules()) live_.push_back(r.id);
+  if (!churn_.make_rule) {
+    churn_.make_rule = [](util::Rng& r) {
+      return classbench::random_monitor_rule(100, r);
+    };
+  }
+  frontend_ = std::make_unique<compiler::RuleTrisCompiler>(spec, std::move(tables));
+  peak_visible_ = frontend_->root().visible_size();
+}
+
+ChurnEngine::~ChurnEngine() = default;
+
+std::vector<Rule> ChurnEngine::current_rules() const {
+  return frontend_->root().visible_rules_in_order();
+}
+
+ChurnEngine::Step ChurnEngine::step() {
+  if (done()) throw std::runtime_error("ChurnEngine: step past the last epoch");
+  Step out;
+  if (produced_ == 0) {
+    // Epoch 1: install the initial composed table and its minimum DAG.
+    TableUpdate initial;
+    initial.added = frontend_->root().visible_rules_in_order();
+    for (const Rule& r : initial.added) initial.dag.added_vertices.push_back(r.id);
+    initial.dag.added_edges = frontend_->root().visible_graph().edges();
+    out.ops = initial.added.size();
+    out.batch = switchsim::to_messages(initial);
+    ++produced_;
+    return out;
+  }
+
+  const BurstSpec& burst = churn_.burst;
+  TableUpdate update;
+  if (!burst.enabled) {
+    // Classic one-op epochs. This branch's RNG draw sequence is frozen:
+    // every pre-burst workload must replay byte-identically.
+    const double op = rng_.next_double();
+    if (op < churn_.insert_p || live_.empty()) {
+      const Rule fresh = churn_.make_rule(rng_);
+      update = frontend_->insert(leaf_, fresh);
+      live_.push_back(fresh.id);
+      out.ops = 1;
+    } else if (op < churn_.insert_p + churn_.delete_p) {
+      const size_t victim = rng_.next_below(live_.size());
+      update = frontend_->remove(leaf_, live_[victim]);
+      live_[victim] = live_.back();
+      live_.pop_back();
+      out.ops = 1;
+    } else {
+      const size_t victim = rng_.next_below(live_.size());
+      const Rule fresh = churn_.make_rule(rng_);
+      update = frontend_->modify(leaf_, live_[victim], fresh);
+      live_[victim] = fresh.id;
+      out.ops = 2;  // modify = delete + insert
+    }
+  } else {
+    // One geometric-length burst, compiled op by op and chained into a
+    // single barrier-fenced epoch.
+    size_t len = 1;
+    while (len < std::max<size_t>(burst.max_burst, 1) &&
+           rng_.next_bool(burst.continue_p)) {
+      ++len;
+    }
+    const bool teardown =
+        rng_.next_bool(burst.delete_burst_p) && live_.size() >= len;
+    if (teardown) {
+      // Correlated teardown: the newest live rules go first (LIFO), which
+      // concentrates the burst in recently-installed address blocks.
+      for (size_t i = 0; i < len; ++i) {
+        const RuleId victim = live_.back();
+        live_.pop_back();
+        TableUpdate one = frontend_->remove(leaf_, victim);
+        update = out.ops == 0 ? std::move(one) : chain_updates(update, one);
+        ++out.ops;
+      }
+    } else {
+      const uint32_t bits = std::clamp<uint32_t>(burst.locality_bits, 1, 32);
+      const uint32_t base = rng_.next_u32();
+      for (size_t i = 0; i < len; ++i) {
+        const Rule fresh = localize(churn_.make_rule(rng_), base, bits);
+        TableUpdate one = frontend_->insert(leaf_, fresh);
+        live_.push_back(fresh.id);
+        update = out.ops == 0 ? std::move(one) : chain_updates(update, one);
+        ++out.ops;
+      }
+    }
+  }
+  // Empty updates still become (cheap) epochs: the agent must tolerate
+  // batches that only carry a DAG no-op and a barrier.
+  out.batch = switchsim::to_messages(update);
+  ++produced_;
+  peak_visible_ = std::max(peak_visible_, frontend_->root().visible_size());
+  return out;
+}
 
 CompiledWorkload compile_churn_workload(
     const compiler::PolicySpec& spec,
     std::map<std::string, flowspace::FlowTable> tables, const ChurnSpec& churn) {
-  const std::string leaf =
-      churn.leaf.empty() ? spec.leaf_names().front() : churn.leaf;
-  auto leaf_it = tables.find(leaf);
-  if (leaf_it == tables.end()) {
-    throw std::runtime_error("churn leaf has no table: " + leaf);
-  }
-
-  // Member rules currently live in the churned leaf (delete/modify victims).
-  std::vector<RuleId> live;
-  for (const Rule& r : leaf_it->second.rules()) live.push_back(r.id);
-
-  auto make_rule = churn.make_rule;
-  if (!make_rule) {
-    make_rule = [](util::Rng& r) { return classbench::random_monitor_rule(100, r); };
-  }
-
-  compiler::RuleTrisCompiler frontend(spec, std::move(tables));
-
+  ChurnEngine engine(spec, std::move(tables), churn);
   CompiledWorkload workload;
-  workload.peak_visible = frontend.root().visible_size();
-
-  // Epoch 1: install the initial composed table and its minimum DAG.
-  TableUpdate initial;
-  initial.added = frontend.root().visible_rules_in_order();
-  for (const Rule& r : initial.added) initial.dag.added_vertices.push_back(r.id);
-  initial.dag.added_edges = frontend.root().visible_graph().edges();
-  workload.epochs.push_back(switchsim::to_messages(initial));
-  if (churn.observer) churn.observer(workload.epochs.size(), frontend);
-
-  util::Rng rng(churn.seed);
-  for (size_t u = 0; u < churn.updates; ++u) {
-    const double op = rng.next_double();
-    TableUpdate update;
-    if (op < churn.insert_p || live.empty()) {
-      const Rule fresh = make_rule(rng);
-      update = frontend.insert(leaf, fresh);
-      live.push_back(fresh.id);
-    } else if (op < churn.insert_p + churn.delete_p) {
-      const size_t victim = rng.next_below(live.size());
-      update = frontend.remove(leaf, live[victim]);
-      live[victim] = live.back();
-      live.pop_back();
-    } else {
-      const size_t victim = rng.next_below(live.size());
-      const Rule fresh = make_rule(rng);
-      update = frontend.modify(leaf, live[victim], fresh);
-      live[victim] = fresh.id;
-    }
-    // Empty updates still become (cheap) epochs: the agent must tolerate
-    // batches that only carry a DAG no-op and a barrier.
-    workload.epochs.push_back(switchsim::to_messages(update));
-    if (churn.observer) churn.observer(workload.epochs.size(), frontend);
-    workload.peak_visible =
-        std::max(workload.peak_visible, frontend.root().visible_size());
+  while (!engine.done()) {
+    ChurnEngine::Step step = engine.step();
+    workload.epochs.push_back(std::move(step.batch));
+    workload.epoch_ops.push_back(step.ops);
+    workload.rule_ops += step.ops;
+    if (churn.observer) churn.observer(workload.epochs.size(), engine.frontend());
   }
-
-  workload.final_rules = frontend.root().visible_rules_in_order();
+  workload.peak_visible = engine.peak_visible();
+  workload.final_rules = engine.current_rules();
   return workload;
 }
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the checked-in BENCH_*.json baselines.
+
+Compares a freshly generated bench report against a committed baseline:
+rows are matched on a key tuple (default: switches/shards/threads, the
+fleet harness geometry), numeric fields must agree within a relative
+tolerance, and string fields (fingerprints) must match exactly. Fields
+that depend on the host rather than the modelled system — wall clock,
+steal counts, scheduling diagnostics — are ignored.
+
+The fleet numbers are virtual-time deterministic, so the default
+tolerance only absorbs float printing (%.6g) noise; pass --tolerance to
+loosen the gate for wall-clock benches.
+
+    tools/bench_gate.py BASELINE FRESH [--key k1,k2,...]
+                        [--tolerance 0.02] [--ignore f1,f2,...]
+
+Exit status: 0 = within tolerance, 1 = drift or structural mismatch,
+2 = usage/IO error. Baseline rows missing from the fresh report are
+fine (smoke runs sweep a subset of the committed full sweep); fresh
+rows missing from the baseline fail — they mean the sweep changed and
+the baseline must be regenerated and committed alongside.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_KEY = ("switches", "shards", "threads")
+DEFAULT_IGNORE = ("wall_ms", "steals", "starved_pumps")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def row_key(row, key_fields, path):
+    try:
+        return tuple(row[k] for k in key_fields)
+    except KeyError as e:
+        print(f"bench_gate: {path}: row missing key field {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_*.json")
+    ap.add_argument("fresh", help="just-generated report to validate")
+    ap.add_argument("--key", default=",".join(DEFAULT_KEY),
+                    help="comma-separated row-identity fields")
+    ap.add_argument("--tolerance", type=float, default=0.02,
+                    help="max relative drift for numeric fields")
+    ap.add_argument("--ignore", default=",".join(DEFAULT_IGNORE),
+                    help="comma-separated fields excluded from comparison")
+    args = ap.parse_args()
+
+    key_fields = tuple(k for k in args.key.split(",") if k)
+    ignored = set(f for f in args.ignore.split(",") if f)
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+
+    if base.get("benchmark") != fresh.get("benchmark"):
+        failures.append(f"benchmark name differs: {base.get('benchmark')!r} "
+                        f"vs {fresh.get('benchmark')!r}")
+    if base.get("schema_version") != fresh.get("schema_version"):
+        failures.append(f"schema_version differs: {base.get('schema_version')}"
+                        f" vs {fresh.get('schema_version')}")
+    prov = fresh.get("provenance")
+    if not isinstance(prov, dict) or "git_sha" not in prov:
+        failures.append("fresh report lacks a provenance object with git_sha")
+
+    base_rows = {row_key(r, key_fields, args.baseline): r
+                 for r in base.get("rows", [])}
+    fresh_rows = fresh.get("rows", [])
+    if not fresh_rows:
+        failures.append("fresh report has no rows")
+
+    compared = 0
+    for row in fresh_rows:
+        key = row_key(row, key_fields, args.fresh)
+        tag = "/".join(f"{k}={v:g}" if isinstance(v, (int, float)) else
+                       f"{k}={v}" for k, v in zip(key_fields, key))
+        ref = base_rows.get(key)
+        if ref is None:
+            failures.append(f"[{tag}] not in baseline — sweep changed; "
+                            f"regenerate and commit {args.baseline}")
+            continue
+        for field in sorted(set(ref) & set(row)):
+            if field in ignored or field in key_fields:
+                continue
+            want, got = ref[field], row[field]
+            if isinstance(want, (int, float)) and isinstance(got, (int, float)):
+                scale = max(abs(want), abs(got))
+                drift = abs(got - want) / scale if scale > 0 else 0.0
+                if drift > args.tolerance:
+                    failures.append(
+                        f"[{tag}] {field}: {want:g} -> {got:g} "
+                        f"({drift:+.1%} > {args.tolerance:.1%})")
+            elif want != got:
+                failures.append(f"[{tag}] {field}: {want!r} -> {got!r}")
+        missing = set(ref) - set(row) - ignored
+        if missing:
+            failures.append(f"[{tag}] fields dropped: {sorted(missing)}")
+        compared += 1
+
+    if failures:
+        print(f"bench_gate: {args.fresh} vs {args.baseline}: "
+              f"{len(failures)} failure(s)")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    sha = prov.get("git_sha", "?") if isinstance(prov, dict) else "?"
+    print(f"bench_gate: {compared} row(s) within {args.tolerance:.1%} of "
+          f"{args.baseline} (fresh build {sha})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

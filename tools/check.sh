@@ -42,11 +42,24 @@ done
 first_tree="${CHECK_TREES%% *}"
 bench_dir="$ROOT/build-check-$first_tree/bench"
 echo "=== smoke benches ($first_tree tree)"
-for bench in composition_scaling dag_extraction netplan recovery_latency \
-             runtime_scaling tcam_scheduler traffic_engine warm_boot; do
+for bench in composition_scaling dag_extraction fleet_throughput netplan \
+             recovery_latency runtime_scaling tcam_scheduler traffic_engine \
+             warm_boot; do
   echo "--- $bench --smoke"
   "$bench_dir/$bench" --smoke > /dev/null \
     || { echo "SMOKE FAILED: $bench"; exit 1; }
 done
+
+# Perf gate: the fleet harness is virtual-time deterministic, so a smoke
+# sweep must reproduce the committed baseline rows (same geometry cells)
+# within float-printing noise. Drift means the modelled system changed —
+# regenerate BENCH_fleet.json with `fleet_throughput --json` and commit it
+# with the change that moved the numbers.
+echo "=== fleet perf gate (smoke sweep vs committed BENCH_fleet.json)"
+fleet_fresh="$ROOT/build-check-$first_tree/BENCH_fleet.smoke.json"
+"$bench_dir/fleet_throughput" --smoke --json "$fleet_fresh" > /dev/null \
+  || { echo "SMOKE FAILED: fleet_throughput (gate run)"; exit 1; }
+python3 "$ROOT/tools/bench_gate.py" "$ROOT/BENCH_fleet.json" "$fleet_fresh" \
+  || { echo "PERF GATE FAILED: fleet_throughput drifted from baseline"; exit 1; }
 
 echo "=== all checks passed (trees: $CHECK_TREES)"

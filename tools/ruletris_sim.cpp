@@ -42,6 +42,7 @@
 #include "netplan/topology.h"
 #include "runtime/config.h"
 #include "runtime/controller.h"
+#include "runtime/sharded_controller.h"
 #include "runtime/warm_boot.h"
 #include "runtime/workload.h"
 #include "switchsim/adapters.h"
@@ -104,6 +105,13 @@ struct Options {
   std::optional<uint64_t> fault_seed;     // --fault-seed: enables chaos mix
   std::optional<double> crash_p;          // --crash-p: firmware crash per journaled op
   std::optional<double> corrupt_p;        // --corrupt-p: per-frame bit flip
+
+  // Sharded fleet mode (--fleet): K compile shards churn N switches'
+  // policies and publish sealed epochs lock-free to M dispatch threads.
+  // Needs no --policy/--table: the fleet builds its own per-switch
+  // mon ∥ rtr workload from --seed.
+  bool fleet = false;
+  size_t shards = 2;                      // --shards (compile shards)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -122,6 +130,7 @@ struct Options {
                "          [--threads N]\n"
                "          [--netplan] [--topology SPEC]\n"
                "          [--planner rounds|two-phase|auto|oneshot]\n"
+               "          [--fleet] [--switches N] [--shards K] [--threads T]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
                "          gen:nat:N | file:PATH\n"
                "  --runtime replicates the compiled update stream to N\n"
@@ -148,6 +157,14 @@ struct Options {
                "  on any mixed-version observation. --planner picks the\n"
                "  discipline; oneshot is the inconsistent baseline the\n"
                "  auditor is expected to catch.\n"
+               "  --fleet runs the sharded compile pipeline: K compile\n"
+               "  shards churn N switches' policies (bursty locality-heavy\n"
+               "  updates, --updates per switch) and publish sealed epochs\n"
+               "  lock-free to T dispatch threads pumping the sessions. No\n"
+               "  --policy/--table needed. The run repeats single-threaded\n"
+               "  and exits non-zero if any fingerprint differs (cross-\n"
+               "  thread determinism violation), a session fails to\n"
+               "  converge, or an RTDZ delta replay audit fails.\n"
                "  --traffic replaces the update stream with a Zipf-skewed\n"
                "  flow workload (N concurrent flows, skew A, flow expiry\n"
                "  rate R per packet) against a CacheFlow'd TCAM backed by\n"
@@ -211,6 +228,10 @@ Options parse_args(int argc, char** argv) {
       opt.crash_p = std::stod(need_value(i));
     } else if (arg == "--corrupt-p") {
       opt.corrupt_p = std::stod(need_value(i));
+    } else if (arg == "--fleet") {
+      opt.fleet = true;
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<size_t>(std::stoul(need_value(i)));
     } else if (arg == "--netplan") {
       opt.netplan = true;
     } else if (arg == "--topology") {
@@ -236,7 +257,8 @@ Options parse_args(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (opt.thaw_in.empty() && (opt.policy.empty() || opt.tables.empty())) {
+  if (opt.thaw_in.empty() && !opt.fleet &&
+      (opt.policy.empty() || opt.tables.empty())) {
     usage(argv[0]);
   }
   return opt;
@@ -341,6 +363,84 @@ int main(int argc, char** argv) {
         bench::write_json();
       }
       return sched.layout_valid() ? 0 : 1;
+    }
+
+    if (opt.fleet) {
+      // Sharded fleet: self-contained workload, so no --policy/--table.
+      // Run at the requested thread count, then repeat single-threaded and
+      // require bit-identical fingerprints — the CLI doubles as the
+      // determinism gate CI can call directly.
+      runtime::FleetSpec fspec;
+      fspec.n_switches = opt.switches;
+      fspec.n_shards = opt.shards;
+      fspec.n_threads = opt.threads;
+      fspec.updates_per_switch = opt.updates;
+      fspec.seed = opt.seed;
+      fspec.window = opt.window;
+      if (opt.fault_seed) {
+        fspec.faults = runtime::FaultSpec::chaos();
+        fspec.fault_seed = *opt.fault_seed;
+      }
+      if (opt.crash_p) fspec.faults.crash_p = *opt.crash_p;
+      if (opt.corrupt_p) fspec.faults.corrupt_p = *opt.corrupt_p;
+      if (opt.capacity) fspec.tcam_capacity = *opt.capacity;
+
+      std::printf("fleet: %zu switches / %zu shards / %zu threads, "
+                  "%zu bursty updates per switch\n",
+                  fspec.n_switches, fspec.n_shards, fspec.n_threads,
+                  opt.updates);
+      const runtime::FleetReport report =
+          runtime::ShardedController(fspec).run();
+
+      bool deterministic = true;
+      if (fspec.n_threads > 1) {
+        runtime::FleetSpec serial = fspec;
+        serial.n_threads = 1;
+        const runtime::FleetReport ref =
+            runtime::ShardedController(serial).run();
+        deterministic = ref.fleet_fingerprint == report.fleet_fingerprint &&
+                        ref.delta_fingerprint == report.delta_fingerprint;
+      }
+
+      std::printf("  %.0f updates/s sustained (%zu rule ops, makespan "
+                  "%.1f ms, compile %.1f ms)\n",
+                  report.updates_per_s(), report.rule_ops,
+                  report.makespan_ms, report.compile_vt_ms);
+      std::printf("  ack p50/p99 %.2f/%.2f ms | %zu sealed epochs | "
+                  "%zu steals | wall %.0f ms\n",
+                  report.runtime.ack_ms.median(), report.runtime.ack_ms.p99(),
+                  report.shard_steps, report.steals, report.wall_ms);
+      std::printf("  converged %s | replay audits %zu/%s | "
+                  "cross-thread determinism %s\n",
+                  report.runtime.all_converged ? "yes" : "NO",
+                  report.replay_audits, report.replay_ok ? "ok" : "FAILED",
+                  deterministic ? "ok" : "VIOLATED");
+      if (auto* j = bench::json()) {
+        j->meta("mode", "fleet");
+        j->begin_row();
+        j->field("switches", static_cast<double>(report.switches));
+        j->field("shards", static_cast<double>(report.shards));
+        j->field("threads", static_cast<double>(report.threads));
+        j->field("rule_ops", static_cast<double>(report.rule_ops));
+        j->field("updates_per_s", report.updates_per_s());
+        j->field("makespan_ms", report.makespan_ms);
+        j->field("compile_vt_ms", report.compile_vt_ms);
+        j->field("ack_p50_ms", report.runtime.ack_ms.median());
+        j->field("ack_p99_ms", report.runtime.ack_ms.p99());
+        j->field("fleet_fingerprint",
+                 util::strfmt("%016llx", static_cast<unsigned long long>(
+                                             report.fleet_fingerprint)));
+        j->field("delta_fingerprint",
+                 util::strfmt("%016llx", static_cast<unsigned long long>(
+                                             report.delta_fingerprint)));
+        j->field("converged", report.runtime.all_converged ? 1.0 : 0.0);
+        j->field("replay_ok", report.replay_ok ? 1.0 : 0.0);
+        j->field("deterministic", deterministic ? 1.0 : 0.0);
+        j->field("wall_ms", report.wall_ms);
+        bench::write_json();
+      }
+      return (report.runtime.all_converged && report.replay_ok &&
+              deterministic) ? 0 : 1;
     }
 
     const PolicySpec spec = compiler::parse_policy(opt.policy);
