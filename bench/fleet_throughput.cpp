@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
     spec.updates_per_switch = kUpdates;
     spec.seed = 42;
     spec.fault_seed = 7;
-    spec.window = 8;
+    spec.knobs.window = 8;
 
     runtime::ShardedController controller(spec);
     const runtime::FleetReport report = controller.run();

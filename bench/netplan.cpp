@@ -169,8 +169,8 @@ StrategyResult run_strategy(const Topology& topo, const NetworkPolicy& oldp,
       netplan::materialize(topo, result.plan);
   for (uint64_t fault_seed : opt.fault_seeds) {
     netplan::FleetConfig fc;
-    fc.runtime.faults = FaultSpec::crashy();
-    fc.runtime.faults.crash_p = 0.02;
+    fc.runtime.knobs.faults = FaultSpec::crashy();
+    fc.runtime.knobs.faults.crash_p = 0.02;
     fc.runtime.fault_seed = fault_seed;
     fc.runtime.n_threads = opt.threads;
     fc.runtime.tcam_capacity = result.plan.peak_switch_rules + 32;

@@ -304,9 +304,9 @@ int main(int argc, char** argv) {
   for (const double crash_p : crash_rates) {
     runtime::RuntimeConfig cfg;
     cfg.n_switches = smoke ? 4 : 8;
-    cfg.window = 4;
+    cfg.knobs.window = 4;
     cfg.n_threads = threads;
-    cfg.faults.crash_p = crash_p;
+    cfg.knobs.faults.crash_p = crash_p;
     cfg.fault_seed = 13;
     cfg.tcam_capacity = capacity;
     runtime::Controller controller(cfg);

@@ -102,9 +102,9 @@ int main(int argc, char** argv) {
     for (const size_t window : windows) {
       runtime::RuntimeConfig cfg;
       cfg.n_switches = n_switches;
-      cfg.window = window;
+      cfg.knobs.window = window;
       cfg.n_threads = threads;
-      cfg.faults = faults;
+      cfg.knobs.faults = faults;
       cfg.fault_seed = 7;
       cfg.tcam_capacity = workload.suggested_capacity();
 

@@ -35,16 +35,12 @@ FleetController::FleetController(const std::vector<SwitchScript>& scripts,
   }
   for (size_t i = 0; i < n; ++i) {
     SessionConfig sc;
-    sc.window = cfg_.runtime.window;
-    sc.retry_timeout_ms = cfg_.runtime.retry_timeout_ms;
-    sc.channel = cfg_.runtime.channel;
-    sc.faults = cfg_.runtime.faults;
+    sc.knobs = cfg_.runtime.knobs;
     sc.seed = util::hash_pair(cfg_.runtime.fault_seed, i + 1);
     const size_t expected_n = expected_[i].size();
     sc.tcam_capacity = cfg_.runtime.tcam_capacity != 0
                            ? cfg_.runtime.tcam_capacity
                            : expected_n + expected_n / 8 + 128;
-    sc.deadline_ms = cfg_.runtime.deadline_ms;
     sessions_.push_back(std::make_unique<SwitchSession>(sc, *logs_[i]));
   }
 }

@@ -47,12 +47,19 @@ RuntimeReport merge_session_stats(std::vector<SessionStats> results) {
     report.rolled_back += s.rolled_back;
     report.entry_writes += s.entry_writes;
     report.moves += s.moves;
+    report.quarantines += s.quarantines;
+    report.readmissions += s.readmissions;
+    report.probe_sends += s.probe_sends;
+    report.blackout_drops += s.blackout_drops;
+    report.readmit_failures += s.readmit_failures;
+    report.rejoin_audit_violations += s.rejoin_audit_violations;
     report.makespan_ms = std::max(report.makespan_ms, s.makespan_ms);
     report.all_converged = report.all_converged && s.converged;
     report.ack_ms.merge(s.ack_ms);
     report.channel_ms.merge(s.channel_ms);
     report.firmware_ms.merge(s.firmware_ms);
     report.tcam_ms.merge(s.tcam_ms);
+    report.rejoin_ms.merge(s.rejoin_ms);
   }
   return report;
 }
@@ -77,10 +84,7 @@ RuntimeReport Controller::run_fleet(const std::vector<SwitchWorkload>& fleet) {
 
   auto session_config = [&](size_t i) {
     SessionConfig sc;
-    sc.window = cfg_.window;
-    sc.retry_timeout_ms = cfg_.retry_timeout_ms;
-    sc.channel = cfg_.channel;
-    sc.faults = cfg_.faults;
+    sc.knobs = cfg_.knobs;
     // Independent per-session stream: the fault behaviour of switch i never
     // depends on how many switches run or on scheduling.
     sc.seed = util::hash_pair(cfg_.fault_seed, i + 1);
@@ -88,7 +92,6 @@ RuntimeReport Controller::run_fleet(const std::vector<SwitchWorkload>& fleet) {
     sc.tcam_capacity = cfg_.tcam_capacity != 0
                            ? cfg_.tcam_capacity
                            : expected_n + expected_n / 8 + 128;
-    sc.deadline_ms = cfg_.deadline_ms;
     return sc;
   };
 

@@ -60,12 +60,19 @@ struct RuntimeReport {
   size_t rolled_back = 0;       // updates undone with ApplyStatus::kRolledBack
   size_t entry_writes = 0;   // fleet-wide TCAM writes actually performed
   size_t moves = 0;          // relocation subset (the DAG-schedule cost)
+  size_t quarantines = 0;       // sessions benched after silent escalation
+  size_t readmissions = 0;      // quarantined sessions brought back
+  size_t probe_sends = 0;       // liveness probes sent while quarantined
+  size_t blackout_drops = 0;    // frames lost to agent blackout windows
+  size_t readmit_failures = 0;  // failed warm-boot catch-up verifications
+  size_t rejoin_audit_violations = 0;  // structural audits failed on rejoin
   double makespan_ms = 0.0;  // max session makespan (virtual)
   bool all_converged = true;
   util::Histogram ack_ms;
   util::Histogram channel_ms;
   util::Histogram firmware_ms;
   util::Histogram tcam_ms;
+  util::Histogram rejoin_ms;  // quarantine entry -> re-admission (virtual)
 
   /// Sum of per-session log lengths (== sessions * epochs when every switch
   /// replays the same log; per-switch logs may differ in length).

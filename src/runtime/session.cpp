@@ -13,16 +13,20 @@ SwitchSession::SwitchSession(const SessionConfig& config,
     : cfg_(config),
       owned_source_(std::make_unique<VectorEpochSource>(epochs)),
       source_(owned_source_.get()),
-      wire_(config.channel, config.faults, util::mix64(config.seed ^ 0x71c3)),
+      wire_(config.knobs.channel, config.knobs.faults,
+            util::mix64(config.seed ^ 0x71c3)),
       // A separate restart stream: restart times must not shift when the
       // frame count changes (different window sizes, retransmit patterns).
       restart_rng_(util::mix64(config.seed ^ 0x7e57a27)),
+      // Backoff jitter has its own stream too: escalated retries must not
+      // perturb restart or wire draws (and vice versa).
+      backoff_rng_(util::mix64(config.seed ^ 0xbacc0ff5)),
       // The crash stream is separate again: one Bernoulli per journaled
       // firmware op, a pure function of the session seed and the op
       // sequence, independent of wire traffic.
-      agent_(config.tcam_capacity, config.channel, config.faults.crash_p,
-             util::mix64(config.seed ^ 0xc4a54)) {
-  if (cfg_.window == 0) cfg_.window = 1;
+      agent_(config.tcam_capacity, config.knobs.channel,
+             config.knobs.faults.crash_p, util::mix64(config.seed ^ 0xc4a54)) {
+  if (cfg_.knobs.window == 0) cfg_.knobs.window = 1;
   first_send_ms_.assign(source_->available() + 1, -1.0);
   stats_.epochs = source_->available();
 }
@@ -30,11 +34,13 @@ SwitchSession::SwitchSession(const SessionConfig& config,
 SwitchSession::SwitchSession(const SessionConfig& config, const EpochSource& source)
     : cfg_(config),
       source_(&source),
-      wire_(config.channel, config.faults, util::mix64(config.seed ^ 0x71c3)),
+      wire_(config.knobs.channel, config.knobs.faults,
+            util::mix64(config.seed ^ 0x71c3)),
       restart_rng_(util::mix64(config.seed ^ 0x7e57a27)),
-      agent_(config.tcam_capacity, config.channel, config.faults.crash_p,
-             util::mix64(config.seed ^ 0xc4a54)) {
-  if (cfg_.window == 0) cfg_.window = 1;
+      backoff_rng_(util::mix64(config.seed ^ 0xbacc0ff5)),
+      agent_(config.tcam_capacity, config.knobs.channel,
+             config.knobs.faults.crash_p, util::mix64(config.seed ^ 0xc4a54)) {
+  if (cfg_.knobs.window == 0) cfg_.knobs.window = 1;
   first_send_ms_.assign(source_->available() + 1, -1.0);
   stats_.epochs = source_->available();
 }
@@ -42,7 +48,7 @@ SwitchSession::SwitchSession(const SessionConfig& config, const EpochSource& sou
 SessionStats SwitchSession::run(const std::vector<flowspace::Rule>& expected) {
   start();
   while (!done_ && events_.run_next()) {
-    if (events_.now() > cfg_.deadline_ms) break;  // safety net, not control
+    if (events_.now() > cfg_.knobs.deadline_ms) break;  // safety net, not control
   }
   return finalize(expected);
 }
@@ -67,7 +73,7 @@ void SwitchSession::set_send_limit(uint64_t max_epoch) {
 bool SwitchSession::run_until_committed(uint64_t epoch) {
   while (!done_ && base_ <= epoch) {
     if (!events_.run_next()) return false;        // stalled: nothing queued
-    if (events_.now() > cfg_.deadline_ms) return false;
+    if (events_.now() > cfg_.knobs.deadline_ms) return false;
   }
   return done_ || base_ > epoch;
 }
@@ -78,6 +84,7 @@ SessionStats SwitchSession::finalize(const std::vector<flowspace::Rule>& expecte
   stats_.wire = wire_.counters();
   stats_.restarts = agent_.restarts();
   stats_.duplicates = agent_.duplicates();
+  stats_.quarantined_end = quarantined_;
   verify(expected);
   return stats_;
 }
@@ -87,8 +94,9 @@ uint64_t SwitchSession::highest_sendable() const {
 }
 
 void SwitchSession::send_window() {
+  if (quarantined_) return;  // probes own the wire until re-admission
   const uint64_t highest = highest_sendable();
-  while (next_to_send_ <= highest && next_to_send_ < base_ + cfg_.window) {
+  while (next_to_send_ <= highest && next_to_send_ < base_ + cfg_.knobs.window) {
     // A sealed-but-not-yet-virtually-ready epoch stays gated here; the
     // pump_published() loop sends it once the clock reaches its ready time.
     // Complete vector logs have ready 0, so this never gates the classic
@@ -162,6 +170,11 @@ void SwitchSession::on_data_delivered(
     const std::shared_ptr<const proto::Bytes>& payload) {
   if (done_) return;
   const double now = events_.now();
+  if (agent_dark(now)) {
+    // The agent's box is dark: the frame is gone, no NACK, no ack.
+    ++stats_.blackout_drops;
+    return;
+  }
   stats_.channel_ms.add(now - send_ms);
   handle_ingest(epoch, agent_.on_data(epoch, payload, now));
 }
@@ -211,6 +224,9 @@ void SwitchSession::on_crash(double crash_ms) {
 void SwitchSession::on_recovered() {
   if (done_) return;
   agent_.power_on(events_.now());
+  // A recovery completing inside a blackout window cannot announce itself;
+  // the quarantine probe (or the next restart) picks the agent up later.
+  if (agent_dark(events_.now())) return;
   // Only after recovery does the resync anchor mean anything: the TCAM now
   // equals a committed prefix of the epoch log.
   send_ack_frame(FrameKind::kResync, agent_.last_applied(), events_.now());
@@ -220,6 +236,9 @@ void SwitchSession::on_ack(uint64_t acked) {
   if (done_) return;
   ++stats_.acks;
   const bool progress = acked >= base_;
+  // A progressing ack reaching a quarantined session is proof of life —
+  // re-admit before the normal bookkeeping resumes the window.
+  if (quarantined_ && progress) readmit(acked);
   advance_base(acked);
   if (done_) return;
   if (progress) {
@@ -229,7 +248,7 @@ void SwitchSession::on_ack(uint64_t acked) {
 }
 
 void SwitchSession::on_nack(uint64_t epoch) {
-  if (done_) return;
+  if (done_ || quarantined_) return;
   // Resend only if the epoch is still in flight; a NACK for a committed
   // epoch is stale (a duplicate of the pristine frame got through first).
   if (epoch >= base_ && epoch < next_to_send_) {
@@ -239,6 +258,8 @@ void SwitchSession::on_nack(uint64_t epoch) {
 
 void SwitchSession::advance_base(uint64_t acked) {
   if (acked < base_) return;  // stale or duplicate ack
+  silent_rounds_ = 0;
+  loss_ewma_ *= 1.0 - cfg_.knobs.retry.loss_alpha;  // progress: decay estimate
   const double now = events_.now();
   for (uint64_t e = base_; e <= acked; ++e) {
     stats_.ack_ms.add(now - first_send_ms_[e]);
@@ -259,9 +280,25 @@ void SwitchSession::maybe_finish() {
   }
 }
 
+double SwitchSession::retry_interval_ms() {
+  const RetryPolicy& rp = cfg_.knobs.retry;
+  // Round 0 always equals the configured timeout — exactly the historical
+  // fixed timer, so fault-free virtual trajectories never move. Only a
+  // *consecutive* silent round escalates.
+  if (!rp.adaptive || silent_rounds_ == 0) return rp.timeout_ms;
+  double t = rp.timeout_ms * (1.0 + rp.loss_gain * loss_ewma_);
+  for (size_t r = 0; r < silent_rounds_ && t < rp.max_timeout_ms; ++r) {
+    t *= rp.backoff;
+  }
+  t = std::min(t, rp.max_timeout_ms);
+  // Seeded jitter desynchronizes the retransmit storms of many sessions
+  // backing off through the same brownout window.
+  return t * (1.0 + rp.jitter * (2.0 * backoff_rng_.next_double() - 1.0));
+}
+
 void SwitchSession::arm_timer() {
   const uint64_t generation = ++timer_generation_;
-  events_.post(events_.now() + cfg_.retry_timeout_ms,
+  events_.post(events_.now() + retry_interval_ms(),
                [this, generation] { on_timer(generation); });
 }
 
@@ -272,6 +309,15 @@ void SwitchSession::on_timer(uint64_t generation) {
     // in-flight window. The agent discards epochs it already applied and
     // re-acks, so over-retransmission only costs wire time.
     ++stats_.timeouts;
+    ++silent_rounds_;
+    // One loss observation per silent round, not per lost frame: the
+    // estimator tracks "is this wire currently swallowing whole windows".
+    const RetryPolicy& rp = cfg_.knobs.retry;
+    loss_ewma_ += rp.loss_alpha * (1.0 - loss_ewma_);
+    if (rp.quarantine_after > 0 && silent_rounds_ >= rp.quarantine_after) {
+      enter_quarantine();
+      return;
+    }
     for (uint64_t e = base_; e < next_to_send_; ++e) {
       send_epoch(e, SendKind::kRetransmit);
     }
@@ -279,10 +325,70 @@ void SwitchSession::on_timer(uint64_t generation) {
   arm_timer();
 }
 
+void SwitchSession::enter_quarantine() {
+  quarantined_ = true;
+  ++stats_.quarantines;
+  quarantine_enter_ms_ = events_.now();
+  ++timer_generation_;  // park the retry timer; probes own liveness now
+  arm_probe();
+}
+
+void SwitchSession::readmit(uint64_t anchor) {
+  quarantined_ = false;
+  ++stats_.readmissions;
+  stats_.rejoin_ms.add(events_.now() - quarantine_enter_ms_);
+  ++probe_generation_;  // cancel the probe loop
+  silent_rounds_ = 0;
+  // Warm-boot catch-up check: the fleet verifies the frozen base image plus
+  // the hash-chained delta blobs that bring the switch to its anchor.
+  if (cfg_.on_readmit && !cfg_.on_readmit(anchor)) ++stats_.readmit_failures;
+  // The TCAM the switch rejoins with must already satisfy every structural
+  // invariant — re-admission may not launder a torn table back in.
+  const tcam::AuditReport audit = tcam::audit_state(
+      agent_.device().tcam(), agent_.device().dag_firmware().graph());
+  if (!audit.clean()) ++stats_.rejoin_audit_violations;
+}
+
+void SwitchSession::arm_probe() {
+  const uint64_t generation = ++probe_generation_;
+  const RetryPolicy& rp = cfg_.knobs.retry;
+  const double gap = rp.probe_interval_ms *
+                     (1.0 + rp.jitter * (2.0 * backoff_rng_.next_double() - 1.0));
+  events_.post(events_.now() + gap, [this, generation] { on_probe(generation); });
+}
+
+void SwitchSession::on_probe(uint64_t generation) {
+  if (done_ || !quarantined_ || generation != probe_generation_) return;
+  ++stats_.probe_sends;
+  // Header-only liveness probe through the same faulty wire as everything
+  // else (it can be dropped, delayed or corrupted like any frame).
+  for (const FaultyWire::Delivery& d :
+       wire_.arrivals(events_.now(), kFrameHeaderBytes)) {
+    if (d.corrupted) continue;
+    events_.post(d.at_ms, [this] { on_probe_delivered(); });
+  }
+  arm_probe();
+}
+
+void SwitchSession::on_probe_delivered() {
+  if (done_ || !quarantined_) return;
+  const double now = events_.now();
+  if (agent_dark(now) || agent_.down()) return;  // still dark; keep probing
+  // The agent answers with its resync anchor; on_resync() re-admits.
+  send_ack_frame(FrameKind::kResync, agent_.last_applied(), now);
+}
+
+bool SwitchSession::agent_dark(double t) const {
+  for (const BlackoutWindow& b : cfg_.blackouts) {
+    if (b.covers(t)) return true;
+  }
+  return false;
+}
+
 void SwitchSession::schedule_restart() {
-  if (cfg_.faults.restart_every_ms <= 0.0) return;
+  if (cfg_.knobs.faults.restart_every_ms <= 0.0) return;
   const double gap =
-      cfg_.faults.restart_every_ms * (0.5 + restart_rng_.next_double());
+      cfg_.knobs.faults.restart_every_ms * (0.5 + restart_rng_.next_double());
   events_.post(events_.now() + gap, [this] { on_restart(); });
 }
 
@@ -296,14 +402,18 @@ void SwitchSession::on_restart() {
   }
   agent_.restart();
   // The restarted agent announces where it stands; frames that were in its
-  // reorder buffer are gone and will be replayed from the log.
-  send_ack_frame(FrameKind::kResync, agent_.last_applied(), events_.now());
+  // reorder buffer are gone and will be replayed from the log. Inside a
+  // blackout window the announcement cannot leave the box.
+  if (!agent_dark(events_.now())) {
+    send_ack_frame(FrameKind::kResync, agent_.last_applied(), events_.now());
+  }
   schedule_restart();
 }
 
 void SwitchSession::on_resync(uint64_t last_applied) {
   if (done_) return;
   ++stats_.resyncs;
+  if (quarantined_) readmit(last_applied);
   // A resync anchored below the committed frontier lost a race: the agent
   // restarted again (or reordering inverted two resyncs) while an earlier
   // replay was still in flight.
@@ -337,7 +447,7 @@ bool SwitchSession::pump_published() {
   for (;;) {
     maybe_finish();
     if (done_) return progress;
-    if (events_.now() > cfg_.deadline_ms) return false;  // safety net
+    if (events_.now() > cfg_.knobs.deadline_ms) return false;  // safety net
     // Read complete() before available(): the source's contract makes a
     // count read after a true completion flag final, so a racing "publish
     // last epoch, then close" can never yield (complete, stale count) here.
@@ -346,8 +456,9 @@ bool SwitchSession::pump_published() {
     const double horizon =
         complete ? kInf : (avail == 0 ? 0.0 : source_->ready_ms(avail));
     double t_send = kInf;
-    if (next_to_send_ <= std::min<uint64_t>(avail, send_limit_) &&
-        next_to_send_ < base_ + cfg_.window) {
+    if (!quarantined_ &&
+        next_to_send_ <= std::min<uint64_t>(avail, send_limit_) &&
+        next_to_send_ < base_ + cfg_.knobs.window) {
       t_send = std::max(events_.now(), source_->ready_ms(next_to_send_));
     }
     const double t_event = events_.next_due();
@@ -375,7 +486,9 @@ void SwitchSession::finish() {
 }
 
 void SwitchSession::verify(const std::vector<flowspace::Rule>& expected) {
-  bool ok = stats_.completed && stats_.apply_failures == 0;
+  bool ok = stats_.completed && stats_.apply_failures == 0 &&
+            stats_.readmit_failures == 0 &&
+            stats_.rejoin_audit_violations == 0;
   // The firmware state auditor checks all three invariants: address-ordered
   // DAG edges, exact expected-set match, no duplicate/orphan slots.
   const tcam::AuditReport audit =

@@ -16,6 +16,11 @@
 //               applied epoch L via a resync frame; the controller treats L
 //               as a cumulative ack and replays (L, next) — the
 //               barrier-anchored resync path
+//   quarantine: after retry.quarantine_after consecutive silent rounds the
+//               session stops retransmitting into the void and probes on a
+//               slow cadence instead; the first resync (or progressing ack)
+//               that makes it back re-admits the switch through the normal
+//               replay machinery, after the warm-boot catch-up check
 //
 // The whole session runs on a private virtual-time EventQueue with a
 // private seeded FaultyWire, so a session's entire life — including every
@@ -113,10 +118,17 @@ struct SessionStats {
   size_t rolled_back = 0;       // updates undone with ApplyStatus::kRolledBack
   size_t entry_writes = 0;      // total TCAM entry writes across applied epochs
   size_t moves = 0;             // relocation subset: what the DAG schedule costs
+  size_t quarantines = 0;       // silent-round escalations that benched the switch
+  size_t readmissions = 0;      // quarantined sessions brought back via resync
+  size_t probe_sends = 0;       // liveness probes sent while quarantined
+  size_t blackout_drops = 0;    // frames that arrived while the agent was dark
+  size_t readmit_failures = 0;  // warm-boot catch-up verifications that failed
+  size_t rejoin_audit_violations = 0;  // structural audits failed on rejoin
   FaultyWire::Counters wire;    // raw wire-level fault counters
   double makespan_ms = 0.0;     // virtual time until every epoch was committed
   bool completed = false;       // log drained before the virtual deadline
   bool converged = false;       // final TCAM == expected rules, layout valid
+  bool quarantined_end = false;  // still quarantined when the run ended
 
   // Latency decomposition, one Histogram per session: lock-free on the hot
   // path, merged by the controller at report time.
@@ -124,6 +136,7 @@ struct SessionStats {
   util::Histogram channel_ms;   // per delivered data frame: send -> arrival
   util::Histogram firmware_ms;  // wall clock (diagnostic, not deterministic)
   util::Histogram tcam_ms;      // modelled entry writes x 0.6 ms
+  util::Histogram rejoin_ms;    // quarantine entry -> re-admission (virtual)
 };
 
 class SwitchSession {
@@ -207,8 +220,15 @@ class SwitchSession {
   void on_nack(uint64_t epoch);
   void on_resync(uint64_t last_applied);
   void advance_base(uint64_t acked);
+  double retry_interval_ms();
   void arm_timer();
   void on_timer(uint64_t generation);
+  void enter_quarantine();
+  void readmit(uint64_t anchor);
+  void arm_probe();
+  void on_probe(uint64_t generation);
+  void on_probe_delivered();
+  bool agent_dark(double t) const;
   void schedule_restart();
   void on_restart();
   void finish();
@@ -220,12 +240,18 @@ class SwitchSession {
   EventQueue events_;
   FaultyWire wire_;
   util::Rng restart_rng_;
+  util::Rng backoff_rng_;  // jitter for escalated retries and probes
   SwitchAgent agent_;
   uint64_t base_ = 1;          // oldest uncommitted epoch
   uint64_t next_to_send_ = 1;  // next epoch to leave the controller
   uint64_t send_limit_ = UINT64_MAX;  // fleet round gate (inclusive)
   std::vector<double> first_send_ms_;  // per epoch, for ack latency
   uint64_t timer_generation_ = 0;
+  size_t silent_rounds_ = 0;   // consecutive retry rounds without ack progress
+  double loss_ewma_ = 0.0;     // per-session loss estimate in [0, 1]
+  bool quarantined_ = false;
+  double quarantine_enter_ms_ = 0.0;
+  uint64_t probe_generation_ = 0;
   bool done_ = false;
   SessionStats stats_;
 };

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -26,26 +28,56 @@ using flowspace::RuleId;
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 uint64_t hash_bytes(const frozen::Bytes& bytes) {
   uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a, mixed at the end
   for (uint8_t b : bytes) h = (h ^ b) * 0x100000001b3ULL;
   return util::mix64(h);
 }
 
-/// EpochSource over a shard's publication ring: acquire loads, no locks.
+/// EpochSource over a shard's publication ring, with failover splicing:
+/// after an adoption the stream continues in a fresh ring owned by the
+/// adopting shard. splice() is called exactly once, before the adopter
+/// publishes anything into the continuation; the release store on cont_
+/// orders primary_count_ for lock-free readers. available() stays monotone:
+/// the primary's sealed count is frozen at the splice point.
 class RingEpochSource final : public EpochSource {
  public:
   explicit RingEpochSource(const frozen::PublishRing<SealedEpoch>& ring)
-      : ring_(ring) {}
-  uint64_t available() const override { return ring_.sealed(); }
-  bool complete() const override { return ring_.closed(); }
-  const EncodedEpoch& at(uint64_t e) const override { return ring_.get(e).wire; }
-  double ready_ms(uint64_t e) const override {
-    return ring_.get(e).ready_vt_ms;
+      : primary_(&ring) {}
+
+  void splice(uint64_t primary_epochs,
+              const frozen::PublishRing<SealedEpoch>* cont) {
+    primary_count_.store(primary_epochs, std::memory_order_relaxed);
+    cont_.store(cont, std::memory_order_release);
   }
 
+  /// Full sealed record (sessions need wire + ready; the re-admission
+  /// verifier needs delta blobs too).
+  const SealedEpoch& rec(uint64_t e) const {
+    const auto* c = cont_.load(std::memory_order_acquire);
+    if (c == nullptr) return primary_->get(e);
+    const uint64_t p = primary_count_.load(std::memory_order_relaxed);
+    return e <= p ? primary_->get(e) : c->get(e - p);
+  }
+
+  uint64_t available() const override {
+    const auto* c = cont_.load(std::memory_order_acquire);
+    if (c == nullptr) return primary_->sealed();
+    return primary_count_.load(std::memory_order_relaxed) + c->sealed();
+  }
+  bool complete() const override {
+    const auto* c = cont_.load(std::memory_order_acquire);
+    return c == nullptr ? primary_->closed() : c->closed();
+  }
+  const EncodedEpoch& at(uint64_t e) const override { return rec(e).wire; }
+  double ready_ms(uint64_t e) const override { return rec(e).ready_vt_ms; }
+
  private:
-  const frozen::PublishRing<SealedEpoch>& ring_;
+  const frozen::PublishRing<SealedEpoch>* primary_;
+  std::atomic<const frozen::PublishRing<SealedEpoch>*> cont_{nullptr};
+  std::atomic<uint64_t> primary_count_{0};
 };
 
 /// One-owner-at-a-time claim for the work-stealing sweep.
@@ -71,7 +103,19 @@ struct SwitchSlot {
   RuleId id_counter = 0;
   SwitchTask task;  // tables consumed when the engine is built
 
-  // Compile side — guarded by the owning CompileShard's lock.
+  // Failover provisions, set at init for switches whose home shard is
+  // scheduled to die: a pristine task copy and the id-counter checkpoint
+  // taken right after task generation, so an adopting shard can rebuild the
+  // compile state with bit-identical rule ids.
+  SwitchTask task_backup;
+  RuleId id_rebuild_base = 0;
+  bool at_risk = false;
+  /// Keep delta blobs in the sealed ring records (failover reconstruction
+  /// or quarantine re-admission needs the bytes, not just the hashes).
+  bool retain_blobs = false;
+
+  // Compile side — guarded by the owning CompileShard's lock; ownership
+  // moves wholesale to the adopting shard on failover.
   std::unique_ptr<ChurnEngine> engine;
   frozen::PolicyImage base_image;  // epoch-1 capture (replay-audit anchor)
   frozen::PolicyImage prev_image;  // previous epoch's capture (diff source)
@@ -82,8 +126,17 @@ struct SwitchSlot {
   size_t rule_ops = 0;
   std::vector<Rule> expected;  // final composed table; written before close()
 
+  // Failover outcome (written by the adopting shard under its lock).
+  bool adopted = false;
+  bool failover_ok = true;
+  size_t failover_epochs = 0;
+  double failover_ms = 0.0;  // kill time -> adoption complete (virtual)
+
   // Handoff: the shard publishes here, the session consumes lock-free.
   std::unique_ptr<frozen::PublishRing<SealedEpoch>> ring;
+  /// Failover continuation ring; the source splices it in at the published
+  /// frontier before the adopter seals anything into it.
+  std::unique_ptr<frozen::PublishRing<SealedEpoch>> cont_ring;
   std::unique_ptr<RingEpochSource> source;
 
   // Session side — guarded by `lock`.
@@ -96,9 +149,19 @@ struct SwitchSlot {
   std::atomic<bool> finished{false};
 };
 
+/// A switch orphaned by a shard kill, queued for adoption. kill_at gates
+/// *when* (on the adopter's virtual clock) the orphan integrates; floor is
+/// the dead shard's clock at death — the adopter clamps up to it so the
+/// continued ready times stay strictly above everything already published.
+struct Orphan {
+  SwitchSlot* slot = nullptr;
+  double kill_at = 0.0;
+  double floor = 0.0;
+};
+
 struct CompileShard {
   size_t index = 0;
-  std::vector<SwitchSlot*> owned;  // fixed round-robin order
+  std::vector<SwitchSlot*> owned;  // fixed round-robin order; grows on adoption
   size_t cursor = 0;
   size_t remaining = 0;  // engines not yet complete
   double vt_ms = 0.0;    // the shard's virtual compile clock
@@ -106,6 +169,13 @@ struct CompileShard {
   std::string error;
   TryLock lock;
   std::atomic<bool> done{false};
+
+  // Chaos state.
+  bool adoptable = false;     // never scheduled to die; may inherit orphans
+  double kill_at_ms = -1.0;   // scheduled kill time; < 0 = none pending
+  bool killed = false;
+  std::mutex adopt_mu;
+  std::vector<Orphan> pending;  // guarded by adopt_mu
 };
 
 struct Fleet {
@@ -114,6 +184,39 @@ struct Fleet {
   std::atomic<size_t> live_sessions{0};
   std::atomic<size_t> steals{0};
   std::atomic<bool> failed{false};
+
+  /// One entry per scheduled kill; resolved once the kill fired or the
+  /// shard escaped by finishing first. The release store happens after the
+  /// orphans are queued, so an adopter that observes resolution sees them.
+  struct KillState {
+    size_t shard = 0;
+    double at_ms = 0.0;
+    std::atomic<bool> resolved{false};
+  };
+  std::vector<std::unique_ptr<KillState>> kills;
+  std::atomic<size_t> shard_kills{0};
+  std::atomic<size_t> kills_escaped{0};
+
+  /// Earliest kill time not yet resolved — the compile-side horizon no
+  /// adoptable shard may step past (its orphans must integrate exactly
+  /// there for the continued streams to be schedule-independent).
+  double min_unresolved_kill() const {
+    double t = kInf;
+    for (const auto& k : kills) {
+      if (!k->resolved.load(std::memory_order_acquire)) {
+        t = std::min(t, k->at_ms);
+      }
+    }
+    return t;
+  }
+
+  void resolve_kill(size_t shard_index) {
+    for (auto& k : kills) {
+      if (k->shard == shard_index) {
+        k->resolved.store(true, std::memory_order_release);
+      }
+    }
+  }
 };
 
 SwitchTask default_task(const FleetSpec& spec, size_t sw) {
@@ -188,14 +291,14 @@ bool seal_next(CompileShard& shard, const FleetSpec& spec) {
     auto blob = std::make_shared<const frozen::Bytes>(
         frozen::encode_delta(frozen::diff(slot->prev_image, image)));
     sealed.delta_hash = hash_bytes(*blob);
-    if (slot->audited) {
-      sealed.delta = blob;
-      slot->audit_blobs.push_back(std::move(blob));
-    }
+    if (slot->audited || slot->retain_blobs) sealed.delta = blob;
+    if (slot->audited) slot->audit_blobs.push_back(std::move(blob));
   }
   slot->delta_chain = util::hash_pair(slot->delta_chain, sealed.delta_hash);
   slot->prev_image = std::move(image);
 
+  frozen::PublishRing<SealedEpoch>& ring =
+      slot->cont_ring ? *slot->cont_ring : *slot->ring;
   const bool last = slot->engine->done();
   if (last) {
     // Everything the session will read after observing closed() must be in
@@ -203,13 +306,201 @@ bool seal_next(CompileShard& shard, const FleetSpec& spec) {
     slot->expected = slot->engine->current_rules();
     if (slot->audited) slot->audit_passed = replay_audit(*slot);
   }
-  slot->ring->publish(std::make_unique<SealedEpoch>(std::move(sealed)));
+  ring.publish(std::make_unique<SealedEpoch>(std::move(sealed)));
   if (last) {
-    slot->ring->close();
+    ring.close();
     --shard.remaining;
-    if (shard.remaining == 0) shard.done.store(true, std::memory_order_release);
   }
   return true;
+}
+
+/// Fires a scheduled kill: the shard's in-memory compile state is lost and
+/// its unfinished switches queue for adoption, round-robin across the
+/// shards the schedule spares. Caller holds the dead shard's lock.
+void process_kill(CompileShard& dead, Fleet& fleet) {
+  dead.killed = true;
+  fleet.shard_kills.fetch_add(1, std::memory_order_relaxed);
+  std::vector<CompileShard*> survivors;
+  for (const auto& s : fleet.shards) {
+    if (s->adoptable) survivors.push_back(s.get());
+  }
+  size_t rr = 0;
+  for (SwitchSlot* slot : dead.owned) {
+    if (slot->engine && slot->engine->done()) continue;  // already finished
+    // The engine dies with its shard; only the published ring, the pristine
+    // task copy and the id checkpoint survive.
+    slot->engine.reset();
+    Orphan o{slot, dead.kill_at_ms, dead.vt_ms};
+    CompileShard& target = *survivors[rr++ % survivors.size()];
+    std::lock_guard<std::mutex> g(target.adopt_mu);
+    target.pending.push_back(o);
+  }
+  dead.remaining = 0;
+  dead.done.store(true, std::memory_order_release);
+  fleet.resolve_kill(dead.index);  // release: after the orphans are queued
+}
+
+/// Adopts one orphan: verify the published blob chain, rebuild the engine
+/// from the pristine task (ids replay identically), charge the replay to
+/// this shard's clock, splice a fresh continuation ring into the session's
+/// source. Caller holds the adopting shard's lock.
+void adopt_slot(CompileShard& shard, const Orphan& o, const FleetSpec& spec) {
+  SwitchSlot& slot = *o.slot;
+  // Clamp to the dead shard's final clock: every epoch already published is
+  // ready at or below the floor, so the continued ready times stay strictly
+  // increasing on the spliced stream.
+  shard.vt_ms = std::max(shard.vt_ms, o.floor);
+  flowspace::ScopedRuleIdNamespace ns(&slot.id_counter);
+  const uint64_t published = slot.ring->sealed();
+
+  // 1. Reconstruct the authoritative compile state from the hash-chained
+  // RTDZ delta blobs — the shard-handoff currency — verifying every link.
+  bool ok = true;
+  frozen::PolicyImage replayed;
+  if (published >= 1) {
+    replayed = slot.base_image;
+    ok = hash_bytes(frozen::freeze(slot.base_image)) ==
+         slot.ring->get(1).delta_hash;
+    uint64_t chain = util::hash_pair(0, slot.ring->get(1).delta_hash);
+    for (uint64_t e = 2; e <= published && ok; ++e) {
+      const SealedEpoch& rec = slot.ring->get(e);
+      if (!rec.delta || hash_bytes(*rec.delta) != rec.delta_hash) {
+        ok = false;
+        break;
+      }
+      frozen::apply_delta(replayed, frozen::decode_delta(*rec.delta));
+      chain = util::hash_pair(chain, rec.delta_hash);
+    }
+    ok = ok && chain == slot.delta_chain;
+  }
+
+  // 2. Rebuild the engine from the pristine task and re-step it to the
+  // published frontier. The id counter rewinds to its post-task checkpoint,
+  // so inside the switch's namespace the replayed compile allocates exactly
+  // the ids the dead shard allocated.
+  slot.id_counter = slot.id_rebuild_base;
+  SwitchTask task = slot.task_backup;
+  slot.engine = std::make_unique<ChurnEngine>(
+      task.spec, std::move(task.tables), task.churn);
+  double replay_cost = 0.0;
+  for (uint64_t e = 1; e <= published; ++e) {
+    const ChurnEngine::Step step = slot.engine->step();
+    replay_cost += spec.failover_replay_factor *
+                   (spec.compile_base_ms +
+                    spec.compile_per_op_ms * static_cast<double>(step.ops));
+  }
+  slot.failover_epochs += static_cast<size_t>(published);
+  shard.vt_ms += replay_cost;
+
+  // 3. The rebuilt state must equal the blob replay bit for bit — this is
+  // the adopted-stream-equals-never-failed-stream guarantee.
+  if (published >= 1) {
+    frozen::PolicyImage recompiled =
+        frozen::capture_policy(slot.engine->frontend(), published);
+    ok = ok && recompiled == replayed;
+    slot.prev_image = std::move(recompiled);
+  }
+  slot.failover_ok = ok;
+  slot.adopted = true;
+  slot.failover_ms = shard.vt_ms - o.kill_at;
+
+  // 4. Fresh continuation ring, spliced in before anything is sealed into
+  // it; the session keeps consuming without ever noticing the handoff.
+  const uint64_t total = slot.engine->total_epochs();
+  slot.cont_ring =
+      std::make_unique<frozen::PublishRing<SealedEpoch>>(total - published);
+  slot.source->splice(published, slot.cont_ring.get());
+  shard.owned.push_back(&slot);
+  ++shard.remaining;
+}
+
+/// Moves eligible orphans from the pending queue into the shard. An orphan
+/// integrates once its kill is the earliest unresolved-or-resolved event at
+/// or below this shard's clock: kills integrate in kill-time order, each at
+/// the first step boundary where the adopter's clock has reached it (or at
+/// the floor directly when the adopter is idle). Caller holds the shard
+/// lock. Returns true if anything was adopted.
+bool adopt_ready_orphans(CompileShard& shard, Fleet& fleet,
+                         const FleetSpec& spec) {
+  const double min_unresolved = fleet.min_unresolved_kill();
+  std::vector<Orphan> take;
+  {
+    std::lock_guard<std::mutex> g(shard.adopt_mu);
+    for (auto it = shard.pending.begin(); it != shard.pending.end();) {
+      // Never integrate a later kill's orphans while an earlier kill is
+      // still unresolved — processing order must be the kill-time order.
+      const bool in_order = it->kill_at < min_unresolved;
+      const bool due = shard.remaining == 0 || it->kill_at <= shard.vt_ms;
+      if (in_order && due) {
+        take.push_back(*it);
+        it = shard.pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (take.empty()) return false;
+  std::sort(take.begin(), take.end(), [](const Orphan& a, const Orphan& b) {
+    if (a.kill_at != b.kill_at) return a.kill_at < b.kill_at;
+    return a.slot->index < b.slot->index;
+  });
+  for (const Orphan& o : take) adopt_slot(shard, o, spec);
+  return true;
+}
+
+/// Marks the shard done when nothing can ever land on it again. Caller
+/// holds the shard lock.
+void maybe_retire_shard(CompileShard& shard, Fleet& fleet) {
+  if (shard.killed || shard.remaining != 0) return;
+  if (shard.kill_at_ms >= 0.0) return;  // kill pending: stay claimable
+  if (shard.adoptable) {
+    if (fleet.min_unresolved_kill() < kInf) return;  // may inherit orphans
+    std::lock_guard<std::mutex> g(shard.adopt_mu);
+    if (!shard.pending.empty()) return;
+  }
+  shard.done.store(true, std::memory_order_release);
+}
+
+/// One claimed quantum of compile work: fire due kills, integrate due
+/// orphans, seal epochs — never stepping past an unresolved kill time (the
+/// compile-side horizon rule that keeps adoption points schedule-
+/// independent). Caller holds the shard lock.
+bool run_shard_quantum(CompileShard& shard, Fleet& fleet,
+                       const FleetSpec& spec) {
+  constexpr int kQuantum = 8;  // epochs sealed per shard claim
+  bool progress = false;
+  for (int q = 0; q < kQuantum; ++q) {
+    if (!shard.killed && shard.kill_at_ms >= 0.0) {
+      // A kill fires at the first step boundary at or past its virtual
+      // time — a pure function of the shard's own step sequence.
+      if (shard.vt_ms >= shard.kill_at_ms) {
+        process_kill(shard, fleet);
+        return true;
+      }
+      if (shard.remaining == 0) {
+        // Every owned stream sealed before the kill time: the kill misses.
+        fleet.resolve_kill(shard.index);
+        fleet.kills_escaped.fetch_add(1, std::memory_order_relaxed);
+        shard.kill_at_ms = -1.0;
+        progress = true;
+        continue;
+      }
+    }
+    if (shard.adoptable) {
+      if (adopt_ready_orphans(shard, fleet, spec)) {
+        progress = true;
+        continue;
+      }
+      if (shard.remaining > 0 && shard.vt_ms >= fleet.min_unresolved_kill()) {
+        break;  // compile horizon: wall-block until the kill resolves
+      }
+    }
+    if (shard.remaining == 0) break;
+    if (!seal_next(shard, spec)) break;
+    progress = true;
+  }
+  maybe_retire_shard(shard, fleet);
+  return progress;
 }
 
 /// Pumps one session as far as its sealed horizon allows. Caller holds the
@@ -227,7 +518,7 @@ bool pump_slot(SwitchSlot& slot, const FleetSpec& spec, Fleet& fleet) {
       // and the shard will never write this slot again.
       slot.stats = slot.session->finalize(slot.expected);
     } else if (!progress) {
-      if (slot.session->now_ms() > spec.deadline_ms) {
+      if (slot.session->now_ms() > spec.knobs.deadline_ms) {
         // Deadline miss with the compile possibly still running: finalize
         // against nothing (reports non-convergence) rather than racing the
         // shard for slot.expected.
@@ -253,7 +544,6 @@ bool pump_slot(SwitchSlot& slot, const FleetSpec& spec, Fleet& fleet) {
 /// home worker (index % n_threads) is someone else.
 void worker_loop(Fleet& fleet, const FleetSpec& spec, size_t worker,
                  size_t n_threads) {
-  constexpr int kQuantum = 8;  // epochs sealed per shard claim
   const size_t n_slots = fleet.slots.size();
   const size_t n_shards = fleet.shards.size();
   const size_t slot_offset = n_slots == 0 ? 0 : (worker * n_slots) / n_threads;
@@ -275,10 +565,7 @@ void worker_loop(Fleet& fleet, const FleetSpec& spec, size_t worker,
         fleet.steals.fetch_add(1, std::memory_order_relaxed);
       }
       try {
-        for (int q = 0; q < kQuantum; ++q) {
-          if (!seal_next(shard, spec)) break;
-          progress = true;
-        }
+        progress |= run_shard_quantum(shard, fleet, spec);
       } catch (const std::exception& e) {
         shard.error = e.what();
         shard.done.store(true, std::memory_order_release);
@@ -292,11 +579,77 @@ void worker_loop(Fleet& fleet, const FleetSpec& spec, size_t worker,
 
 }  // namespace
 
+void ShardedController::validate(const FleetSpec& spec) {
+  if (spec.n_switches == 0) {
+    throw std::invalid_argument("FleetSpec: n_switches must be > 0");
+  }
+  if (spec.n_shards == 0) {
+    throw std::invalid_argument("FleetSpec: n_shards must be > 0");
+  }
+  if (spec.n_shards > spec.n_switches) {
+    throw std::invalid_argument(
+        "FleetSpec: n_shards must not exceed n_switches (" +
+        std::to_string(spec.n_shards) + " > " +
+        std::to_string(spec.n_switches) + ")");
+  }
+  if (spec.n_threads == 0) {
+    throw std::invalid_argument("FleetSpec: n_threads must be > 0");
+  }
+  if (spec.compile_base_ms <= 0.0 || spec.compile_per_op_ms <= 0.0) {
+    throw std::invalid_argument(
+        "FleetSpec: compile costs must be strictly positive (per-ring ready "
+        "times must strictly increase)");
+  }
+  if (spec.failover_replay_factor < 0.0) {
+    throw std::invalid_argument(
+        "FleetSpec: failover_replay_factor must be >= 0");
+  }
+  std::vector<bool> killed(spec.n_shards, false);
+  for (const ShardKill& k : spec.chaos.shard_kills) {
+    if (k.shard >= spec.n_shards) {
+      throw std::invalid_argument(
+          "FleetSpec: chaos kill targets shard " + std::to_string(k.shard) +
+          " of " + std::to_string(spec.n_shards));
+    }
+    if (k.at_vt_ms <= 0.0) {
+      throw std::invalid_argument(
+          "FleetSpec: chaos kill times must be strictly positive");
+    }
+    if (killed[k.shard]) {
+      throw std::invalid_argument(
+          "FleetSpec: at most one scheduled kill per shard");
+    }
+    killed[k.shard] = true;
+  }
+  if (!spec.chaos.shard_kills.empty() &&
+      spec.chaos.shard_kills.size() >= spec.n_shards) {
+    throw std::invalid_argument(
+        "FleetSpec: at least one shard must be spared to adopt orphans");
+  }
+  for (const AgentBlackout& b : spec.chaos.blackouts) {
+    if (b.sw >= spec.n_switches) {
+      throw std::invalid_argument(
+          "FleetSpec: chaos blackout targets switch " + std::to_string(b.sw) +
+          " of " + std::to_string(spec.n_switches));
+    }
+    if (b.window.duration_ms <= 0.0 || b.window.at_ms < 0.0) {
+      throw std::invalid_argument(
+          "FleetSpec: blackout windows need at_ms >= 0 and duration_ms > 0");
+    }
+  }
+}
+
 FleetReport ShardedController::run() {
+  validate(spec_);
   const auto wall_start = std::chrono::steady_clock::now();
-  const size_t n = std::max<size_t>(spec_.n_switches, 1);
-  const size_t n_shards = std::clamp<size_t>(spec_.n_shards, 1, n);
+  const size_t n = spec_.n_switches;
+  const size_t n_shards = spec_.n_shards;
   const size_t n_threads = std::max<size_t>(spec_.n_threads, 1);
+
+  std::vector<double> kill_at(n_shards, -1.0);
+  for (const ShardKill& k : spec_.chaos.shard_kills) {
+    kill_at[k.shard] = k.at_vt_ms;
+  }
 
   Fleet fleet;
   fleet.slots.reserve(n);
@@ -309,20 +662,62 @@ FleetReport ShardedController::run() {
       slot->task = spec_.make_task ? spec_.make_task(i) : default_task(spec_, i);
     }
     slot->audited = spec_.audit_stride != 0 && i % spec_.audit_stride == 0;
+    slot->at_risk = kill_at[i % n_shards] >= 0.0;
+    if (slot->at_risk) {
+      // Failover provisions: the pristine task and the id checkpoint the
+      // adopting shard rewinds to when it rebuilds the engine.
+      slot->task_backup = slot->task;
+      slot->id_rebuild_base = slot->id_counter;
+    }
+    slot->retain_blobs = slot->at_risk;
     slot->ring = std::make_unique<frozen::PublishRing<SealedEpoch>>(
         slot->task.churn.updates + 1);
     slot->source = std::make_unique<RingEpochSource>(*slot->ring);
-
+    fleet.slots.push_back(std::move(slot));
+  }
+  for (const AgentBlackout& b : spec_.chaos.blackouts) {
+    // A blackout target may quarantine and re-admit: keep its blobs so the
+    // warm-boot catch-up material is verifiable.
+    fleet.slots[b.sw]->retain_blobs = true;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    SwitchSlot* raw = fleet.slots[i].get();
     SessionConfig sc;
-    sc.window = spec_.window;
-    sc.retry_timeout_ms = spec_.retry_timeout_ms;
-    sc.channel = spec_.channel;
-    sc.faults = spec_.faults;
+    sc.knobs = spec_.knobs;
     sc.seed = util::hash_pair(spec_.fault_seed, i + 1);
     sc.tcam_capacity = spec_.tcam_capacity;
-    sc.deadline_ms = spec_.deadline_ms;
-    slot->session = std::make_unique<SwitchSession>(sc, *slot->source);
-    fleet.slots.push_back(std::move(slot));
+    for (const AgentBlackout& b : spec_.chaos.blackouts) {
+      if (b.sw == i) sc.blackouts.push_back(b.window);
+    }
+    // Warm-boot catch-up verification at re-admission: replay the frozen
+    // base image through the published, hash-chained delta blobs up to the
+    // agent's anchor. Lock-free: only ring records (acquire-published) and
+    // base_image (ordered by the epoch-1 publish the anchor implies) are
+    // read. Without retained blobs (switch never scheduled for chaos) the
+    // check passes trivially.
+    sc.on_readmit = [raw](uint64_t anchor) {
+      if (!raw->retain_blobs) return true;
+      const uint64_t upto = std::min<uint64_t>(anchor, raw->source->available());
+      if (upto < 1) return true;
+      // Scratch namespace: decoding deltas bumps the active rule-id
+      // counter, and this replay must not perturb the switch's real stream.
+      RuleId scratch = (static_cast<RuleId>(raw->index) + 1) << 48;
+      flowspace::ScopedRuleIdNamespace ns(&scratch);
+      if (hash_bytes(frozen::freeze(raw->base_image)) !=
+          raw->source->rec(1).delta_hash) {
+        return false;
+      }
+      frozen::PolicyImage img = raw->base_image;
+      for (uint64_t e = 2; e <= upto; ++e) {
+        const SealedEpoch& rec = raw->source->rec(e);
+        if (!rec.delta || hash_bytes(*rec.delta) != rec.delta_hash) {
+          return false;
+        }
+        frozen::apply_delta(img, frozen::decode_delta(*rec.delta));
+      }
+      return true;
+    };
+    raw->session = std::make_unique<SwitchSession>(sc, *raw->source);
   }
   fleet.live_sessions.store(n, std::memory_order_relaxed);
 
@@ -330,12 +725,23 @@ FleetReport ShardedController::run() {
   for (size_t k = 0; k < n_shards; ++k) {
     auto shard = std::make_unique<CompileShard>();
     shard->index = k;
+    shard->kill_at_ms = kill_at[k];
+    shard->adoptable = kill_at[k] < 0.0;
     for (size_t i = k; i < n; i += n_shards) {
       shard->owned.push_back(fleet.slots[i].get());
     }
     shard->remaining = shard->owned.size();
-    if (shard->owned.empty()) shard->done.store(true, std::memory_order_relaxed);
+    if (shard->owned.empty() && shard->kill_at_ms < 0.0 &&
+        spec_.chaos.shard_kills.empty()) {
+      shard->done.store(true, std::memory_order_relaxed);
+    }
     fleet.shards.push_back(std::move(shard));
+  }
+  for (const ShardKill& k : spec_.chaos.shard_kills) {
+    auto ks = std::make_unique<Fleet::KillState>();
+    ks->shard = k.shard;
+    ks->at_ms = k.at_vt_ms;
+    fleet.kills.push_back(std::move(ks));
   }
 
   if (n_threads == 1) {
@@ -367,6 +773,7 @@ FleetReport ShardedController::run() {
   report.switches = n;
   report.shards = n_shards;
   report.threads = n_threads;
+  double active_makespan = 0.0;
   std::vector<SessionStats> stats;
   stats.reserve(n);
   for (const auto& slot : fleet.slots) {
@@ -376,7 +783,18 @@ FleetReport ShardedController::run() {
       ++report.replay_audits;
       report.replay_ok = report.replay_ok && slot->audit_passed;
     }
+    if (slot->adopted) {
+      ++report.failovers;
+      report.failover_ok = report.failover_ok && slot->failover_ok;
+      report.failover_epochs += slot->failover_epochs;
+      report.failover_ms.add(slot->failover_ms);
+    }
     report.starved_pumps += slot->starved;
+    if (slot->stats.quarantines == 0) {
+      ++report.active_switches;
+      report.active_rule_ops += slot->rule_ops;
+      active_makespan = std::max(active_makespan, slot->stats.makespan_ms);
+    }
 
     // Per-switch digest: deterministic session counters plus the final TCAM
     // layout, combined order-independently (wrapping sum) across switches.
@@ -385,13 +803,18 @@ FleetReport ShardedController::run() {
     h = util::hash_pair(h, slot->stats.moves);
     h = util::hash_pair(h, slot->stats.data_frames_sent);
     h = util::hash_pair(h, std::bit_cast<uint64_t>(slot->stats.makespan_ms));
+    // Layout-only digest alongside: the chaos harness compares final TCAM
+    // contents against a clean run's, where counters legitimately differ.
+    uint64_t lh = util::hash_pair(slot->index + 1, 0x1a707u);
     const tcam::Tcam& device = slot->session->agent().device().tcam();
     for (size_t addr = 0; addr < device.capacity(); ++addr) {
       if (auto id = device.at(addr)) {
         h = util::hash_pair(h, util::hash_pair(addr, *id));
+        lh = util::hash_pair(lh, util::hash_pair(addr, *id));
       }
     }
     report.fleet_fingerprint += h;
+    report.layout_fingerprint += lh;
     report.delta_fingerprint +=
         util::hash_pair(slot->index + 1, slot->delta_chain);
   }
@@ -400,8 +823,17 @@ FleetReport ShardedController::run() {
     report.shard_steps += shard->steps;
   }
   report.steals = fleet.steals.load(std::memory_order_relaxed);
+  report.shard_kills = fleet.shard_kills.load(std::memory_order_relaxed);
+  report.kills_escaped = fleet.kills_escaped.load(std::memory_order_relaxed);
   report.runtime = merge_session_stats(std::move(stats));
-  report.makespan_ms = report.runtime.makespan_ms;
+  report.quarantines = report.runtime.quarantines;
+  report.readmissions = report.runtime.readmissions;
+  report.rejoin_ms = report.runtime.rejoin_ms;
+  // Quarantined switches are excluded from the fleet makespan (their rejoin
+  // latencies are reported on their own); with every switch quarantined the
+  // full merged makespan is all that is left.
+  report.makespan_ms = report.active_switches > 0 ? active_makespan
+                                                  : report.runtime.makespan_ms;
   report.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();

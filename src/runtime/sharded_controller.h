@@ -30,6 +30,19 @@
 //     never the virtual order of its events.
 // run() self-checks the sharding (cross-shard delta replay) and the bench
 // harness cross-checks whole-fleet fingerprints across thread counts.
+//
+// Fault tolerance (see DESIGN.md §15): a ChaosSchedule kills compile shards
+// at virtual times — surviving shards adopt the orphaned switches by
+// verifying the hash-chained RTDZ delta blobs already published, rebuilding
+// the compile engine from the pristine task (ids replay identically inside
+// the switch's namespace), and resuming publication into a fresh ring the
+// session's source splices in at the published frontier. Adoption points
+// are virtual-time deterministic via a compile-side horizon rule: an
+// adoptable shard never steps past an unresolved kill time, so wall-clock
+// kill processing decides only where a shard blocks, never what it seals.
+// Sessions quarantine unreachable switches (SessionKnobs.retry) and
+// re-admit them through the warm-boot path; quarantined switches are
+// excluded from the fleet makespan.
 #pragma once
 
 #include <cstdint>
@@ -56,9 +69,10 @@ struct SealedEpoch {
   size_t ops = 0;            // rule-level operations the epoch carries
   double ready_vt_ms = 0.0;  // shard virtual compile clock at seal
   uint64_t delta_hash = 0;   // mix of the epoch's RTDZ delta blob bytes
-  /// The delta blob itself, retained only for replay-audited switches
-  /// (every spec.audit_stride-th); empty elsewhere — the hash chain still
-  /// covers every epoch of every switch.
+  /// The delta blob itself, retained for replay-audited switches (every
+  /// spec.audit_stride-th) and for switches that may need it for failover
+  /// reconstruction or quarantine re-admission (chaos targets); empty
+  /// elsewhere — the hash chain still covers every epoch of every switch.
   std::shared_ptr<const frozen::Bytes> delta;
 };
 
@@ -88,14 +102,12 @@ struct FleetSpec {
   /// the switch's private rule-id namespace.
   std::function<SwitchTask(size_t sw)> make_task;
 
-  // Session / wire parameters (same meaning as RuntimeConfig).
-  size_t window = 8;
-  double retry_timeout_ms = 25.0;
-  proto::ChannelModel channel;
-  FaultSpec faults;  // default: clean wire (throughput mode)
+  /// Session / wire knobs shared with RuntimeConfig (window, retry policy,
+  /// channel, faults, deadline) — the one place backoff parameters live.
+  /// Default: clean wire, window 8 (throughput mode).
+  SessionKnobs knobs = [] { SessionKnobs k; k.window = 8; return k; }();
   uint64_t fault_seed = 1;
   size_t tcam_capacity = 2048;
-  double deadline_ms = 1e7;
 
   // Modelled compile cost, advancing the owning shard's virtual clock per
   // sealed epoch. Strictly positive so per-ring ready times strictly
@@ -107,6 +119,15 @@ struct FleetSpec {
   /// them against the epoch-1 base image when its stream closes; a mismatch
   /// fails the run. 0 disables the audit.
   size_t audit_stride = 16;
+
+  /// Seeded fault schedule: shard kills on virtual compile clocks, agent
+  /// blackouts on session virtual clocks. Empty = clean run; the fault
+  /// layer costs nothing when unused.
+  ChaosSchedule chaos;
+  /// Fraction of the modelled compile cost an adopting shard pays per
+  /// epoch to re-step an orphaned switch's engine to its published
+  /// frontier (replaying known updates is cheaper than compiling fresh).
+  double failover_replay_factor = 0.25;
 };
 
 struct FleetReport {
@@ -116,7 +137,10 @@ struct FleetReport {
   size_t threads = 0;
 
   size_t rule_ops = 0;        // total rule-level updates compiled fleet-wide
-  double makespan_ms = 0.0;   // slowest session's virtual commit time
+  /// Slowest *active* session's virtual commit time. Quarantined switches
+  /// are excluded — one dead box may not hold the fleet number hostage;
+  /// their own rejoin latencies are reported separately.
+  double makespan_ms = 0.0;
   double compile_vt_ms = 0.0; // slowest shard's final virtual compile clock
   double wall_ms = 0.0;       // real time the run took (diagnostic)
 
@@ -135,11 +159,32 @@ struct FleetReport {
   size_t replay_audits = 0;  // switches whose delta chain was replayed
   bool replay_ok = true;     // every audited replay reproduced the final image
 
-  /// Aggregate sustained rule-update throughput in virtual time: every
-  /// compiled rule-level operation, over the slowest switch's commit time.
+  // Fault-tolerance outcome (all zero / true on a clean run).
+  size_t shard_kills = 0;     // scheduled kills that actually fired
+  size_t kills_escaped = 0;   // shards that finished before their kill time
+  size_t failovers = 0;       // orphaned switches adopted by survivors
+  bool failover_ok = true;    // every adoption: blob chain verified and the
+                              // rebuilt engine matched the replayed image
+  size_t failover_epochs = 0; // epochs re-stepped during adoptions
+  size_t quarantines = 0;     // sessions benched after silent escalation
+  size_t readmissions = 0;    // quarantined switches brought back
+  size_t active_switches = 0; // never-quarantined sessions (makespan basis)
+  size_t active_rule_ops = 0; // their compiled rule ops (throughput basis)
+  util::Histogram failover_ms;  // shard kill -> adoption complete (virtual)
+  util::Histogram rejoin_ms;    // quarantine entry -> re-admission (virtual)
+
+  /// Order-independent digest of every switch's final TCAM layout alone
+  /// (no counters): the value chaos runs compare against clean runs — the
+  /// bit-identical-convergence claim.
+  uint64_t layout_fingerprint = 0;
+
+  /// Aggregate sustained rule-update throughput in virtual time: active
+  /// switches' compiled rule-level operations over the slowest active
+  /// switch's commit time (on a clean run that is every switch).
   double updates_per_s() const {
     if (makespan_ms <= 0.0) return 0.0;
-    return static_cast<double>(rule_ops) / (makespan_ms / 1000.0);
+    const size_t ops = quarantines > 0 ? active_rule_ops : rule_ops;
+    return static_cast<double>(ops) / (makespan_ms / 1000.0);
   }
 };
 
@@ -147,9 +192,18 @@ class ShardedController {
  public:
   explicit ShardedController(FleetSpec spec) : spec_(std::move(spec)) {}
 
-  /// Compiles, ships and commits the whole fleet; throws on internal errors
-  /// (a failed replay audit sets report.replay_ok instead).
+  /// Compiles, ships and commits the whole fleet; throws
+  /// std::invalid_argument on a malformed spec (validate()) and
+  /// std::runtime_error on internal errors. A failed replay audit or
+  /// failover verification sets report.replay_ok / report.failover_ok
+  /// instead of throwing — the run completes and reports.
   FleetReport run();
+
+  /// Spec sanity: n_switches/n_shards/n_threads > 0, n_shards <= n_switches,
+  /// strictly positive compile costs (ready times must strictly increase),
+  /// kills on valid shards (at most one each, at least one shard spared),
+  /// blackouts on valid switches. Throws std::invalid_argument.
+  static void validate(const FleetSpec& spec);
 
  private:
   FleetSpec spec_;

@@ -20,7 +20,10 @@ std::vector<FaultyWire::Delivery> FaultyWire::arrivals(double now_ms,
   const double dup_corrupt_d = rng_.next_double();
   const uint64_t dup_corrupt_bits = rng_.next_u64();
 
-  if (drop_d < faults_.drop_p) {
+  // Brownout-aware: the drop threshold may vary with virtual time, but the
+  // draw count per send never does, so the fault stream stays a function of
+  // (seed, send sequence) alone.
+  if (drop_d < faults_.drop_at(now_ms)) {
     ++counters_.dropped;
     return {};
   }

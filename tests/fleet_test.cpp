@@ -161,9 +161,9 @@ TEST(PipelinedSessionTest, ClosedRingMatchesVectorLogUnderFaults) {
   const auto log = runtime::encode_log(workload.epochs);
 
   runtime::SessionConfig sc;
-  sc.window = 4;
+  sc.knobs.window = 4;
   sc.seed = 77;
-  sc.faults = runtime::FaultSpec::chaos();
+  sc.knobs.faults = runtime::FaultSpec::chaos();
   sc.tcam_capacity = workload.suggested_capacity();
 
   runtime::SwitchSession classic(sc, *log);
@@ -347,7 +347,7 @@ TEST(ShardedFleetTest, SurvivesFaultyWiresDeterministically) {
   spec.n_shards = 2;
   spec.updates_per_switch = 8;
   spec.seed = 8;
-  spec.faults = runtime::FaultSpec::chaos();
+  spec.knobs.faults = runtime::FaultSpec::chaos();
   spec.fault_seed = 3;
   spec.audit_stride = 2;
   spec.tcam_capacity = 1024;

@@ -87,11 +87,11 @@ void soak_one(uint64_t seed, Strategy strategy, SoakTotals& totals) {
   ASSERT_GT(plan.rounds.size(), 0u);
 
   netplan::FleetConfig fc;
-  fc.runtime.faults = FaultSpec::crashy();
+  fc.runtime.knobs.faults = FaultSpec::crashy();
   // The default crash rate is tuned for thousand-epoch logs; a short
   // planner schedule needs a harsher mix to actually crash mid-round.
-  fc.runtime.faults.crash_p = 0.05;
-  fc.runtime.faults.restart_every_ms = 60.0;
+  fc.runtime.knobs.faults.crash_p = 0.05;
+  fc.runtime.knobs.faults.restart_every_ms = 60.0;
   fc.runtime.fault_seed = seed;
   fc.runtime.n_threads = 2;
   fc.runtime.tcam_capacity = plan.peak_switch_rules + 16;

@@ -529,7 +529,7 @@ TEST(Fleet, RoundsRideTheFaultyRuntimeAndStayConsistent) {
   ASSERT_GT(plan.rounds.size(), 0u);
 
   netplan::FleetConfig fc;
-  fc.runtime.faults = FaultSpec::chaos();
+  fc.runtime.knobs.faults = FaultSpec::chaos();
   fc.runtime.fault_seed = 11;
   fc.runtime.n_threads = 1;
   fc.runtime.tcam_capacity = plan.peak_switch_rules + 16;
@@ -576,7 +576,7 @@ TEST(Fleet, ReportIsDeterministicAcrossThreadCounts) {
 
   auto run_with = [&](size_t threads) {
     netplan::FleetConfig fc;
-    fc.runtime.faults = FaultSpec::chaos();
+    fc.runtime.knobs.faults = FaultSpec::chaos();
     fc.runtime.fault_seed = 23;
     fc.runtime.n_threads = threads;
     fc.runtime.tcam_capacity = plan.peak_switch_rules + 16;
@@ -665,11 +665,11 @@ TEST(Controller, FleetPathIsBitIdenticalToSharedLogPath) {
   const CompiledWorkload wl = small_workload(25, 31);
   RuntimeConfig cfg;
   cfg.n_switches = 4;
-  cfg.window = 4;
+  cfg.knobs.window = 4;
   cfg.n_threads = 2;
-  cfg.faults = FaultSpec::chaos();
-  cfg.faults.crash_p = 0.01;
-  cfg.faults.corrupt_p = 0.02;
+  cfg.knobs.faults = FaultSpec::chaos();
+  cfg.knobs.faults.crash_p = 0.01;
+  cfg.knobs.faults.corrupt_p = 0.02;
   cfg.fault_seed = 5;
 
   Controller shared(cfg);
@@ -692,7 +692,7 @@ TEST(Controller, FleetWithHeterogeneousLogs) {
   const CompiledWorkload w1 = small_workload(10, 7);
   const CompiledWorkload w2 = small_workload(16, 8);
   RuntimeConfig cfg;
-  cfg.faults = FaultSpec::chaos();
+  cfg.knobs.faults = FaultSpec::chaos();
   cfg.fault_seed = 9;
   cfg.n_threads = 2;
   std::vector<SwitchWorkload> fleet;

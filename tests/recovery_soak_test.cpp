@@ -150,9 +150,9 @@ RuntimeReport run_crashy(const CompiledWorkload& wl, uint64_t fault_seed,
                          size_t threads) {
   RuntimeConfig cfg;
   cfg.n_switches = 6;
-  cfg.window = 4;
+  cfg.knobs.window = 4;
   cfg.n_threads = threads;
-  cfg.faults = FaultSpec::crashy();
+  cfg.knobs.faults = FaultSpec::crashy();
   cfg.fault_seed = fault_seed;
   Controller controller(cfg);
   return controller.run(wl.epochs, wl.final_rules);

@@ -51,9 +51,9 @@ RuntimeReport run_soak(const CompiledWorkload& wl, uint64_t fault_seed,
                        size_t threads) {
   RuntimeConfig cfg;
   cfg.n_switches = 8;
-  cfg.window = 4;
+  cfg.knobs.window = 4;
   cfg.n_threads = threads;
-  cfg.faults = FaultSpec::chaos();
+  cfg.knobs.faults = FaultSpec::chaos();
   cfg.fault_seed = fault_seed;
   Controller controller(cfg);
   return controller.run(wl.epochs, wl.final_rules);
@@ -122,12 +122,12 @@ TEST(RuntimeSoak, AgentRestartsTriggerResyncAndStillConverge) {
   // Aggressive restarts, mild other faults: isolates the resync path.
   RuntimeConfig cfg;
   cfg.n_switches = 8;
-  cfg.window = 4;
+  cfg.knobs.window = 4;
   cfg.n_threads = 8;
-  cfg.faults.drop_p = 0.02;
-  cfg.faults.delay_p = 0.10;
-  cfg.faults.delay_ms = 3.0;
-  cfg.faults.restart_every_ms = 40.0;
+  cfg.knobs.faults.drop_p = 0.02;
+  cfg.knobs.faults.delay_p = 0.10;
+  cfg.knobs.faults.delay_ms = 3.0;
+  cfg.knobs.faults.restart_every_ms = 40.0;
   cfg.fault_seed = 5;
   Controller controller(cfg);
   const RuntimeReport report = controller.run(wl.epochs, wl.final_rules);

@@ -200,10 +200,10 @@ TEST(SwitchSession, FaultFreeSessionConvergesWithoutRetries) {
   const std::vector<EncodedEpoch> log = encode_log(wl);
 
   SessionConfig cfg;
-  cfg.window = 4;
+  cfg.knobs.window = 4;
   // Above the modeled apply time of the big initial-install epoch, so the
   // retry timer never fires spuriously and the counters stay exact.
-  cfg.retry_timeout_ms = 500.0;
+  cfg.knobs.retry.timeout_ms = 500.0;
   cfg.tcam_capacity = wl.suggested_capacity();
   SwitchSession session(cfg, log);
   const SessionStats stats = session.run(wl.final_rules);
@@ -229,7 +229,7 @@ TEST(SwitchSession, WiderWindowPipelinesAndShrinksMakespan) {
 
   auto run_with_window = [&](size_t window) {
     SessionConfig cfg;
-    cfg.window = window;
+    cfg.knobs.window = window;
     cfg.tcam_capacity = wl.suggested_capacity();
     SwitchSession session(cfg, log);
     return session.run(wl.final_rules);
@@ -248,8 +248,8 @@ TEST(SwitchSession, ChaoticWireStillConverges) {
   const std::vector<EncodedEpoch> log = encode_log(wl);
 
   SessionConfig cfg;
-  cfg.window = 4;
-  cfg.faults = FaultSpec::chaos();
+  cfg.knobs.window = 4;
+  cfg.knobs.faults = FaultSpec::chaos();
   cfg.seed = 99;
   cfg.tcam_capacity = wl.suggested_capacity();
   SwitchSession session(cfg, log);
@@ -323,9 +323,9 @@ TEST(Controller, FanOutConvergesAndIsDeterministicAcrossThreadCounts) {
   auto run_with_threads = [&](size_t threads) {
     RuntimeConfig cfg;
     cfg.n_switches = 4;
-    cfg.window = 4;
+    cfg.knobs.window = 4;
     cfg.n_threads = threads;
-    cfg.faults = FaultSpec::chaos();
+    cfg.knobs.faults = FaultSpec::chaos();
     cfg.fault_seed = 5;
     Controller controller(cfg);
     return controller.run(wl.epochs, wl.final_rules);
@@ -404,9 +404,9 @@ TEST(SwitchSession, CorruptedFramesAreNackedAndRetransmitted) {
   const std::vector<EncodedEpoch> log = encode_log(wl);
 
   SessionConfig cfg;
-  cfg.window = 4;
-  cfg.retry_timeout_ms = 500.0;  // NACKs, not timeouts, must drive recovery
-  cfg.faults.corrupt_p = 0.2;
+  cfg.knobs.window = 4;
+  cfg.knobs.retry.timeout_ms = 500.0;  // NACKs, not timeouts, must drive recovery
+  cfg.knobs.faults.corrupt_p = 0.2;
   cfg.seed = 3;
   cfg.tcam_capacity = wl.suggested_capacity();
   SwitchSession session(cfg, log);
@@ -432,10 +432,10 @@ TEST(SwitchSession, DoubleRestartDuringResyncReplayStillConverges) {
   size_t stale_total = 0;
   for (uint64_t seed = 1; seed <= 12; ++seed) {
     SessionConfig cfg;
-    cfg.window = 6;
-    cfg.faults.restart_every_ms = 15.0;  // restarts race the replays
-    cfg.faults.delay_p = 0.4;            // delayed frames invert orderings
-    cfg.faults.delay_ms = 12.0;
+    cfg.knobs.window = 6;
+    cfg.knobs.faults.restart_every_ms = 15.0;  // restarts race the replays
+    cfg.knobs.faults.delay_p = 0.4;            // delayed frames invert orderings
+    cfg.knobs.faults.delay_ms = 12.0;
     cfg.seed = seed;
     cfg.tcam_capacity = wl.suggested_capacity();
     SwitchSession session(cfg, log);
@@ -459,7 +459,7 @@ TEST(SwitchSession, CapacityExhaustionRejectsCleanlyAndAuditsClean) {
   const std::vector<EncodedEpoch> log = encode_log(wl);
 
   SessionConfig cfg;
-  cfg.window = 4;
+  cfg.knobs.window = 4;
   // Deliberately below the table's high-water mark, so some update in the
   // stream must be rejected for capacity.
   cfg.tcam_capacity = wl.peak_visible - wl.peak_visible / 4;
@@ -486,7 +486,7 @@ TEST(Controller, SessionsDrawIndependentFaultStreams) {
   const CompiledWorkload wl = small_workload(30, 22);
   RuntimeConfig cfg;
   cfg.n_switches = 4;
-  cfg.faults = FaultSpec::chaos();
+  cfg.knobs.faults = FaultSpec::chaos();
   cfg.fault_seed = 6;
   cfg.n_threads = 1;
   Controller controller(cfg);

@@ -12,6 +12,10 @@ The fleet numbers are virtual-time deterministic, so the default
 tolerance only absorbs float printing (%.6g) noise; pass --tolerance to
 loosen the gate for wall-clock benches.
 
+Row identity defaults to a per-benchmark profile (PROFILES below;
+e.g. the chaos harness keys on mode/switches/shards/threads), falling
+back to the fleet geometry; --key overrides either.
+
     tools/bench_gate.py BASELINE FRESH [--key k1,k2,...]
                         [--tolerance 0.02] [--ignore f1,f2,...]
 
@@ -28,6 +32,13 @@ import sys
 
 DEFAULT_KEY = ("switches", "shards", "threads")
 DEFAULT_IGNORE = ("wall_ms", "steals", "starved_pumps")
+
+# Per-benchmark row-identity overrides, applied when --key is not passed:
+# the chaos harness sweeps fault modes over one geometry, so rows are
+# identified by mode first.
+PROFILES = {
+    "chaos_recovery": ("mode", "switches", "shards", "threads"),
+}
 
 
 def load(path):
@@ -51,19 +62,24 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="committed BENCH_*.json")
     ap.add_argument("fresh", help="just-generated report to validate")
-    ap.add_argument("--key", default=",".join(DEFAULT_KEY),
-                    help="comma-separated row-identity fields")
+    ap.add_argument("--key", default=None,
+                    help="comma-separated row-identity fields (default: "
+                         "per-benchmark profile, else switches/shards/threads)")
     ap.add_argument("--tolerance", type=float, default=0.02,
                     help="max relative drift for numeric fields")
     ap.add_argument("--ignore", default=",".join(DEFAULT_IGNORE),
                     help="comma-separated fields excluded from comparison")
     args = ap.parse_args()
 
-    key_fields = tuple(k for k in args.key.split(",") if k)
     ignored = set(f for f in args.ignore.split(",") if f)
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+
+    if args.key is not None:
+        key_fields = tuple(k for k in args.key.split(",") if k)
+    else:
+        key_fields = PROFILES.get(base.get("benchmark"), DEFAULT_KEY)
 
     failures = []
 

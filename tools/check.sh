@@ -42,9 +42,9 @@ done
 first_tree="${CHECK_TREES%% *}"
 bench_dir="$ROOT/build-check-$first_tree/bench"
 echo "=== smoke benches ($first_tree tree)"
-for bench in composition_scaling dag_extraction fleet_throughput netplan \
-             recovery_latency runtime_scaling tcam_scheduler traffic_engine \
-             warm_boot; do
+for bench in chaos_recovery composition_scaling dag_extraction \
+             fleet_throughput netplan recovery_latency runtime_scaling \
+             tcam_scheduler traffic_engine warm_boot; do
   echo "--- $bench --smoke"
   "$bench_dir/$bench" --smoke > /dev/null \
     || { echo "SMOKE FAILED: $bench"; exit 1; }
@@ -61,5 +61,16 @@ fleet_fresh="$ROOT/build-check-$first_tree/BENCH_fleet.smoke.json"
   || { echo "SMOKE FAILED: fleet_throughput (gate run)"; exit 1; }
 python3 "$ROOT/tools/bench_gate.py" "$ROOT/BENCH_fleet.json" "$fleet_fresh" \
   || { echo "PERF GATE FAILED: fleet_throughput drifted from baseline"; exit 1; }
+
+# Same gate for the chaos harness (fingerprint-exact, 2% numeric drift):
+# clean rows prove the fault layer costs nothing when unused, chaos rows
+# pin the recovery counters and latencies. Regenerate BENCH_chaos.json with
+# `chaos_recovery --json` when the modelled system legitimately moves.
+echo "=== chaos perf gate (vs committed BENCH_chaos.json)"
+chaos_fresh="$ROOT/build-check-$first_tree/BENCH_chaos.smoke.json"
+"$bench_dir/chaos_recovery" --smoke --json "$chaos_fresh" > /dev/null \
+  || { echo "SMOKE FAILED: chaos_recovery (gate run)"; exit 1; }
+python3 "$ROOT/tools/bench_gate.py" "$ROOT/BENCH_chaos.json" "$chaos_fresh" \
+  || { echo "PERF GATE FAILED: chaos_recovery drifted from baseline"; exit 1; }
 
 echo "=== all checks passed (trees: $CHECK_TREES)"

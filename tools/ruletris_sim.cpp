@@ -112,6 +112,13 @@ struct Options {
   // mon ∥ rtr workload from --seed.
   bool fleet = false;
   size_t shards = 2;                      // --shards (compile shards)
+  // Fleet chaos: --chaos arms the default schedule (shard kills + agent
+  // blackouts on brownout wires); --shard-kill-ms adds one shard kill per
+  // occurrence (shard 1, 2, ... at the given virtual compile time);
+  // --quarantine-after overrides the silent-round escalation bound.
+  bool chaos = false;
+  std::vector<double> shard_kill_ms;      // --shard-kill-ms (repeatable)
+  std::optional<size_t> quarantine_after; // --quarantine-after
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -131,6 +138,7 @@ struct Options {
                "          [--netplan] [--topology SPEC]\n"
                "          [--planner rounds|two-phase|auto|oneshot]\n"
                "          [--fleet] [--switches N] [--shards K] [--threads T]\n"
+               "          [--chaos] [--shard-kill-ms T ...] [--quarantine-after N]\n"
                "  SOURCE: gen:router:N | gen:monitor:N | gen:firewall:N |\n"
                "          gen:nat:N | file:PATH\n"
                "  --runtime replicates the compiled update stream to N\n"
@@ -164,7 +172,17 @@ struct Options {
                "  --policy/--table needed. The run repeats single-threaded\n"
                "  and exits non-zero if any fingerprint differs (cross-\n"
                "  thread determinism violation), a session fails to\n"
-               "  converge, or an RTDZ delta replay audit fails.\n"
+               "  converge, or an RTDZ delta replay audit fails. --chaos\n"
+               "  arms the fleet fault schedule: shard kills (each\n"
+               "  --shard-kill-ms T kills the next shard, starting at shard\n"
+               "  1, when its virtual compile clock reaches T; default one\n"
+               "  kill at 0.5 ms), agent blackout windows, brownout wires\n"
+               "  and quarantine after N silent retry rounds\n"
+               "  (--quarantine-after, default 3). Survivors adopt orphaned\n"
+               "  switches from the published delta blobs; quarantined\n"
+               "  switches re-admit via warm-boot catch-up. Exits non-zero\n"
+               "  on any determinism, failover, re-admission or rejoin\n"
+               "  audit violation.\n"
                "  --traffic replaces the update stream with a Zipf-skewed\n"
                "  flow workload (N concurrent flows, skew A, flow expiry\n"
                "  rate R per packet) against a CacheFlow'd TCAM backed by\n"
@@ -230,6 +248,14 @@ Options parse_args(int argc, char** argv) {
       opt.corrupt_p = std::stod(need_value(i));
     } else if (arg == "--fleet") {
       opt.fleet = true;
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--shard-kill-ms") {
+      opt.chaos = true;
+      opt.shard_kill_ms.push_back(std::stod(need_value(i)));
+    } else if (arg == "--quarantine-after") {
+      opt.chaos = true;
+      opt.quarantine_after = static_cast<size_t>(std::stoul(need_value(i)));
     } else if (arg == "--shards") {
       opt.shards = static_cast<size_t>(std::stoul(need_value(i)));
     } else if (arg == "--netplan") {
@@ -376,19 +402,37 @@ int main(int argc, char** argv) {
       fspec.n_threads = opt.threads;
       fspec.updates_per_switch = opt.updates;
       fspec.seed = opt.seed;
-      fspec.window = opt.window;
+      fspec.knobs.window = opt.window;
       if (opt.fault_seed) {
-        fspec.faults = runtime::FaultSpec::chaos();
+        fspec.knobs.faults = runtime::FaultSpec::chaos();
         fspec.fault_seed = *opt.fault_seed;
       }
-      if (opt.crash_p) fspec.faults.crash_p = *opt.crash_p;
-      if (opt.corrupt_p) fspec.faults.corrupt_p = *opt.corrupt_p;
+      if (opt.crash_p) fspec.knobs.faults.crash_p = *opt.crash_p;
+      if (opt.corrupt_p) fspec.knobs.faults.corrupt_p = *opt.corrupt_p;
       if (opt.capacity) fspec.tcam_capacity = *opt.capacity;
+      if (opt.chaos) {
+        // Default chaos: brownout wires, quarantine after 3 silent rounds,
+        // one shard kill at 0.5 ms (override with --shard-kill-ms, one
+        // kill per occurrence on shards 1, 2, ...) and an agent blackout
+        // on the last switch.
+        fspec.knobs.faults = runtime::FaultSpec::brownout();
+        if (opt.crash_p) fspec.knobs.faults.crash_p = *opt.crash_p;
+        if (opt.corrupt_p) fspec.knobs.faults.corrupt_p = *opt.corrupt_p;
+        fspec.knobs.retry.quarantine_after =
+            opt.quarantine_after.value_or(3);
+        std::vector<double> kills = opt.shard_kill_ms;
+        if (kills.empty()) kills.push_back(0.5);
+        for (size_t k = 0; k < kills.size(); ++k) {
+          fspec.chaos.shard_kills.push_back({k + 1, kills[k]});
+        }
+        fspec.chaos.blackouts.push_back(
+            {fspec.n_switches - 1, {30.0, 300.0}});
+      }
 
       std::printf("fleet: %zu switches / %zu shards / %zu threads, "
-                  "%zu bursty updates per switch\n",
+                  "%zu bursty updates per switch%s\n",
                   fspec.n_switches, fspec.n_shards, fspec.n_threads,
-                  opt.updates);
+                  opt.updates, opt.chaos ? " [chaos]" : "");
       const runtime::FleetReport report =
           runtime::ShardedController(fspec).run();
 
@@ -399,8 +443,13 @@ int main(int argc, char** argv) {
         const runtime::FleetReport ref =
             runtime::ShardedController(serial).run();
         deterministic = ref.fleet_fingerprint == report.fleet_fingerprint &&
-                        ref.delta_fingerprint == report.delta_fingerprint;
+                        ref.delta_fingerprint == report.delta_fingerprint &&
+                        ref.layout_fingerprint == report.layout_fingerprint;
       }
+      const bool recovery_clean =
+          report.failover_ok && report.runtime.readmit_failures == 0 &&
+          report.runtime.rejoin_audit_violations == 0 &&
+          report.readmissions == report.quarantines;
 
       std::printf("  %.0f updates/s sustained (%zu rule ops, makespan "
                   "%.1f ms, compile %.1f ms)\n",
@@ -415,6 +464,14 @@ int main(int argc, char** argv) {
                   report.runtime.all_converged ? "yes" : "NO",
                   report.replay_audits, report.replay_ok ? "ok" : "FAILED",
                   deterministic ? "ok" : "VIOLATED");
+      if (opt.chaos) {
+        std::printf("  chaos: %zu shard kills (%zu escaped), %zu failovers "
+                    "(%s), %zu quarantines, %zu re-admissions (%s)\n",
+                    report.shard_kills, report.kills_escaped,
+                    report.failovers, report.failover_ok ? "ok" : "FAILED",
+                    report.quarantines, report.readmissions,
+                    recovery_clean ? "clean" : "VIOLATED");
+      }
       if (auto* j = bench::json()) {
         j->meta("mode", "fleet");
         j->begin_row();
@@ -433,14 +490,26 @@ int main(int argc, char** argv) {
         j->field("delta_fingerprint",
                  util::strfmt("%016llx", static_cast<unsigned long long>(
                                              report.delta_fingerprint)));
+        j->field("layout_fingerprint",
+                 util::strfmt("%016llx", static_cast<unsigned long long>(
+                                             report.layout_fingerprint)));
         j->field("converged", report.runtime.all_converged ? 1.0 : 0.0);
         j->field("replay_ok", report.replay_ok ? 1.0 : 0.0);
         j->field("deterministic", deterministic ? 1.0 : 0.0);
+        j->field("shard_kills", static_cast<double>(report.shard_kills));
+        j->field("failovers", static_cast<double>(report.failovers));
+        j->field("failover_ok", report.failover_ok ? 1.0 : 0.0);
+        j->field("quarantines", static_cast<double>(report.quarantines));
+        j->field("readmissions", static_cast<double>(report.readmissions));
+        j->field("readmit_failures",
+                 static_cast<double>(report.runtime.readmit_failures));
+        j->field("rejoin_audit_violations",
+                 static_cast<double>(report.runtime.rejoin_audit_violations));
         j->field("wall_ms", report.wall_ms);
         bench::write_json();
       }
       return (report.runtime.all_converged && report.replay_ok &&
-              deterministic) ? 0 : 1;
+              deterministic && recovery_clean) ? 0 : 1;
     }
 
     const PolicySpec spec = compiler::parse_policy(opt.policy);
@@ -612,15 +681,15 @@ int main(int argc, char** argv) {
       // fleet-gated sessions, auditing the live TCAMs at every barrier.
       const auto scripts = netplan::materialize(topo, plan);
       netplan::FleetConfig fcfg;
-      fcfg.runtime.window = opt.window;
+      fcfg.runtime.knobs.window = opt.window;
       if (opt.fault_seed) {
-        fcfg.runtime.faults = runtime::FaultSpec::chaos();
+        fcfg.runtime.knobs.faults = runtime::FaultSpec::chaos();
         fcfg.runtime.fault_seed = *opt.fault_seed;
       }
       if (opt.crash_p || opt.corrupt_p) {
         if (!opt.fault_seed) fcfg.runtime.fault_seed = opt.seed;
-        if (opt.crash_p) fcfg.runtime.faults.crash_p = *opt.crash_p;
-        if (opt.corrupt_p) fcfg.runtime.faults.corrupt_p = *opt.corrupt_p;
+        if (opt.crash_p) fcfg.runtime.knobs.faults.crash_p = *opt.crash_p;
+        if (opt.corrupt_p) fcfg.runtime.knobs.faults.corrupt_p = *opt.corrupt_p;
       }
       fcfg.runtime.n_threads = std::max<size_t>(1, opt.threads);
       fcfg.runtime.tcam_capacity =
@@ -739,17 +808,17 @@ int main(int argc, char** argv) {
 
       runtime::RuntimeConfig cfg;
       cfg.n_switches = opt.switches;
-      cfg.window = opt.window;
+      cfg.knobs.window = opt.window;
       if (opt.fault_seed) {
-        cfg.faults = runtime::FaultSpec::chaos();
+        cfg.knobs.faults = runtime::FaultSpec::chaos();
         cfg.fault_seed = *opt.fault_seed;
       }
       if (opt.crash_p || opt.corrupt_p) {
         // Crash/corruption layer on top of whatever wire mix is active
         // (a clean wire unless --fault-seed picked the chaos mix).
         if (!opt.fault_seed) cfg.fault_seed = opt.seed;
-        if (opt.crash_p) cfg.faults.crash_p = *opt.crash_p;
-        if (opt.corrupt_p) cfg.faults.corrupt_p = *opt.corrupt_p;
+        if (opt.crash_p) cfg.knobs.faults.crash_p = *opt.crash_p;
+        if (opt.corrupt_p) cfg.knobs.faults.corrupt_p = *opt.corrupt_p;
       }
       cfg.n_threads = std::min<size_t>(
           opt.switches, std::max(1u, std::thread::hardware_concurrency()));
@@ -777,7 +846,7 @@ int main(int argc, char** argv) {
         wire_desc += ", corrupt_p " + std::to_string(*opt.corrupt_p);
       }
       std::printf("\nruntime: %zu switches, window %zu, %zu epochs, %s\n",
-                  report.sessions.size(), cfg.window, report.epochs,
+                  report.sessions.size(), cfg.knobs.window, report.epochs,
                   wire_desc.c_str());
       std::printf("  compiled %zu epochs in %.1f ms; replicated in %.1f ms wall\n",
                   report.epochs, compile_wall_ms, wall_ms);
@@ -798,7 +867,7 @@ int main(int argc, char** argv) {
                   report.resync_replays, dropped, report.duplicates);
       std::printf("  restarts %zu, resyncs %zu, timeouts %zu\n",
                   report.restarts, report.resyncs, report.timeouts);
-      if (cfg.faults.crash_p > 0 || cfg.faults.corrupt_p > 0) {
+      if (cfg.knobs.faults.crash_p > 0 || cfg.knobs.faults.corrupt_p > 0) {
         std::printf("  crashes %zu (roll-forwards %zu, recovered writes %zu); "
                     "nacks %zu (resent %zu)\n",
                     report.crashes, report.roll_forwards,
@@ -816,7 +885,7 @@ int main(int argc, char** argv) {
         j->meta("seed", static_cast<double>(opt.seed));
         j->begin_row();
         j->field("switches", static_cast<double>(report.sessions.size()));
-        j->field("window", static_cast<double>(cfg.window));
+        j->field("window", static_cast<double>(cfg.knobs.window));
         j->field("epochs", static_cast<double>(report.epochs));
         j->field("fault_seed",
                  opt.fault_seed ? static_cast<double>(*opt.fault_seed) : -1.0);
